@@ -1,0 +1,172 @@
+// Command noctool regenerates the tables and figures of "Topology-aware
+// Quality-of-Service Support in Highly Integrated Chip Multiprocessors"
+// (Grot, Keckler, Mutlu — WIOSCA 2010) from the tanoq simulator.
+//
+// Usage:
+//
+//	noctool [flags] <experiment>...
+//
+// Experiments:
+//
+//	fig3     router area overhead per topology
+//	fig4a    latency vs injection rate, uniform random
+//	fig4b    latency vs injection rate, tornado
+//	preempt  Section 5.2 in-saturation packet replay rates
+//	table2   hotspot fairness (per-flow throughput dispersion)
+//	fig5     preemption rates under adversarial Workloads 1 and 2
+//	fig6     preemption slowdown and max-min deviation, Workloads 1 and 2
+//	fig7     router energy per flit by hop type
+//	chip        chip-level QoS hardware savings of the topology-aware design
+//	motivation  Section 1's starvation demonstration (no-QoS vs PVC)
+//	ablate      PVC design-parameter sweeps (beyond the paper)
+//	all         everything above, in paper order
+//
+// Flags:
+//
+//	-seed     RNG seed (default 42)
+//	-warmup   warmup cycles before measurement (default 20000)
+//	-measure  measurement window in cycles (default 100000)
+//	-quick    scale runs down ~6x for a fast smoke pass
+//	-csv      emit CSV rows instead of formatted tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tanoq/internal/experiments"
+	"tanoq/internal/topology"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	warmup := flag.Int("warmup", 20_000, "warmup cycles before measurement")
+	measure := flag.Int("measure", 100_000, "measurement window in cycles")
+	quick := flag.Bool("quick", false, "scale runs down for a fast smoke pass")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Usage = usage
+	flag.Parse()
+
+	p := experiments.Params{Seed: *seed, Warmup: *warmup, Measure: *measure}
+	if *quick {
+		p = experiments.QuickParams()
+		p.Seed = *seed
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	for _, arg := range args {
+		if err := run(strings.ToLower(arg), p, *quick, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "noctool: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>...
+
+experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate all
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(name string, p experiments.Params, quick, csv bool) error {
+	switch name {
+	case "fig3":
+		rows := experiments.Fig3()
+		if csv {
+			fmt.Print(experiments.Fig3CSV(rows))
+		} else {
+			fmt.Println(experiments.RenderFig3(rows))
+		}
+	case "fig4a", "fig4b":
+		pattern := experiments.Uniform
+		if name == "fig4b" {
+			pattern = experiments.TornadoPattern
+		}
+		rates := experiments.DefaultFig4Rates()
+		if quick {
+			rates = []float64{0.02, 0.05, 0.08, 0.11, 0.14}
+		}
+		series := experiments.Fig4(pattern, rates, p)
+		if csv {
+			fmt.Print(experiments.Fig4CSV(series))
+		} else {
+			fmt.Println(experiments.RenderFig4(pattern, series))
+		}
+	case "preempt":
+		fmt.Println(experiments.RenderSaturationPreemptions(experiments.SaturationPreemptions(p)))
+	case "table2":
+		tp := experiments.Table2Params()
+		if quick {
+			tp = p
+		}
+		tp.Seed = p.Seed
+		rows := experiments.Table2(tp)
+		if csv {
+			fmt.Print(experiments.Table2CSV(rows))
+		} else {
+			fmt.Println(experiments.RenderTable2(rows))
+		}
+	case "fig5":
+		for _, wl := range []experiments.Adversarial{experiments.Workload1, experiments.Workload2} {
+			rows := experiments.Fig5(wl, p)
+			if csv {
+				fmt.Print(experiments.Fig5CSV(rows))
+			} else {
+				fmt.Println(experiments.RenderFig5(wl, rows))
+			}
+		}
+	case "fig6":
+		for _, wl := range []experiments.Adversarial{experiments.Workload1, experiments.Workload2} {
+			rows := experiments.Fig6(wl, p)
+			if csv {
+				fmt.Print(experiments.Fig6CSV(rows))
+			} else {
+				fmt.Println(experiments.RenderFig6(wl, rows))
+			}
+		}
+	case "fig7":
+		rows := experiments.Fig7()
+		if csv {
+			fmt.Print(experiments.Fig7CSV(rows))
+		} else {
+			fmt.Println(experiments.RenderFig7(rows))
+		}
+	case "chip":
+		fmt.Println(experiments.RenderChipCost(experiments.ChipCost()))
+	case "motivation":
+		rows := experiments.Motivation(topology.MeshX1, p)
+		fmt.Println(experiments.RenderMotivation(topology.MeshX1, rows))
+	case "ablate":
+		fmt.Println(experiments.RenderAblation(
+			"Ablation: PVC frame duration (hotspot fairness, DPS)", "frame",
+			experiments.AblateFrame(topology.DPS, experiments.DefaultFrameSweep, p)))
+		fmt.Println(experiments.RenderAblation(
+			"Ablation: priority quantum (hotspot fairness, DPS)", "quantum",
+			experiments.AblateQuantum(topology.DPS, experiments.DefaultQuantumSweep, p)))
+		fmt.Println(experiments.RenderAblation(
+			"Ablation: retransmission window (single fast distant flow, mesh x1)", "window",
+			experiments.AblateWindow(topology.MeshX1, experiments.DefaultWindowSweep, p)))
+		fmt.Println(experiments.RenderMarginAblation(
+			experiments.AblateMargin(topology.MeshX1, experiments.DefaultMarginSweep, p)))
+		fmt.Println(experiments.RenderQuotaAblation(
+			experiments.AblateQuota(topology.MeshX1, p)))
+	case "all":
+		for _, e := range []string{"fig3", "fig4a", "fig4b", "preempt", "table2", "fig5", "fig6", "fig7", "chip", "motivation"} {
+			if err := run(e, p, quick, csv); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package tanoq is a from-scratch reproduction of "Topology-aware
+// Quality-of-Service Support in Highly Integrated Chip Multiprocessors"
+// (Grot, Keckler, Mutlu — WIOSCA 2010).
+//
+// The library models the paper's complete system stack:
+//
+//   - a cycle-driven, virtual cut-through network-on-chip simulator for the
+//     QoS-enabled shared region of a highly integrated CMP
+//     (internal/network),
+//   - the Preemptive Virtual Clock QoS scheme with flow-state tables,
+//     frames, reserved quotas, preemption, the dedicated ACK network and
+//     source retransmission windows (internal/qos, internal/network),
+//   - five shared-region topologies: mesh x1/x2/x4, MECS and Destination
+//     Partitioned Subnets (internal/topology),
+//   - synthetic traffic generators including the paper's adversarial
+//     preemption workloads (internal/traffic),
+//   - Orion/CACTI-style analytical area and energy models at 32 nm
+//     (internal/physical),
+//   - the chip-level topology-aware architecture: a 256-tile CMP with 4-way
+//     concentration, convex VM domains, shared-resource columns and the OS
+//     placement contract (internal/chip, internal/core),
+//   - one experiment driver per table and figure in the paper's evaluation
+//     (internal/experiments, cmd/noctool).
+//
+// The root package exists to host repository-level benchmarks
+// (bench_test.go); the programmable surface lives in the internal packages
+// and is exercised by the examples under examples/.
+package tanoq

@@ -1,0 +1,52 @@
+// Adversary: the paper's Section 5.3 threat model made concrete. A cloud
+// tenant crafts traffic to trigger preemption storms against PVC — only a
+// subset of sources transmits, so reserved quotas exhaust early in every
+// frame — and the example shows both of the paper's findings:
+//
+//  1. preemptions happen (Figure 5), widely varying by topology, with the
+//     replicated meshes thrashing and mesh x1/DPS discarding mostly near
+//     the source;
+//
+//  2. the attack barely works: completion-time slowdown versus an ideal
+//     preemption-free per-flow-queue network stays in single digits, and
+//     every source still receives ~its max-min fair share (Figure 6).
+//
+//     go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+
+	"tanoq/internal/experiments"
+	"tanoq/internal/topology"
+)
+
+func main() {
+	p := experiments.Params{Seed: 7, Warmup: 2_000, Measure: 100_000}
+
+	fmt.Println("== Adversarial Workload 1: eight terminals, rates 5-20%, one hotspot ==")
+	fmt.Println()
+	rows := experiments.Fig5(experiments.Workload1, p)
+	fmt.Println(experiments.RenderFig5(experiments.Workload1, rows))
+
+	fmt.Println("== Adversarial Workload 2: all eight injectors of the farthest node ==")
+	fmt.Println()
+	rows2 := experiments.Fig5(experiments.Workload2, p)
+	fmt.Println(experiments.RenderFig5(experiments.Workload2, rows2))
+
+	fmt.Println("== Damage assessment: slowdown vs preemption-free per-flow queueing ==")
+	fmt.Println()
+	f6 := experiments.Fig6(experiments.Workload1, experiments.Params{Seed: 7, Measure: 100_000})
+	fmt.Println(experiments.RenderFig6(experiments.Workload1, f6))
+
+	worst := 0.0
+	worstKind := topology.MeshX1
+	for _, r := range f6 {
+		if r.SlowdownPct > worst {
+			worst, worstKind = r.SlowdownPct, r.Kind
+		}
+	}
+	fmt.Printf("verdict: the attack's worst-case slowdown is %.1f%% (%v) — the\n", worst, worstKind)
+	fmt.Println("preemption-throttling machinery (reserved quotas, hysteresis, windows)")
+	fmt.Println("absorbs the storm while max-min fairness holds.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: simulate the paper's QoS-enabled shared region in a few
+// lines — a DPS column with Preemptive Virtual Clock, uniform random
+// traffic, and the headline metrics printed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"tanoq/internal/network"
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+func main() {
+	// The shared region: one column of 8 nodes, 64 traffic injectors
+	// (each node's terminal plus its seven MECS row inputs), all
+	// provisioned with equal QoS rates.
+	workload := traffic.UniformRandom(topology.ColumnNodes, 0.08)
+	net := network.MustNew(network.Config{
+		Kind:     topology.DPS, // the paper's new topology
+		QoS:      qos.DefaultConfig(workload.TotalFlows()),
+		Workload: workload,
+		Seed:     1,
+	})
+
+	// Warm the network up, then measure a window.
+	net.WarmupAndMeasure(10_000, 50_000)
+
+	st := net.Stats()
+	fmt.Println("tanoq quickstart — DPS shared region, uniform random @ 8%")
+	fmt.Printf("  delivered packets:     %d\n", st.TotalDelivered)
+	fmt.Printf("  mean packet latency:   %.1f cycles\n", st.MeanLatency())
+	fmt.Printf("  accepted throughput:   %.3f flits/cycle\n", st.AcceptedFlitRate(net.Now()))
+	fmt.Printf("  preemption rate:       %.2f%% of packets\n", st.PreemptionPacketRate())
+	fmt.Printf("  wasted hop traversals: %.2f%%\n", st.WastedHopRate())
+
+	// Per-flow fairness: with equal assigned rates and a benign pattern,
+	// every injector should see comparable service.
+	var lo, hi int64 = 1 << 62, 0
+	for _, flits := range st.FlitsByFlow() {
+		if flits < lo {
+			lo = flits
+		}
+		if flits > hi {
+			hi = flits
+		}
+	}
+	fmt.Printf("  per-flow flits:        min %d, max %d\n", lo, hi)
+}

@@ -1,0 +1,52 @@
+// Topologysweep: the designer's view of Section 5 — for each candidate
+// shared-region interconnect, one summary line combining the four axes the
+// paper evaluates: zero-load latency and saturation throughput (Figure 4),
+// router area (Figure 3), and multi-hop energy (Figure 7). This is the
+// comparison that motivates DPS: mesh-like cost with MECS-like latency and
+// energy on multi-hop transfers.
+//
+//	go run ./examples/topologysweep
+package main
+
+import (
+	"fmt"
+
+	"tanoq/internal/network"
+	"tanoq/internal/physical"
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+func measure(kind topology.Kind, rate float64) (latency, accepted float64) {
+	w := traffic.UniformRandom(topology.ColumnNodes, rate)
+	n := network.MustNew(network.Config{
+		Kind:     kind,
+		QoS:      qos.DefaultConfig(w.TotalFlows()),
+		Workload: w,
+		Seed:     11,
+	})
+	n.WarmupAndMeasure(5_000, 25_000)
+	return n.Stats().MeanLatency(), n.Stats().AcceptedFlitRate(n.Now())
+}
+
+func main() {
+	fmt.Println("shared-region topology comparison (8-node column, PVC QoS)")
+	fmt.Println()
+	fmt.Printf("%-9s %12s %14s %12s %13s %12s\n",
+		"topology", "lat@2% (cy)", "accept@14%", "area (mm2)", "3-hop (nJ)", "bisection")
+	for _, kind := range topology.Kinds() {
+		low, _ := measure(kind, 0.02)
+		_, acc := measure(kind, 0.14)
+		s := topology.StructureOf(kind, topology.ColumnNodes,
+			topology.ColumnNodes*topology.InjectorsPerNode)
+		area := physical.RouterArea(s).Total()
+		energy := physical.RouteEnergy(s, 3).Total()
+		fmt.Printf("%-9s %12.1f %14.3f %12.4f %13.1f %12d\n",
+			kind, low, acc, area, energy, kind.BisectionChannels(topology.ColumnNodes))
+	}
+	fmt.Println()
+	fmt.Println("reading guide: DPS matches MECS's latency and multi-hop energy at a")
+	fmt.Println("fraction of its buffer area; the baseline mesh is cheapest but slow and")
+	fmt.Println("bandwidth-starved; replicating the mesh buys bandwidth with crossbar area.")
+}

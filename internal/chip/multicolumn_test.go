@@ -1,0 +1,144 @@
+package chip
+
+import (
+	"testing"
+)
+
+// Multi-column chips: the paper allows "one or more" shared-resource
+// columns; these tests pin down routing, rate programming and isolation
+// when two columns are configured.
+
+func twoColChip(t *testing.T) *Chip {
+	t.Helper()
+	c, err := New(Config{Width: 8, Height: 8, SharedCols: []int{2, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTwoColumnLayout(t *testing.T) {
+	c := twoColChip(t)
+	sharedNodes := 0
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if c.IsShared(Coord{x, y}) {
+				sharedNodes++
+				if x != 2 && x != 6 {
+					t.Fatalf("unexpected shared node at (%d,%d)", x, y)
+				}
+			}
+		}
+	}
+	if sharedNodes != 16 {
+		t.Fatalf("%d shared nodes, want 16", sharedNodes)
+	}
+}
+
+func TestInterVMUsesNearestColumn(t *testing.T) {
+	c := twoColChip(t)
+	// A source at x=7 should transit column 6, not column 2.
+	r, err := c.RouteInterVM(Coord{7, 0}, Coord{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range r.Hops {
+		if !h.Ch.Row && h.Ch.Owner.X != 6 {
+			t.Fatalf("vertical hop outside nearest shared column: %+v", h)
+		}
+	}
+	// And a source at x=0 transits column 2.
+	r, err = c.RouteInterVM(Coord{0, 0}, Coord{1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range r.Hops {
+		if !h.Ch.Row && h.Ch.Owner.X != 2 {
+			t.Fatalf("vertical hop outside nearest shared column: %+v", h)
+		}
+	}
+}
+
+func TestVMRatesPerColumn(t *testing.T) {
+	c := twoColChip(t)
+	if _, err := c.AllocateDomain(1, []Coord{{X: 0, Y: 0}, {X: 1, Y: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []int{2, 6} {
+		rates, err := c.VMRates(col, map[VMID]float64{1: 0.5})
+		if err != nil {
+			t.Fatalf("column %d: %v", col, err)
+		}
+		f, err := c.ColumnFlow(Coord{X: 0, Y: 0}, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rates[f] != 0.25 {
+			t.Errorf("column %d: rate %v, want 0.25", col, rates[f])
+		}
+	}
+}
+
+func TestColumnInjectorRanksSkipOwnColumn(t *testing.T) {
+	c := twoColChip(t)
+	// Row inputs rank by X, skipping only the target shared column —
+	// the other shared column's nodes are row inputs like any other.
+	_, inj, err := c.ColumnInjector(Coord{X: 6, Y: 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != 6 { // x = 6 is the 6th non-col-2 position (0,1,3,4,5,6 -> rank 6)
+		t.Errorf("injector %d, want 6", inj)
+	}
+	seen := map[int]bool{}
+	for x := 0; x < 8; x++ {
+		_, inj, err := c.ColumnInjector(Coord{X: x, Y: 3}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[inj] {
+			t.Fatalf("duplicate injector %d in row", inj)
+		}
+		seen[inj] = true
+	}
+}
+
+func TestIsolationAcrossTwoColumns(t *testing.T) {
+	c := twoColChip(t)
+	if _, err := c.AllocateDomain(1, []Coord{{X: 0, Y: 0}, {X: 1, Y: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocateDomain(2, []Coord{{X: 7, Y: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.RouteInterVM(Coord{X: 0, Y: 0}, Coord{X: 7, Y: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.RouteInterVM(Coord{X: 7, Y: 7}, Coord{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []Flow{{VM: 1, Route: r1}, {VM: 2, Route: r2}}
+	if v := c.VerifyIsolation(flows); len(v) != 0 {
+		t.Fatalf("two-column inter-VM routing flagged: %v", v)
+	}
+}
+
+func TestAutoAllocateAvoidsBothColumns(t *testing.T) {
+	c := twoColChip(t)
+	// 48 compute nodes remain (64 - 16 shared); a wide allocation must
+	// thread between the shared columns.
+	d, err := c.AutoAllocate(1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range d.Nodes {
+		if at.X == 2 || at.X == 6 {
+			t.Fatalf("allocated shared node %v", at)
+		}
+	}
+	if !IsConvex(d.Nodes) {
+		t.Fatal("allocation not convex")
+	}
+}

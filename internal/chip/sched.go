@@ -1,0 +1,139 @@
+package chip
+
+import (
+	"fmt"
+	"sort"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/topology"
+)
+
+// ScheduleThreads places a VM's threads onto the core tiles of its domain,
+// in node order. It enforces the co-scheduling rule by construction: a
+// node's terminals only ever host threads of the node's owning VM.
+func (c *Chip) ScheduleThreads(vm VMID, threads []int) error {
+	d := c.domains[vm]
+	if d == nil {
+		return fmt.Errorf("chip: VM %d has no domain", vm)
+	}
+	capacity := 0
+	for _, at := range d.Nodes {
+		capacity += c.Node(at).Cores()
+	}
+	if len(threads) > capacity {
+		return fmt.Errorf("chip: VM %d has %d core tiles for %d threads", vm, capacity, len(threads))
+	}
+	i := 0
+	for _, at := range d.Nodes {
+		n := c.Node(at)
+		for t := range n.Terminals {
+			if n.Terminals[t].Kind != TileCore || i >= len(threads) {
+				continue
+			}
+			if n.Terminals[t].Thread >= 0 {
+				return fmt.Errorf("chip: core %d at %v already runs thread %d", t, at, n.Terminals[t].Thread)
+			}
+			n.Terminals[t].Thread = threads[i]
+			i++
+		}
+	}
+	return nil
+}
+
+// VerifyCoScheduling audits the whole chip for the OS rule that only
+// threads of a single VM run on any node — the property that lets row
+// channels go without QoS hardware.
+func (c *Chip) VerifyCoScheduling() error {
+	for y := 0; y < c.cfg.Height; y++ {
+		for x := 0; x < c.cfg.Width; x++ {
+			n := c.nodes[y][x]
+			for t, term := range n.Terminals {
+				if term.Thread >= 0 && n.VM == NoVM {
+					return fmt.Errorf("chip: node %v terminal %d runs a thread with no owning VM", n.Coord, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ColumnInjector maps a chip-level source node to its injector position in
+// the shared-column network simulator: traffic from row Y enters column
+// node Y; the injector index is 0 for the column node's own terminal and
+// 1..7 for the row inputs, ranked by source X coordinate. This is the
+// bridge between the chip model and the cycle-level shared-region
+// simulation.
+func (c *Chip) ColumnInjector(src Coord, sharedCol int) (noc.NodeID, int, error) {
+	if !c.inBounds(src) {
+		return 0, 0, fmt.Errorf("chip: source %v outside grid", src)
+	}
+	if !c.IsShared(Coord{sharedCol, src.Y}) {
+		return 0, 0, fmt.Errorf("chip: column %d is not shared", sharedCol)
+	}
+	node := noc.NodeID(src.Y)
+	if src.X == sharedCol {
+		return node, 0, nil
+	}
+	rank := 1
+	for x := 0; x < c.cfg.Width; x++ {
+		if x == sharedCol {
+			continue
+		}
+		if x == src.X {
+			return node, rank, nil
+		}
+		rank++
+	}
+	return 0, 0, fmt.Errorf("chip: source %v not found in row", src)
+}
+
+// ColumnFlow returns the QoS flow ID of a chip node's traffic in the
+// shared column's network.
+func (c *Chip) ColumnFlow(src Coord, sharedCol int) (noc.FlowID, error) {
+	node, inj, err := c.ColumnInjector(src, sharedCol)
+	if err != nil {
+		return 0, err
+	}
+	return noc.FlowID(int(node)*topology.InjectorsPerNode + inj), nil
+}
+
+// VMRates builds a per-flow service-rate vector for the shared column:
+// each VM's bandwidth share is split evenly across its nodes' injectors,
+// and unallocated flows receive a small residual rate (PVC requires
+// strictly positive rates). This is the memory-mapped-register programming
+// the OS performs on QoS-enabled routers (Section 2.2).
+func (c *Chip) VMRates(sharedCol int, shares map[VMID]float64) ([]float64, error) {
+	if !c.IsShared(Coord{sharedCol, 0}) {
+		return nil, fmt.Errorf("chip: column %d is not shared", sharedCol)
+	}
+	flows := c.cfg.Height * topology.InjectorsPerNode
+	rates := make([]float64, flows)
+	const residual = 1e-3
+	for i := range rates {
+		rates[i] = residual
+	}
+	vms := make([]VMID, 0, len(shares))
+	for vm := range shares {
+		vms = append(vms, vm)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	for _, vm := range vms {
+		share := shares[vm]
+		d := c.domains[vm]
+		if d == nil {
+			return nil, fmt.Errorf("chip: VM %d has no domain", vm)
+		}
+		if share <= 0 {
+			return nil, fmt.Errorf("chip: VM %d share %v must be positive", vm, share)
+		}
+		per := share / float64(len(d.Nodes))
+		for _, at := range d.Nodes {
+			f, err := c.ColumnFlow(at, sharedCol)
+			if err != nil {
+				return nil, err
+			}
+			rates[f] = per
+		}
+	}
+	return rates, nil
+}

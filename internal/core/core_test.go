@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"tanoq/internal/chip"
+	"tanoq/internal/qos"
+	"tanoq/internal/stats"
+	"tanoq/internal/topology"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chip.SharedCols = nil
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("system without shared columns accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.RegionKind = topology.Kind(99)
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("unknown region topology accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.FrameCycles = 0
+	s, err := NewSystem(cfg)
+	if err != nil || s == nil {
+		t.Fatal("zero frame should default, not fail")
+	}
+}
+
+func TestFigure1bScenario(t *testing.T) {
+	// The paper's Figure 1(b): three VMs in convex domains around a
+	// shared column, with all invariants holding.
+	s := newSys(t)
+	if _, err := s.AllocateVM(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocateVM(2, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocateVM(3, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ScheduleThreads(1, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+func TestBuildSharedRegionAndGuarantees(t *testing.T) {
+	// Two VMs with equal SLAs but very different offered loads: under
+	// PVC the aggressor cannot push the victim below its share.
+	s := newSys(t)
+	if _, err := s.AllocateVM(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocateVM(2, 8); err != nil {
+		t.Fatal(err)
+	}
+	loads := []MemoryLoad{
+		{VM: 1, Share: 0.5, Offered: 0.4}, // victim, under its share
+		{VM: 2, Share: 0.5, Offered: 1.6}, // aggressor, 3x oversubscribed
+	}
+	n, err := s.BuildSharedRegion(qos.PVC, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.WarmupAndMeasure(5000, 30000)
+	tp, err := s.VMThroughput(n, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp[1] == 0 || tp[2] == 0 {
+		t.Fatalf("throughput missing: %v", tp)
+	}
+	// The victim offered 0.4 flits/cycle over 30000 cycles = 12000
+	// flits; with QoS it should receive nearly all of it.
+	victimRate := float64(tp[1]) / 30000
+	if victimRate < 0.8*0.4 {
+		t.Errorf("victim accepted %.3f flits/cycle under PVC, want ~0.4", victimRate)
+	}
+}
+
+func TestVMThroughputErrors(t *testing.T) {
+	s := newSys(t)
+	if _, err := s.AllocateVM(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BuildSharedRegion(qos.PVC, []MemoryLoad{{VM: 9, Share: 0.5, Offered: 0.1}}); err == nil {
+		t.Fatal("missing VM accepted")
+	}
+	if _, err := s.BuildSharedRegion(qos.PVC, []MemoryLoad{{VM: 1, Share: 0.5, Offered: -1}}); err == nil {
+		t.Fatal("negative offered load accepted")
+	}
+}
+
+func TestCostReport(t *testing.T) {
+	s := newSys(t)
+	r := s.Cost()
+	if r.RoutersTotal != 64 || r.RoutersWithQoS != 8 {
+		t.Fatalf("router counts %d/%d, want 64/8", r.RoutersWithQoS, r.RoutersTotal)
+	}
+	// The headline claim: forgoing QoS in the larger part of the die —
+	// 7/8 of the QoS hardware budget here.
+	if r.SavedAreaFraction < 0.85 || r.SavedAreaFraction >= 1 {
+		t.Errorf("saved fraction %.2f, want 7/8", r.SavedAreaFraction)
+	}
+	if r.QoSAreaPerRouter <= 0 || r.SavedArea <= 0 {
+		t.Error("cost report has non-positive areas")
+	}
+	if r.BaselineQoSArea <= r.TopoAwareQoSArea {
+		t.Error("baseline must cost more than the topology-aware design")
+	}
+}
+
+func TestIsolationVersusStarvationEndToEnd(t *testing.T) {
+	// The full story in one test: same chip, same traffic; round-robin
+	// arbitration starves the distant VM, PVC protects it.
+	run := func(mode qos.Mode) map[chip.VMID]int64 {
+		s := newSys(t)
+		// VM 1 sits far from the hotspot rows, VM 2 close by.
+		far := []chip.Coord{{X: 0, Y: 6}, {X: 1, Y: 6}, {X: 0, Y: 7}, {X: 1, Y: 7}}
+		near := []chip.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}}
+		if _, err := s.Chip().AllocateDomain(1, far); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Chip().AllocateDomain(2, near); err != nil {
+			t.Fatal(err)
+		}
+		loads := []MemoryLoad{
+			{VM: 1, Share: 0.5, Offered: 0.8},
+			{VM: 2, Share: 0.5, Offered: 0.8},
+		}
+		n, err := s.BuildSharedRegion(mode, loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.WarmupAndMeasure(5000, 25000)
+		tp, err := s.VMThroughput(n, loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	pvc := run(qos.PVC)
+	ratioPVC := float64(pvc[1]) / float64(pvc[2])
+	if ratioPVC < 0.8 || ratioPVC > 1.25 {
+		t.Errorf("PVC VM throughput ratio %.2f, want ~1 (got %v)", ratioPVC, pvc)
+	}
+	// Sanity: the fairness metric across VMs is high under PVC.
+	vals := []float64{float64(pvc[1]), float64(pvc[2])}
+	if j := stats.JainIndex(vals); j < 0.99 {
+		t.Errorf("PVC Jain index %.4f", j)
+	}
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tanoq/internal/network"
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/stats"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: sweeps over
+// the PVC design parameters whose values the paper fixes (frame length,
+// priority quantization, preemption hysteresis, retransmission window,
+// reserved quota) showing why each sits where it does. Every ablation
+// runs the saturating hotspot workload — the configuration under which
+// each mechanism is load-bearing — on a single topology and reports
+// fairness dispersion and preemption incidence.
+
+// AblationRow is one design point of a parameter sweep.
+type AblationRow struct {
+	// Value is the swept parameter (unit depends on the sweep).
+	Value int64
+	// MaxDevPct is the worst per-flow throughput deviation from the
+	// mean, in percent (fairness).
+	MaxDevPct float64
+	// StdDevPct is the dispersion of per-flow throughput.
+	StdDevPct float64
+	// PreemptPct is the preemption event rate over delivered packets.
+	PreemptPct float64
+	// MeanLatency in cycles.
+	MeanLatency float64
+	// AcceptedRate is delivered flits per cycle (used by the window
+	// sweep, where the window caps per-flow bandwidth).
+	AcceptedRate float64
+}
+
+// ablateHotspot runs the hotspot workload with a customized QoS config
+// and summarizes fairness and preemption.
+func ablateHotspot(kind topology.Kind, mut func(*qos.Config), p Params) AblationRow {
+	w := traffic.Hotspot(topology.ColumnNodes, hotspotRate)
+	cfg := defaultQoS(qos.PVC)
+	mut(&cfg)
+	n := network.MustNew(network.Config{
+		Kind:     kind,
+		Nodes:    topology.ColumnNodes,
+		QoS:      cfg,
+		Workload: w,
+		Seed:     p.Seed,
+	})
+	n.WarmupAndMeasure(p.Warmup, p.Measure)
+	st := n.Stats()
+	flits := make([]float64, 0, FlowPopulation)
+	for _, v := range st.FlitsByFlow() {
+		flits = append(flits, float64(v))
+	}
+	sum := stats.Summarize(flits)
+	return AblationRow{
+		MaxDevPct:   sum.MaxDeviationPct(),
+		StdDevPct:   sum.StdDevPctOfMean(),
+		PreemptPct:  st.PreemptionPacketRate(),
+		MeanLatency: st.MeanLatency(),
+	}
+}
+
+// DefaultFrameSweep is the frame-length grid (cycles).
+var DefaultFrameSweep = []sim.Cycle{12_500, 25_000, 50_000, 100_000}
+
+// AblateFrame sweeps the PVC frame duration. Shorter frames give
+// finer-grained guarantees (counters reset more often, so transient
+// imbalances are forgiven quickly) at the cost of more frequent priority
+// upheaval; 50 K cycles is the paper's operating point.
+func AblateFrame(kind topology.Kind, frames []sim.Cycle, p Params) []AblationRow {
+	var out []AblationRow
+	for _, f := range frames {
+		frame := f
+		row := ablateHotspot(kind, func(c *qos.Config) { c.FrameCycles = frame }, p)
+		row.Value = int64(frame)
+		out = append(out, row)
+	}
+	return out
+}
+
+// DefaultQuantumSweep is the priority-quantization grid (flits).
+var DefaultQuantumSweep = []int{4, 8, 32, 128, 512}
+
+// AblateQuantum sweeps the priority quantum: how many flits of bandwidth
+// one priority class spans. Fine quanta propagate service imbalances to
+// distributed arbiters within a couple of packets; coarse quanta leave
+// merge points tie-broken for long stretches and fairness decays — the
+// distributed-topology failure mode quantization exists to prevent.
+func AblateQuantum(kind topology.Kind, quanta []int, p Params) []AblationRow {
+	var out []AblationRow
+	for _, q := range quanta {
+		quantum := q
+		row := ablateHotspot(kind, func(c *qos.Config) { c.QuantumFlits = quantum }, p)
+		row.Value = int64(quantum)
+		out = append(out, row)
+	}
+	return out
+}
+
+// DefaultWindowSweep is the retransmission-window grid (packets).
+var DefaultWindowSweep = []int{1, 2, 4, 8, 32}
+
+// AblateWindow sweeps the per-source outstanding-packet window against a
+// single high-rate flow crossing the whole column: a source may not have
+// more than window unacknowledged packets in the network, so its accepted
+// bandwidth is capped at roughly window x packet / round-trip — the
+// classic windowed-protocol ceiling. The window must cover the delivery +
+// ACK round trip of the fastest flow it should not throttle.
+func AblateWindow(kind topology.Kind, windows []int, p Params) []AblationRow {
+	far := noc.NodeID(topology.ColumnNodes - 1)
+	w := traffic.Workload{Name: "window-probe", Nodes: topology.ColumnNodes}
+	w.Specs = append(w.Specs, traffic.Spec{
+		Flow:            traffic.FlowOf(far, 0),
+		Node:            far,
+		Rate:            0.9,
+		RequestFraction: traffic.DefaultRequestFraction,
+		Dest:            func(*sim.RNG) noc.NodeID { return traffic.HotspotNode },
+	})
+	var out []AblationRow
+	for _, wnd := range windows {
+		cfg := defaultQoS(qos.PVC)
+		cfg.WindowPackets = wnd
+		n := network.MustNew(network.Config{
+			Kind: kind, Nodes: topology.ColumnNodes,
+			QoS: cfg, Workload: w, Seed: p.Seed,
+		})
+		n.WarmupAndMeasure(p.Warmup, p.Measure)
+		st := n.Stats()
+		out = append(out, AblationRow{
+			Value:        int64(wnd),
+			MeanLatency:  st.MeanLatency(),
+			AcceptedRate: st.AcceptedFlitRate(n.Now()),
+		})
+	}
+	return out
+}
+
+// DefaultMarginSweep is the preemption-hysteresis grid (classes).
+var DefaultMarginSweep = []int{1, 8, 64, 256}
+
+// MarginAblationRow extends the sweep with the adversarial-workload
+// preemption incidence, where the margin's trade-off lives.
+type MarginAblationRow struct {
+	MarginClasses int
+	// Adversarial Workload 1 preemption rates (Figure 5's metrics).
+	PacketsPct float64
+	HopsPct    float64
+	// Hotspot fairness under the same margin.
+	MaxDevPct float64
+}
+
+// AblateMargin sweeps the preemption hysteresis. Tiny margins discard on
+// every statistical wobble (bandwidth burned on replays); huge margins
+// stop resolving real inversions. The sweep shows the adversarial
+// preemption rate falling with the margin while hotspot fairness stays
+// flat — preemption is a safety valve, not the fairness mechanism.
+func AblateMargin(kind topology.Kind, margins []int, p Params) []MarginAblationRow {
+	var out []MarginAblationRow
+	for _, m := range margins {
+		margin := m
+		mut := func(c *qos.Config) { c.MarginClasses = margin }
+
+		w := traffic.Workload1(topology.ColumnNodes, 0)
+		cfg := defaultQoS(qos.PVC)
+		mut(&cfg)
+		n := network.MustNew(network.Config{
+			Kind: kind, Nodes: topology.ColumnNodes,
+			QoS: cfg, Workload: w, Seed: p.Seed,
+		})
+		n.WarmupAndMeasure(p.Warmup, p.Measure)
+		st := n.Stats()
+
+		hotspot := ablateHotspot(kind, mut, p)
+		out = append(out, MarginAblationRow{
+			MarginClasses: margin,
+			PacketsPct:    st.PreemptionPacketRate(),
+			HopsPct:       st.WastedHopRate(),
+			MaxDevPct:     hotspot.MaxDevPct,
+		})
+	}
+	return out
+}
+
+// QuotaAblationRow compares PVC with and without its reserved
+// (rate-compliant) quota under the adversarial workload.
+type QuotaAblationRow struct {
+	QuotaEnabled bool
+	PacketsPct   float64
+	HopsPct      float64
+	MeanLatency  float64
+}
+
+// AblateQuota toggles the reserved quota under the saturating hotspot with
+// an eager (margin 1) preemption setting — the regime where the quota is
+// load-bearing: with it, every source transmitting within its allocation
+// is rate-compliant and non-preemptable, and discards vanish ("with all
+// sources transmitting, virtually all packets fall under the reserved
+// cap, throttling preemptions", Section 5.3); without it, the same
+// statistical wobbles turn into discards.
+func AblateQuota(kind topology.Kind, p Params) []QuotaAblationRow {
+	var out []QuotaAblationRow
+	for _, enabled := range []bool{true, false} {
+		cfg := defaultQoS(qos.PVC)
+		cfg.DisableReservedQuota = !enabled
+		cfg.MarginClasses = 1
+		w := traffic.Hotspot(topology.ColumnNodes, hotspotRate)
+		n := network.MustNew(network.Config{
+			Kind: kind, Nodes: topology.ColumnNodes,
+			QoS: cfg, Workload: w, Seed: p.Seed,
+		})
+		n.WarmupAndMeasure(p.Warmup, p.Measure)
+		st := n.Stats()
+		out = append(out, QuotaAblationRow{
+			QuotaEnabled: enabled,
+			PacketsPct:   st.PreemptionPacketRate(),
+			HopsPct:      st.WastedHopRate(),
+			MeanLatency:  st.MeanLatency(),
+		})
+	}
+	return out
+}
+
+// RenderAblation prints a generic parameter sweep.
+func RenderAblation(title, unit string, rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	fmt.Fprintf(&b, "%12s %12s %12s %12s %12s %12s\n", unit, "max dev", "stddev", "preempt", "latency", "accepted")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12d %11.1f%% %11.1f%% %11.2f%% %12.1f %12.3f\n",
+			r.Value, r.MaxDevPct, r.StdDevPct, r.PreemptPct, r.MeanLatency, r.AcceptedRate)
+	}
+	return b.String()
+}
+
+// RenderMarginAblation prints the hysteresis sweep.
+func RenderMarginAblation(rows []MarginAblationRow) string {
+	var b strings.Builder
+	b.WriteString(header("Ablation: preemption hysteresis (adversarial workload 1 + hotspot)"))
+	fmt.Fprintf(&b, "%12s %12s %12s %14s\n", "margin", "packets", "hops", "hotspot dev")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12d %11.1f%% %11.1f%% %13.1f%%\n",
+			r.MarginClasses, r.PacketsPct, r.HopsPct, r.MaxDevPct)
+	}
+	return b.String()
+}
+
+// RenderQuotaAblation prints the reserved-quota toggle.
+func RenderQuotaAblation(rows []QuotaAblationRow) string {
+	var b strings.Builder
+	b.WriteString(header("Ablation: reserved (rate-compliant) quota under adversarial workload 1"))
+	fmt.Fprintf(&b, "%12s %12s %12s %12s\n", "quota", "packets", "hops", "latency")
+	for _, r := range rows {
+		state := "off"
+		if r.QuotaEnabled {
+			state = "on"
+		}
+		fmt.Fprintf(&b, "%12s %11.1f%% %11.1f%% %12.1f\n", state, r.PacketsPct, r.HopsPct, r.MeanLatency)
+	}
+	return b.String()
+}

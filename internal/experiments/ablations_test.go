@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+)
+
+func ablTiny() Params { return Params{Seed: 42, Warmup: 3_000, Measure: 20_000} }
+
+func TestAblateQuantumFairnessDecaysWhenCoarse(t *testing.T) {
+	rows := AblateQuantum(topology.DPS, []int{8, 512}, ablTiny())
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	fine, coarse := rows[0], rows[1]
+	if fine.Value != 8 || coarse.Value != 512 {
+		t.Fatal("sweep values not preserved")
+	}
+	// The load-bearing claim: fine quanta keep the distributed DPS
+	// merges fair; coarse quanta let them drift.
+	if coarse.MaxDevPct <= fine.MaxDevPct {
+		t.Errorf("coarse quantum (dev %.1f%%) should be less fair than fine (%.1f%%)",
+			coarse.MaxDevPct, fine.MaxDevPct)
+	}
+	if fine.MaxDevPct > 8 {
+		t.Errorf("fine quantum deviation %.1f%%, want small", fine.MaxDevPct)
+	}
+}
+
+func TestAblateWindowCapsBandwidth(t *testing.T) {
+	rows := AblateWindow(topology.MeshX1, []int{1, 32}, ablTiny())
+	tiny, big := rows[0], rows[1]
+	// A 1-packet window stops-and-waits: accepted bandwidth collapses
+	// to ~packet/RTT; a 32-packet window passes the offered load.
+	if tiny.AcceptedRate >= 0.6*big.AcceptedRate {
+		t.Errorf("window 1 accepted %.3f f/c vs window 32 %.3f — expected a hard cap",
+			tiny.AcceptedRate, big.AcceptedRate)
+	}
+	if big.AcceptedRate < 0.7 {
+		t.Errorf("large window accepted only %.3f f/c of 0.9 offered", big.AcceptedRate)
+	}
+}
+
+func TestAblateFrameFairnessHolds(t *testing.T) {
+	// Fairness should hold across frame durations on the centralized
+	// MECS arbiter; the frame sets guarantee granularity, not fairness.
+	rows := AblateFrame(topology.MECS, []sim.Cycle{12_500, 50_000}, ablTiny())
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxDevPct > 10 {
+			t.Errorf("frame %d: deviation %.1f%%", r.Value, r.MaxDevPct)
+		}
+	}
+	out := RenderAblation("Ablation: frame", "frame", rows)
+	if !strings.Contains(out, "12500") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestAblateMarginTradeoff(t *testing.T) {
+	rows := AblateMargin(topology.MeshX1, []int{1, 256}, ablTiny())
+	eager, lazy := rows[0], rows[1]
+	// Eager preemption (margin 1) must discard more than a huge margin.
+	if eager.PacketsPct < lazy.PacketsPct {
+		t.Errorf("margin 1 preempted %.1f%%, margin 256 %.1f%% — expected the opposite ordering",
+			eager.PacketsPct, lazy.PacketsPct)
+	}
+	out := RenderMarginAblation(rows)
+	if !strings.Contains(out, "hysteresis") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestAblateQuotaThrottlesPreemptions(t *testing.T) {
+	rows := AblateQuota(topology.MeshX1, Params{Seed: 42, Warmup: 3_000, Measure: 60_000})
+	if len(rows) != 2 || !rows[0].QuotaEnabled || rows[1].QuotaEnabled {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	with, without := rows[0], rows[1]
+	// Section 5.3: the reserved quota is the key preemption throttle.
+	if without.PacketsPct <= with.PacketsPct {
+		t.Errorf("quota off preempted %.1f%%, on %.1f%% — quota should throttle",
+			without.PacketsPct, with.PacketsPct)
+	}
+	out := RenderQuotaAblation(rows)
+	if !strings.Contains(out, "quota") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	rows := []AblationRow{{Value: 8, MaxDevPct: 1.5, StdDevPct: 0.4, PreemptPct: 0.1, MeanLatency: 30}}
+	out := RenderAblation("Ablation: test", "quantum", rows)
+	for _, want := range []string{"quantum", "max dev", "1.5%", "30.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV emitters, one per artifact, for plotting the regenerated figures
+// with external tooling. Columns mirror the paper's axes.
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Fig3CSV renders the area breakdown: topology,row_buf,col_buf,xbar,
+// flow_state,total (mm²).
+func Fig3CSV(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("topology,row_buf_mm2,col_buf_mm2,xbar_mm2,flow_state_mm2,total_mm2\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			csvEscape(r.Kind.String()), r.Area.RowBuffers, r.Area.ColBuffers,
+			r.Area.Crossbar, r.Area.FlowState, r.Area.Total())
+	}
+	return b.String()
+}
+
+// Fig4CSV renders the latency curves: rate_pct then one latency column per
+// topology (the paper's X/Y axes).
+func Fig4CSV(series []Fig4Series) string {
+	var b strings.Builder
+	b.WriteString("rate_pct")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s_latency_cycles,%s_p99_cycles", csvEscape(s.Kind.String()), csvEscape(s.Kind.String()))
+	}
+	b.WriteString("\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%.1f", series[0].Points[i].Rate*100)
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%.2f,%.0f", s.Points[i].MeanLatency, s.Points[i].P99Latency)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table2CSV renders the fairness table: topology,mean,min,max,stddev and
+// the percent-of-mean columns.
+func Table2CSV(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("topology,mean_flits,min_flits,max_flits,stddev_flits,min_pct,max_pct,stddev_pct,preempt_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.0f,%.0f,%.0f,%.2f,%.2f,%.2f,%.2f,%.3f\n",
+			csvEscape(r.Kind.String()), r.Summary.Mean, r.Summary.Min, r.Summary.Max,
+			r.Summary.StdDev, r.Summary.MinPctOfMean(), r.Summary.MaxPctOfMean(),
+			r.Summary.StdDevPctOfMean(), r.PreemptionPct)
+	}
+	return b.String()
+}
+
+// Fig5CSV renders the preemption bars: topology,packets_pct,hops_pct.
+func Fig5CSV(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("topology,packets_pct,hops_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.2f,%.2f\n", csvEscape(r.Kind.String()), r.PacketsPct, r.HopsPct)
+	}
+	return b.String()
+}
+
+// Fig6CSV renders slowdown and deviation: topology,slowdown_pct,
+// avg_dev_pct,min_dev_pct,max_dev_pct.
+func Fig6CSV(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("topology,slowdown_pct,avg_dev_pct,min_dev_pct,max_dev_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.2f,%.2f,%.2f,%.2f\n",
+			csvEscape(r.Kind.String()), r.SlowdownPct, r.AvgDeviationPct,
+			r.MinDeviationPct, r.MaxDeviationPct)
+	}
+	return b.String()
+}
+
+// Fig7CSV renders hop energies: topology,hop_type,buffers_nj,xbar_nj,
+// flow_table_nj,total_nj — long format, one row per (topology, hop type).
+func Fig7CSV(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("topology,hop_type,buffers_nj,xbar_nj,flow_table_nj,total_nj\n")
+	for _, r := range rows {
+		emit := func(name string, e interface {
+			Total() float64
+		}, buffers, xbar, flow float64) {
+			fmt.Fprintf(&b, "%s,%s,%.3f,%.3f,%.3f,%.3f\n",
+				csvEscape(r.Kind.String()), name, buffers, xbar, flow, e.Total())
+		}
+		emit("src", r.Src, r.Src.Buffers, r.Src.Crossbar, r.Src.FlowTable)
+		if r.Intermediate.Total() > 0 {
+			emit("intermediate", r.Intermediate, r.Intermediate.Buffers,
+				r.Intermediate.Crossbar, r.Intermediate.FlowTable)
+		}
+		emit("dest", r.Dest, r.Dest.Buffers, r.Dest.Crossbar, r.Dest.FlowTable)
+		emit("3hops", r.ThreeHops, r.ThreeHops.Buffers, r.ThreeHops.Crossbar, r.ThreeHops.FlowTable)
+	}
+	return b.String()
+}

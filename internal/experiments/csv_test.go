@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tanoq/internal/stats"
+	"tanoq/internal/topology"
+)
+
+func countLines(s string) int {
+	return len(strings.Split(strings.TrimRight(s, "\n"), "\n"))
+}
+
+func TestFig3CSV(t *testing.T) {
+	out := Fig3CSV(Fig3())
+	if countLines(out) != 6 { // header + 5 topologies
+		t.Fatalf("lines = %d:\n%s", countLines(out), out)
+	}
+	if !strings.HasPrefix(out, "topology,row_buf_mm2") {
+		t.Errorf("bad header:\n%s", out)
+	}
+	if !strings.Contains(out, "mesh_x4") {
+		t.Errorf("missing topology row:\n%s", out)
+	}
+}
+
+func TestFig4CSV(t *testing.T) {
+	series := []Fig4Series{
+		{Kind: topology.MeshX1, Points: []Fig4Point{{Rate: 0.05, MeanLatency: 20.5, P99Latency: 44}}},
+		{Kind: topology.DPS, Points: []Fig4Point{{Rate: 0.05, MeanLatency: 11.25, P99Latency: 30}}},
+	}
+	out := Fig4CSV(series)
+	want := "rate_pct,mesh_x1_latency_cycles,mesh_x1_p99_cycles,dps_latency_cycles,dps_p99_cycles\n" +
+		"5.0,20.50,44,11.25,30\n"
+	if out != want {
+		t.Errorf("got:\n%s\nwant:\n%s", out, want)
+	}
+	if Fig4CSV(nil) != "rate_pct\n" {
+		t.Error("empty series should emit only the header")
+	}
+}
+
+func TestMotivationStarvationContrast(t *testing.T) {
+	rows := Motivation(topology.MeshX1, tiny())
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (no-qos, pvc)", len(rows))
+	}
+	noqos, pvc := rows[0], rows[1]
+	// The paper's premise: locally-fair round-robin starves distant
+	// nodes (parking-lot effect); PVC equalizes them.
+	if noqos.NearFarRatio < 5 {
+		t.Errorf("no-QoS near/far ratio %.1f, expected heavy capture", noqos.NearFarRatio)
+	}
+	if pvc.NearFarRatio > 1.3 || pvc.NearFarRatio < 0.77 {
+		t.Errorf("PVC near/far ratio %.2f, expected ~1", pvc.NearFarRatio)
+	}
+	if pvc.Jain < 0.99 || noqos.Jain > 0.9 {
+		t.Errorf("Jain indices: no-qos %.3f, pvc %.3f", noqos.Jain, pvc.Jain)
+	}
+	out := RenderMotivation(topology.MeshX1, rows)
+	if !strings.Contains(out, "near/far") || !strings.Contains(out, "pvc") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestFig4P99AtLeastMean(t *testing.T) {
+	series := Fig4(Uniform, []float64{0.04}, tiny())
+	for _, s := range series {
+		for _, pt := range s.Points {
+			if pt.P99Latency+1 < pt.MeanLatency {
+				t.Errorf("%v: p99 %.0f below mean %.1f", s.Kind, pt.P99Latency, pt.MeanLatency)
+			}
+		}
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	rows := []Table2Row{{
+		Kind:    topology.MECS,
+		Summary: stats.Summarize([]float64{100, 110, 90}),
+	}}
+	out := Table2CSV(rows)
+	if countLines(out) != 2 || !strings.Contains(out, "mecs,100") {
+		t.Errorf("csv:\n%s", out)
+	}
+}
+
+func TestFig5Fig6CSV(t *testing.T) {
+	f5 := Fig5CSV([]Fig5Row{{Kind: topology.MeshX2, PacketsPct: 28.1, HopsPct: 24.0}})
+	if !strings.Contains(f5, "mesh_x2,28.10,24.00") {
+		t.Errorf("fig5 csv:\n%s", f5)
+	}
+	f6 := Fig6CSV([]Fig6Row{{Kind: topology.DPS, SlowdownPct: 4.2, AvgDeviationPct: -3.5,
+		MinDeviationPct: -7.4, MaxDeviationPct: 2.2}})
+	if !strings.Contains(f6, "dps,4.20,-3.50,-7.40,2.20") {
+		t.Errorf("fig6 csv:\n%s", f6)
+	}
+}
+
+func TestFig7CSVLongFormat(t *testing.T) {
+	out := Fig7CSV(Fig7())
+	// MECS has no intermediate row: 5 topologies x 4 rows - 1 + header.
+	if got := countLines(out); got != 5*4-1+1 {
+		t.Fatalf("lines = %d:\n%s", got, out)
+	}
+	if strings.Contains(out, "mecs,intermediate") {
+		t.Error("MECS must not emit an intermediate hop row")
+	}
+	if !strings.Contains(out, "dps,intermediate") {
+		t.Error("DPS must emit its intermediate hop row")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("plain") != "plain" {
+		t.Error("plain strings must pass through")
+	}
+	if csvEscape(`a,b`) != `"a,b"` {
+		t.Error("commas must be quoted")
+	}
+	if csvEscape(`say "hi"`) != `"say ""hi"""` {
+		t.Error("quotes must be doubled")
+	}
+}

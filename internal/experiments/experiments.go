@@ -1,0 +1,72 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each experiment has a driver returning
+// structured results and a renderer printing the same rows/series the
+// paper reports. cmd/noctool and the repository benchmarks are thin
+// wrappers over this package; EXPERIMENTS.md records paper-vs-measured
+// values for each artifact.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tanoq/internal/network"
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// Params controls simulation length and seeding for the dynamic
+// experiments. The zero value is unusable; use DefaultParams or
+// QuickParams.
+type Params struct {
+	Seed    uint64
+	Warmup  int
+	Measure int
+}
+
+// DefaultParams reproduces the paper-scale runs: a warmup transient plus
+// a multi-frame measurement window.
+func DefaultParams() Params {
+	return Params{Seed: 42, Warmup: 20_000, Measure: 100_000}
+}
+
+// QuickParams scales runs down for tests and benchmark iterations while
+// keeping every qualitative shape.
+func QuickParams() Params {
+	return Params{Seed: 42, Warmup: 3_000, Measure: 15_000}
+}
+
+// FlowPopulation is the QoS flow population of the 8-node shared column:
+// eight injectors per node.
+const FlowPopulation = topology.ColumnNodes * topology.InjectorsPerNode
+
+// defaultQoS builds the evaluation's QoS configuration: PVC with a 50K
+// frame and equal assigned rates over the full flow population — the
+// provisioning under which the adversarial subsets of Workloads 1 and 2
+// exhaust their reserved quotas.
+func defaultQoS(mode qos.Mode) qos.Config {
+	cfg := qos.DefaultConfig(FlowPopulation)
+	cfg.Mode = mode
+	return cfg
+}
+
+// buildNet assembles one shared-column network.
+func buildNet(kind topology.Kind, w traffic.Workload, mode qos.Mode, seed uint64) *network.Network {
+	cfg := defaultQoS(mode)
+	return network.MustNew(network.Config{
+		Kind:     kind,
+		Nodes:    topology.ColumnNodes,
+		QoS:      cfg,
+		Workload: w,
+		Seed:     seed,
+	})
+}
+
+// header renders an underlined section title.
+func header(title string) string {
+	return title + "\n" + strings.Repeat("-", len(title)) + "\n"
+}
+
+// fmtPct renders a percentage with one decimal.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

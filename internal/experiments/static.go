@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tanoq/internal/core"
+	"tanoq/internal/physical"
+	"tanoq/internal/topology"
+)
+
+// Fig3Row is one bar of Figure 3: router area overhead by component.
+type Fig3Row struct {
+	Kind topology.Kind
+	Area physical.AreaBreakdown
+}
+
+// Fig3 evaluates the router area model for every topology (Figure 3).
+func Fig3() []Fig3Row {
+	var rows []Fig3Row
+	for _, k := range topology.Kinds() {
+		s := topology.StructureOf(k, topology.ColumnNodes, FlowPopulation)
+		rows = append(rows, Fig3Row{Kind: k, Area: physical.RouterArea(s)})
+	}
+	return rows
+}
+
+// RenderFig3 prints Figure 3's stacked bars as a table (mm² per router).
+func RenderFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 3: router area overhead (mm^2)"))
+	fmt.Fprintf(&b, "%-9s %10s %10s %10s %10s %10s\n",
+		"topology", "row-buf", "col-buf", "xbar", "flowstate", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			r.Kind, r.Area.RowBuffers, r.Area.ColBuffers, r.Area.Crossbar,
+			r.Area.FlowState, r.Area.Total())
+	}
+	return b.String()
+}
+
+// Fig7Row is one topology's group of bars in Figure 7: per-flit router
+// energy by hop type with component breakdown.
+type Fig7Row struct {
+	Kind         topology.Kind
+	Src          physical.EnergyBreakdown
+	Intermediate physical.EnergyBreakdown // zero for MECS (no such hops)
+	Dest         physical.EnergyBreakdown
+	ThreeHops    physical.EnergyBreakdown
+}
+
+// Fig7 evaluates the router energy model (Figure 7). The "3 hops" bar is
+// the route energy at the average uniform-random communication distance.
+func Fig7() []Fig7Row {
+	var rows []Fig7Row
+	for _, k := range topology.Kinds() {
+		s := topology.StructureOf(k, topology.ColumnNodes, FlowPopulation)
+		row := Fig7Row{
+			Kind:      k,
+			Src:       physical.HopEnergy(s, physical.HopSource),
+			Dest:      physical.HopEnergy(s, physical.HopDest),
+			ThreeHops: physical.RouteEnergy(s, 3),
+		}
+		if k != topology.MECS {
+			row.Intermediate = physical.HopEnergy(s, physical.HopIntermediate)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderFig7 prints Figure 7's bars (nJ per flit) with the flow-table /
+// crossbar / buffer split.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 7: router energy per flit (nJ) [buffers+xbar+flowtable]"))
+	fmt.Fprintf(&b, "%-9s %22s %22s %22s %22s\n", "topology", "src", "intermediate", "dest", "3 hops")
+	part := func(e physical.EnergyBreakdown) string {
+		if e.Total() == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f+%.1f+%.1f=%.1f", e.Buffers, e.Crossbar, e.FlowTable, e.Total())
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %22s %22s %22s %22s\n",
+			r.Kind, part(r.Src), part(r.Intermediate), part(r.Dest), part(r.ThreeHops))
+	}
+	return b.String()
+}
+
+// ChipCost evaluates the chip-wide QoS hardware saving of the
+// topology-aware architecture (the Section 2 motivation).
+func ChipCost() core.CostReport {
+	return core.MustNewSystem(core.DefaultConfig()).Cost()
+}
+
+// RenderChipCost prints the cost report.
+func RenderChipCost(r core.CostReport) string {
+	var b strings.Builder
+	b.WriteString(header("Topology-aware QoS: chip-wide hardware savings"))
+	fmt.Fprintf(&b, "routers on chip:            %d\n", r.RoutersTotal)
+	fmt.Fprintf(&b, "routers needing QoS:        %d (shared columns only)\n", r.RoutersWithQoS)
+	fmt.Fprintf(&b, "QoS logic per router:       %.4f mm^2\n", r.QoSAreaPerRouter)
+	fmt.Fprintf(&b, "baseline (QoS everywhere):  %.3f mm^2\n", r.BaselineQoSArea)
+	fmt.Fprintf(&b, "topology-aware:             %.3f mm^2\n", r.TopoAwareQoSArea)
+	fmt.Fprintf(&b, "saved:                      %.3f mm^2 (%.0f%%)\n", r.SavedArea, 100*r.SavedAreaFraction)
+	return b.String()
+}

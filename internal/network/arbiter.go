@@ -1,0 +1,354 @@
+package network
+
+import (
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+)
+
+// outPort is one contended output resource: a column channel, a subnet
+// port, or the terminal (ejection) port. Exactly one packet wins each
+// allocation and streams its flits across at one per cycle.
+type outPort struct {
+	id   topology.PortID
+	spec topology.PortSpec
+	// table is this output's PVC flow state (nil under NoQoS);
+	// priorities are computed and bandwidth recorded here on every
+	// non-intermediate traversal.
+	table *qos.FlowTable
+	// nextArb is the earliest cycle a new packet may be granted,
+	// maintaining one flit per cycle across the channel with the next
+	// allocation pipelined behind the current transfer.
+	nextArb sim.Cycle
+	// moving is the packet whose flits currently occupy the channel
+	// (valid while now < nextArb), and movingIntermediate records
+	// whether it was granted on a table-less mux hop.
+	moving             *pkt
+	movingIntermediate bool
+	// waiters are the registered candidates: head packets of upstream
+	// VCs routed through this port, plus offered source packets.
+	waiters []*pkt
+	rr      qos.RoundRobin
+}
+
+// register adds a packet to the port's candidate list.
+func (p *outPort) register(w *pkt) {
+	w.state = stateForRegistration(w)
+	p.waiters = append(p.waiters, w)
+}
+
+func stateForRegistration(w *pkt) pktState {
+	if w.curBuf == nil {
+		return stAtSource
+	}
+	return stWaiting
+}
+
+// unregister removes a packet from the candidate list.
+func (p *outPort) unregister(w *pkt) {
+	for i, c := range p.waiters {
+		if c == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// arbitrate runs one virtual-channel allocation for the port: the winning
+// candidate is granted a VC at its downstream buffer and begins its
+// transfer. Under PVC, a candidate that finds the buffer full may preempt
+// a strictly-lower-priority, non-compliant packet (Section 3.1).
+func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
+	if len(port.waiters) == 0 {
+		return
+	}
+	if now < port.nextArb {
+		// Mid-transfer: the channel is busy. The arrival of a
+		// higher-priority packet does not interrupt the on-going
+		// transfer, but PVC's preemption logic still resolves the
+		// priority inversion it observes at the output: a buffered
+		// packet that trails the best waiting packet by more than the
+		// hysteresis margin is discarded and must be retransmitted.
+		// This is where MECS's destination-side discards come from —
+		// the victim has already crossed its whole express channel,
+		// so its full hop distance is replayed (Figure 5) — while the
+		// contended output port itself never carries the victim.
+		if n.mode == qos.PVC {
+			n.tryInversionPreempt(port, now)
+		}
+		return
+	}
+	if n.mode == qos.NoQoS {
+		n.arbitrateRoundRobin(port, now)
+		return
+	}
+
+	// Candidates bid with their dynamic priority: looked up in the
+	// port's flow table, except at DPS intermediate hops, which reuse
+	// the priority carried in the header.
+	type bid struct {
+		w    *pkt
+		prio noc.Priority
+	}
+	bids := make([]bid, 0, len(port.waiters))
+	for _, w := range port.waiters {
+		leg := &w.legs[w.Hop()]
+		prio := w.Priority
+		if !leg.Intermediate {
+			prio = port.table.Priority(w.Flow)
+		} else if w.frameStamp != n.frameCount {
+			// Carried priorities are frame-relative: a stamp from
+			// a flushed frame reads as zero consumption, like the
+			// counters it came from.
+			prio = 0
+		}
+		bids = append(bids, bid{w, prio})
+	}
+	// Serve in priority order until one candidate can be granted.
+	// Candidates that cannot obtain (or steal) a VC are skipped, as in
+	// hardware VA where only credit-holding requesters bid. Ties within
+	// a priority class are broken by packet age (oldest creation time
+	// first): age-based arbitration keeps merge points globally fair —
+	// a starved flow's queue head is the oldest packet in the system,
+	// so it wins every tie until it catches up, instead of splitting
+	// tie bandwidth by how many candidates each input happens to
+	// present.
+	tried := 0
+	var failedBufs []*inBuf
+	for tried < len(bids) {
+		best := -1
+		for i := range bids {
+			if bids[i].w == nil {
+				continue
+			}
+			if best < 0 || better(bids[i].w, bids[i].prio, bids[best].w, bids[best].prio) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		w, prio := bids[best].w, bids[best].prio
+		bids[best].w = nil
+		tried++
+
+		leg := &w.legs[w.Hop()]
+		buf := n.bufs[leg.In]
+		// If an equally-eligible earlier candidate already failed on
+		// this buffer, this one fails too (unless it can use the
+		// reserved VC or preempt with a better priority — both
+		// rechecked below only when the buffer state could differ).
+		skip := false
+		for _, fb := range failedBufs {
+			if fb == buf {
+				skip = true
+				break
+			}
+		}
+		if skip && !w.Reserved {
+			continue
+		}
+		vcIdx := buf.allocVC(w, 0, 0) // timing filled in by grant
+		// Preemption resolves priority inversion in buffers, but only
+		// where the preemption logic physically exists — at output
+		// ports with flow state (Figure 2), which excludes DPS
+		// intermediate muxes. At the destination router it discards
+		// ejection-VC holders whose whole path is then wasted: exactly
+		// why MECS's wasted-hop fraction equals its packet fraction in
+		// Figure 5 (every express packet loses its full flight).
+		if vcIdx < 0 && n.mode == qos.PVC && !leg.Intermediate {
+			// Victim and requester are priced off the same flow
+			// table, with hysteresis: equally-served flows jitter
+			// within a few classes and must not preempt each other.
+			threshold := prio + n.margin*port.table.PriorityStep(w.Flow)
+			prioOf := func(v *pkt) noc.Priority { return port.table.Priority(v.Flow) }
+			if victim := buf.findVictim(threshold, prioOf); victim >= 0 {
+				n.preempt(buf, victim, now)
+				vcIdx = buf.allocVC(w, 0, 0)
+			}
+		}
+		if vcIdx < 0 {
+			failedBufs = append(failedBufs, buf)
+			continue
+		}
+		n.grant(port, w, leg, buf, vcIdx, prio, now)
+		return
+	}
+}
+
+// tryInversionPreempt resolves a priority inversion at a busy output port:
+// among the waiting candidates, the packet with the worst priority is
+// discarded if it trails the best candidate by more than the hysteresis
+// margin, is not rate-compliant, and is already buffered in the network
+// (a packet still at its source has nothing to replay). At most one
+// victim per cycle, as in hardware. Inversion preemption only exists
+// where the preemption logic does: at ports with flow state.
+func (n *Network) tryInversionPreempt(port *outPort, now sim.Cycle) {
+	if port.table == nil || len(port.waiters) < 2 {
+		return
+	}
+	bestPrio := noc.WorstPriority
+	worstPrio := noc.Priority(0)
+	var worst *pkt
+	var step noc.Priority
+	for _, w := range port.waiters {
+		leg := &w.legs[w.Hop()]
+		prio := w.Priority
+		if !leg.Intermediate {
+			prio = port.table.Priority(w.Flow)
+		} else if w.frameStamp != n.frameCount {
+			prio = 0
+		}
+		if prio < bestPrio {
+			bestPrio = prio
+			step = port.table.PriorityStep(w.Flow)
+		}
+		if prio > worstPrio && !w.Reserved && w.state == stWaiting && w.curBuf != nil {
+			worstPrio = prio
+			worst = w
+		}
+	}
+	if worst == nil || bestPrio == noc.WorstPriority {
+		return
+	}
+	if worstPrio > bestPrio+n.margin*step {
+		n.preemptPacket(worst, port.spec.Node, now)
+	}
+}
+
+// better orders two candidates: lower priority class first, then the
+// older packet (global age by creation time), then lower ID for
+// determinism.
+func better(a *pkt, ap noc.Priority, b *pkt, bp noc.Priority) bool {
+	if ap != bp {
+		return ap < bp
+	}
+	if a.Created != b.Created {
+		return a.Created < b.Created
+	}
+	return a.ID < b.ID
+}
+
+// arbitrateRoundRobin is the NoQoS policy: rotate among candidates,
+// granting the first that can obtain a VC. Locally fair, globally not —
+// the starvation the paper motivates QoS with.
+func (n *Network) arbitrateRoundRobin(port *outPort, now sim.Cycle) {
+	granted := -1
+	idx := port.rr.Pick(len(port.waiters), func(i int) bool {
+		w := port.waiters[i]
+		leg := &w.legs[w.Hop()]
+		buf := n.bufs[leg.In]
+		if buf.allocVCPeek(w) < 0 {
+			return false
+		}
+		return true
+	})
+	if idx < 0 {
+		return
+	}
+	granted = idx
+	w := port.waiters[granted]
+	leg := &w.legs[w.Hop()]
+	buf := n.bufs[leg.In]
+	vcIdx := buf.allocVC(w, 0, 0)
+	if vcIdx < 0 {
+		return
+	}
+	n.grant(port, w, leg, buf, vcIdx, w.Priority, now)
+}
+
+// grant commits the winner: flow-state update, transfer timing, VC and
+// port occupancy, and the scheduled arrival/delivery/release events.
+func (n *Network) grant(port *outPort, w *pkt, leg *topology.Leg, buf *inBuf, vcIdx int, prio noc.Priority, now sim.Cycle) {
+	if n.grantHook != nil {
+		n.grantHook(port, w)
+	}
+	if !leg.Intermediate && port.table != nil {
+		w.Priority = prio
+		w.frameStamp = n.frameCount
+		port.table.Record(w.Flow, w.Size)
+	}
+
+	headDep := now + sim.Cycle(leg.RouterDelay)
+	headArr := headDep + sim.Cycle(leg.WireDelay)
+	tailArr := headArr + sim.Cycle(w.Size-1)
+	tailDep := headDep + sim.Cycle(w.Size-1)
+	port.nextArb = now + sim.Cycle(w.Size)
+	port.moving = w
+	port.movingIntermediate = leg.Intermediate
+
+	vc := buf.vcs[vcIdx]
+	vc.HeadArrival = headArr
+	vc.TailArrival = tailArr
+	w.nxtBuf, w.nxtVC = buf, vcIdx
+
+	port.unregister(w)
+	if w.curBuf == nil {
+		w.src.onInjected(w, tailDep, now)
+	} else {
+		// The upstream VC frees once the tail departs and the credit
+		// crosses back to its allocator.
+		rel := tailDep + sim.Cycle(w.creditDelay)
+		n.schedule(event{kind: evRelease, buf: w.curBuf, vc: w.curVC, gen: w.curBuf.gen(w.curVC)}, rel)
+		w.curBuf, w.curVC = nil, -1
+	}
+	w.state = stMoving
+
+	if leg.Final {
+		n.schedule(event{kind: evDeliver, p: w, attempt: w.Retransmits}, tailArr)
+		// The terminal consumes the ejection buffer at link rate, so
+		// its credit loop is local to the destination router: the VC
+		// recycles one cycle behind the port cadence, letting the two
+		// ejection VCs sustain a full flit per cycle even for streams
+		// of single-flit packets (the paper's saturated hotspot runs
+		// the terminal port at ~100%).
+		n.schedule(event{kind: evRelease, buf: buf, vc: vcIdx, gen: buf.gen(vcIdx)},
+			now+sim.Cycle(w.Size)+1)
+	} else {
+		n.schedule(event{kind: evHead, p: w, attempt: w.Retransmits}, headArr)
+	}
+}
+
+// preempt discards the packet in the given VC of buf.
+func (n *Network) preempt(buf *inBuf, vcIdx int, now sim.Cycle) {
+	victim := buf.owners[vcIdx]
+	if victim == nil {
+		panic("network: preempting unowned VC")
+	}
+	if n.preemptHook != nil {
+		n.preemptHook(buf, victim)
+	}
+	n.preemptPacket(victim, buf.node(), now)
+}
+
+// preemptPacket discards a packet outright: all resources it holds are
+// freed, in-flight events become stale, and a NACK is dispatched on the
+// dedicated ACK network from the preemption site so the source replays it
+// (Section 3.1).
+func (n *Network) preemptPacket(victim *pkt, siteNode int, now sim.Cycle) {
+	n.coll.Preempted(victim.weightedHops, !victim.wasPreempted)
+	victim.wasPreempted = true
+
+	// Free the victim's residence and any allocation it holds ahead of
+	// itself; generation bumps turn the scheduled releases into no-ops.
+	if victim.state == stWaiting {
+		// Registered at its next leg's port: withdraw the bid.
+		n.ports[victim.legs[victim.Hop()].Out].unregister(victim)
+	}
+	if victim.curBuf != nil {
+		victim.curBuf.release(victim.curVC, victim.curBuf.gen(victim.curVC))
+		victim.curBuf, victim.curVC = nil, -1
+	}
+	if victim.nxtBuf != nil {
+		victim.nxtBuf.release(victim.nxtVC, victim.nxtBuf.gen(victim.nxtVC))
+		victim.nxtBuf, victim.nxtVC = nil, -1
+	}
+	victim.state = stDead
+	victim.weightedHops = 0
+	victim.ResetForRetransmit()
+
+	// NACK travels back to the source on the ACK network.
+	dist := sim.Cycle(topology.Distance(noc.NodeID(siteNode), victim.Src))
+	n.schedule(event{kind: evNack, p: victim}, now+dist+n.cfg.QoS.AckDelay)
+}

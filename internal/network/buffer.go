@@ -1,0 +1,170 @@
+package network
+
+import (
+	"tanoq/internal/noc"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+)
+
+// inBuf is a router input buffer: a pool of virtual channels, each deep
+// enough to hold the largest packet (virtual cut-through). One VC per
+// network port is reserved for rate-compliant traffic (Table 1). In
+// per-flow-queue mode the pool grows on demand, modelling a dedicated
+// queue per flow — the idealized preemption-free reference.
+type inBuf struct {
+	id   topology.BufID
+	spec topology.BufSpec
+	vcs  []*noc.VC
+	// owners mirrors vcs with the engine-side packet wrappers, so the
+	// preemption logic can inspect victim state without a lookup table.
+	owners []*pkt
+	// gens guards against stale release events: each VC's generation is
+	// bumped on release, and release events name the generation they
+	// were scheduled for.
+	gens      []uint32
+	unlimited bool
+	occupied  int
+}
+
+func newInBuf(id topology.BufID, spec topology.BufSpec, unlimited bool) *inBuf {
+	b := &inBuf{id: id, spec: spec, unlimited: unlimited}
+	for i := 0; i < spec.VCs; i++ {
+		b.vcs = append(b.vcs, &noc.VC{Index: i})
+	}
+	b.owners = make([]*pkt, len(b.vcs))
+	b.gens = make([]uint32, len(b.vcs))
+	if spec.Reserved && !unlimited && len(b.vcs) > 0 {
+		b.vcs[len(b.vcs)-1].ReservedForCompliant = true
+	}
+	return b
+}
+
+// node returns the router this buffer belongs to.
+func (b *inBuf) node() int { return b.spec.Node }
+
+// allocVC claims a free VC for p, honouring the reserved-VC policy:
+// ordinary packets may not take the compliant-reserved VC; compliant
+// packets prefer ordinary VCs and fall back to the reserved one, keeping
+// it available as the preemption safety valve. Returns the VC index or -1.
+func (b *inBuf) allocVC(p *pkt, headArr, tailArr sim.Cycle) int {
+	if b.unlimited {
+		// Per-flow queueing: find any free VC or grow the pool.
+		for i, vc := range b.vcs {
+			if vc.State == noc.VCFree {
+				vc.Allocate(p.Packet, headArr, tailArr)
+				b.owners[i] = p
+				b.occupied++
+				return i
+			}
+		}
+		vc := &noc.VC{Index: len(b.vcs)}
+		b.vcs = append(b.vcs, vc)
+		b.owners = append(b.owners, nil)
+		b.gens = append(b.gens, 0)
+		vc.Allocate(p.Packet, headArr, tailArr)
+		b.owners[vc.Index] = p
+		b.occupied++
+		return vc.Index
+	}
+	for i, vc := range b.vcs {
+		if vc.State != noc.VCFree {
+			continue
+		}
+		if vc.ReservedForCompliant && !p.Reserved {
+			continue
+		}
+		vc.Allocate(p.Packet, headArr, tailArr)
+		b.owners[i] = p
+		b.occupied++
+		return i
+	}
+	return -1
+}
+
+// release frees VC i if its generation still matches (stale events from
+// preempted packets are ignored; an immediate preemption-time release
+// bumps the generation so the scheduled release becomes a no-op).
+func (b *inBuf) release(i int, gen uint32) {
+	if b.gens[i] != gen {
+		return
+	}
+	b.gens[i]++
+	b.vcs[i].Release()
+	b.owners[i] = nil
+	b.occupied--
+}
+
+// gen returns the current generation of VC i, captured when scheduling its
+// release.
+func (b *inBuf) gen(i int) uint32 { return b.gens[i] }
+
+// findVictim returns the index of the VC holding the best preemption
+// victim for a requester with the given priority. prioOf evaluates a
+// buffered packet's *current* dynamic priority — the preemption logic
+// lives at the upstream output port (Figure 2(a)) and prices both the
+// requester and the buffered packets off the same flow table, so a flow
+// that has been over-served since its packet was buffered becomes
+// preemptable. The victim is the packet with the numerically largest
+// (worst) priority strictly worse than the requester's that is not
+// rate-compliant and still genuinely occupies this buffer (resident, or
+// in flight into it — not a departed packet whose tail is draining out).
+// Returns -1 when nothing may be preempted.
+func (b *inBuf) findVictim(prio noc.Priority, prioOf func(*pkt) noc.Priority) int {
+	worst := -1
+	var worstPrio noc.Priority
+	for i, vc := range b.vcs {
+		if vc.State != noc.VCBusy || vc.Owner == nil {
+			continue
+		}
+		if vc.Owner.Reserved {
+			continue
+		}
+		w := b.owners[i]
+		if w == nil || w.state == stDelivered || w.state == stDead {
+			continue
+		}
+		resident := (w.curBuf == b && w.curVC == i) || (w.nxtBuf == b && w.nxtVC == i)
+		if !resident {
+			continue // already moved on; this VC is only draining
+		}
+		vp := prioOf(w)
+		if vp <= prio {
+			continue
+		}
+		if worst < 0 || vp > worstPrio {
+			worst = i
+			worstPrio = vp
+		}
+	}
+	return worst
+}
+
+// allocVCPeek reports the VC index allocVC would claim for p, without
+// allocating (-1 when the buffer would refuse). Used by the round-robin
+// arbiter to test eligibility.
+func (b *inBuf) allocVCPeek(p *pkt) int {
+	if b.unlimited {
+		return len(b.vcs) // always admissible
+	}
+	for i, vc := range b.vcs {
+		if vc.State != noc.VCFree {
+			continue
+		}
+		if vc.ReservedForCompliant && !p.Reserved {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// freeVCs counts currently free VCs (diagnostics and tests).
+func (b *inBuf) freeVCs() int {
+	n := 0
+	for _, vc := range b.vcs {
+		if vc.State == noc.VCFree {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package network
+
+import (
+	"container/heap"
+
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+)
+
+// evKind enumerates the scheduled occurrences of the engine.
+type evKind uint8
+
+const (
+	// evHead: a packet's head flit reaches its next buffer; it becomes
+	// an arbitration candidate there.
+	evHead evKind = iota
+	// evDeliver: a packet's tail flit crosses the destination terminal
+	// port; delivery completes.
+	evDeliver
+	// evRelease: a VC's tail flit has fully departed (plus credit
+	// return time); the VC is reusable upstream.
+	evRelease
+	// evAck: the dedicated ACK network delivers a positive
+	// acknowledgment to the source; the window slot frees.
+	evAck
+	// evNack: the ACK network reports a preemption; the source queues
+	// the packet for retransmission.
+	evNack
+)
+
+// event is one scheduled occurrence. Packet-borne events carry the attempt
+// (retransmission count) they were scheduled for; a preemption bumps the
+// packet's attempt, turning in-flight stale events into no-ops.
+type event struct {
+	at      sim.Cycle
+	seq     uint64 // FIFO order among same-cycle events
+	kind    evKind
+	p       *pkt
+	attempt int
+	// Release target.
+	buf *inBuf
+	vc  int
+	gen uint32
+}
+
+// eventHeap is a min-heap on (cycle, seq), giving deterministic,
+// insertion-ordered processing within a cycle.
+type eventHeap struct {
+	items []event
+	seq   uint64
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+func (h *eventHeap) Less(i, j int) bool {
+	if h.items[i].at != h.items[j].at {
+		return h.items[i].at < h.items[j].at
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) Push(x any)    { h.items = append(h.items, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// schedule enqueues an event at the given cycle.
+func (n *Network) schedule(ev event, at sim.Cycle) {
+	ev.at = at
+	ev.seq = n.events.seq
+	n.events.seq++
+	heap.Push(&n.events, ev)
+}
+
+// processEvents fires every event due at or before now.
+func (n *Network) processEvents(now sim.Cycle) {
+	for n.events.Len() > 0 && n.events.items[0].at <= now {
+		ev := heap.Pop(&n.events).(event)
+		switch ev.kind {
+		case evRelease:
+			ev.buf.release(ev.vc, ev.gen)
+		case evHead:
+			n.onHeadArrival(ev.p, ev.attempt, now)
+		case evDeliver:
+			n.onDeliver(ev.p, ev.attempt, now)
+		case evAck:
+			ev.p.src.onAck(ev.p)
+		case evNack:
+			ev.p.src.onNack(ev.p)
+		}
+	}
+}
+
+// onHeadArrival moves a packet into the buffer its head flit just reached
+// and registers it as an arbitration candidate for its next leg.
+func (n *Network) onHeadArrival(p *pkt, attempt int, now sim.Cycle) {
+	if p.Retransmits != attempt || p.state != stMoving {
+		return // preempted while in flight
+	}
+	leg := p.legs[p.Hop()]
+	p.curBuf, p.curVC = p.nxtBuf, p.nxtVC
+	p.nxtBuf, p.nxtVC = nil, -1
+	p.creditDelay = leg.WireDelay
+	p.weightedHops += leg.HopWeight
+	n.coll.HopTraversed(leg.HopWeight)
+	p.AdvanceHop()
+	p.state = stWaiting
+	p.enq = now
+	n.ports[p.legs[p.Hop()].Out].register(p)
+}
+
+// onDeliver completes a delivery: statistics, the ejection VC's drain, and
+// the ACK that frees the source's window slot.
+func (n *Network) onDeliver(p *pkt, attempt int, now sim.Cycle) {
+	if p.Retransmits != attempt || p.state != stMoving {
+		return
+	}
+	p.state = stDelivered
+	n.inFlight--
+	n.coll.Delivered(p.Flow, p.Size, int64(now-p.Created), now)
+	// The ejection VC's recycle was scheduled at grant time (the
+	// terminal's credit loop runs ahead of the tail's arrival).
+	p.nxtBuf, p.nxtVC = nil, -1
+	if n.mode == qos.PVC {
+		dist := sim.Cycle(topology.Distance(p.Dst, p.Src))
+		n.schedule(event{kind: evAck, p: p}, now+dist+n.cfg.QoS.AckDelay)
+	} else {
+		p.src.onAck(p)
+	}
+}

@@ -1,0 +1,273 @@
+// Package network is the cycle-driven simulator of the QoS-enabled shared
+// region: eight column routers of one of five topologies, virtual
+// cut-through flow control, PVC preemptive quality-of-service with its ACK
+// network and source retransmission windows, and the two reference
+// policies (idealized per-flow queueing and no-QoS round-robin).
+//
+// The engine is packet-granular with exact flit timing: a transfer
+// occupies its output port for one cycle per flit, and head/tail arrival
+// cycles are tracked per hop, which under virtual cut-through (no flit
+// interleaving within a VC) is equivalent to flit-level simulation for
+// every metric the paper reports.
+package network
+
+import (
+	"fmt"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/stats"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// Config assembles one simulated shared-region network.
+type Config struct {
+	Kind  topology.Kind
+	Nodes int // column height; defaults to topology.ColumnNodes
+	QoS   qos.Config
+	// Workload supplies the traffic injectors. QoS.Rates must cover the
+	// workload's full flow population (active or not).
+	Workload traffic.Workload
+	Seed     uint64
+}
+
+// pktState tracks where a packet is in its lifecycle.
+type pktState uint8
+
+const (
+	stAtSource pktState = iota
+	stWaiting           // buffered, registered as an arbitration candidate
+	stMoving            // won arbitration; flits in flight to the next buffer
+	stDelivered
+	stDead // preempted; awaiting NACK and retransmission
+)
+
+// pkt wraps a packet with the engine-side bookkeeping: its path, current
+// residence (buffer + VC), in-progress allocation and hop accounting.
+type pkt struct {
+	*noc.Packet
+	src  *source
+	legs []topology.Leg
+
+	state pktState
+	// Current residence (nil/-1 while at source or fully in flight).
+	curBuf *inBuf
+	curVC  int
+	// creditDelay is the wire time for this buffer's free-VC credit to
+	// reach the upstream allocator, recorded at head arrival.
+	creditDelay int
+	// Next-hop allocation while moving.
+	nxtBuf *inBuf
+	nxtVC  int
+
+	// enq is when the packet became an arbitration candidate at its
+	// current position.
+	enq sim.Cycle
+	// frameStamp is the PVC frame in which the carried priority was
+	// computed. Priorities are frame-relative: a stamp from an earlier
+	// frame reads as zero consumption, exactly like the flushed
+	// counters it was derived from.
+	frameStamp int
+	// weightedHops accumulates mesh-normalized hop traversals of the
+	// current attempt; wasted on preemption.
+	weightedHops int
+	wasPreempted bool
+}
+
+// Network is one simulated shared-region column.
+type Network struct {
+	cfg   Config
+	graph *topology.Graph
+	mode  qos.Mode
+
+	clock  sim.Clock
+	rng    *sim.RNG
+	ports  []*outPort
+	bufs   []*inBuf
+	srcs   []*source
+	quota  *qos.ReservedQuota
+	frame  *qos.FrameTimer
+	events eventHeap
+	coll   *stats.Collector
+
+	nextPktID  uint64
+	inFlight   int // packets injected and neither delivered nor dead
+	frameCount int
+	// margin is the preemption hysteresis in quantized classes.
+	margin noc.Priority
+
+	// preemptHook and grantHook, when non-nil, observe every preemption
+	// and grant (tests and diagnostics).
+	preemptHook func(*inBuf, *pkt)
+	grantHook   func(*outPort, *pkt)
+}
+
+// New builds a network from the configuration. It validates that the QoS
+// flow population covers the workload.
+func New(cfg Config) (*Network, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = topology.ColumnNodes
+	}
+	if err := cfg.QoS.Validate(); err != nil {
+		return nil, err
+	}
+	if want := cfg.Workload.TotalFlows(); len(cfg.QoS.Rates) != want {
+		return nil, fmt.Errorf("network: QoS covers %d flows, workload needs %d", len(cfg.QoS.Rates), want)
+	}
+	for _, s := range cfg.Workload.Specs {
+		if int(s.Node) < 0 || int(s.Node) >= cfg.Nodes {
+			return nil, fmt.Errorf("network: injector flow %d at node %d outside column of %d", s.Flow, s.Node, cfg.Nodes)
+		}
+		if s.Rate < 0 || s.Rate > 1 {
+			return nil, fmt.Errorf("network: injector flow %d rate %v outside [0,1]", s.Flow, s.Rate)
+		}
+		if s.RequestFraction < 0 || s.RequestFraction > 1 {
+			return nil, fmt.Errorf("network: injector flow %d request fraction %v outside [0,1]", s.Flow, s.RequestFraction)
+		}
+	}
+
+	n := &Network{
+		cfg:   cfg,
+		graph: topology.NewGraph(cfg.Kind, cfg.Nodes),
+		mode:  cfg.QoS.Mode,
+		rng:   sim.NewRNG(cfg.Seed ^ 0x74616e6f71), // "tanoq"
+		coll:  stats.NewCollector(cfg.Workload.TotalFlows()),
+	}
+	n.margin = noc.Priority(cfg.QoS.EffectiveMargin())
+	n.ports = make([]*outPort, len(n.graph.Ports))
+	for i, spec := range n.graph.Ports {
+		p := &outPort{id: topology.PortID(i), spec: spec}
+		if n.mode != qos.NoQoS {
+			p.table = qos.NewFlowTableWithQuantum(cfg.QoS.Rates, cfg.QoS.EffectiveQuantum())
+		}
+		n.ports[i] = p
+	}
+	n.bufs = make([]*inBuf, len(n.graph.Bufs))
+	for i, spec := range n.graph.Bufs {
+		n.bufs[i] = newInBuf(topology.BufID(i), spec, n.mode == qos.PerFlowQueue)
+	}
+	if n.mode == qos.PVC {
+		if !cfg.QoS.DisableReservedQuota {
+			n.quota = qos.NewReservedQuota(cfg.QoS.Rates, cfg.QoS.FrameCycles)
+		}
+		n.frame = qos.NewFrameTimer(cfg.QoS.FrameCycles)
+	}
+	for _, spec := range cfg.Workload.Specs {
+		n.srcs = append(n.srcs, newSource(n, spec))
+	}
+	return n, nil
+}
+
+// MustNew is New that panics on configuration errors, for tests and
+// experiment drivers with static configurations.
+func MustNew(cfg Config) *Network {
+	n, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Stats exposes the measurement collector.
+func (n *Network) Stats() *stats.Collector { return n.coll }
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() sim.Cycle { return n.clock.Now() }
+
+// Graph exposes the topology graph (read-only use).
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// Mode returns the QoS policy in effect.
+func (n *Network) Mode() qos.Mode { return n.mode }
+
+// InFlight returns the number of packets injected but not yet delivered
+// (or awaiting retransmission).
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	now := n.clock.Now()
+	n.processEvents(now)
+	if n.frame != nil && n.frame.Expired(now) {
+		for _, p := range n.ports {
+			p.table.Flush()
+		}
+		if n.quota != nil {
+			n.quota.Refill()
+		}
+		n.frameCount++
+	}
+	for _, s := range n.srcs {
+		s.generate(now)
+	}
+	for _, s := range n.srcs {
+		s.offer(now)
+	}
+	for _, p := range n.ports {
+		n.arbitrate(p, now)
+	}
+	n.clock.Tick()
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// WarmupAndMeasure runs warmup cycles with measurement paused, resets the
+// collector, then runs the measurement window.
+func (n *Network) WarmupAndMeasure(warmup, measure int) {
+	n.coll.Pause()
+	n.Run(warmup)
+	n.coll.Reset(n.clock.Now())
+	n.Run(measure)
+}
+
+// RunUntilDrained steps until every injector is exhausted and no packet
+// remains in flight, or maxCycles elapse. It returns the cycle of the last
+// delivery and whether the network fully drained.
+func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained bool) {
+	for i := 0; i < maxCycles; i++ {
+		n.Step()
+		if n.idle() {
+			return n.coll.LastDelivery, true
+		}
+	}
+	return n.coll.LastDelivery, n.idle()
+}
+
+// idle reports whether no work remains anywhere in the network.
+func (n *Network) idle() bool {
+	if n.inFlight > 0 || n.events.Len() > 0 {
+		return false
+	}
+	for _, s := range n.srcs {
+		if !s.exhausted(n.clock.Now()) {
+			return false
+		}
+	}
+	return true
+}
+
+// newPacket mints a packet for a source.
+func (n *Network) newPacket(s *source, class noc.Class, dst noc.NodeID, now sim.Cycle) *pkt {
+	n.nextPktID++
+	return &pkt{
+		Packet: &noc.Packet{
+			ID:      n.nextPktID,
+			Flow:    s.spec.Flow,
+			Src:     s.spec.Node,
+			Dst:     dst,
+			Class:   class,
+			Size:    class.Flits(),
+			Created: now,
+		},
+		src:   s,
+		curVC: -1,
+		nxtVC: -1,
+	}
+}

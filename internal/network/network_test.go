@@ -1,0 +1,357 @@
+package network
+
+import (
+	"testing"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/stats"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// singlePacketWorkload builds one injector at src that emits exactly one
+// 1-flit packet at cycle 0, destined for dst.
+func singlePacketWorkload(src, dst noc.NodeID) traffic.Workload {
+	return traffic.Workload{
+		Name:  "single",
+		Nodes: topology.ColumnNodes,
+		Specs: []traffic.Spec{{
+			Flow:            traffic.FlowOf(src, 0),
+			Node:            src,
+			Rate:            1.0,
+			RequestFraction: 1.0, // all 1-flit requests
+			Dest:            func(*sim.RNG) noc.NodeID { return dst },
+			StopAt:          1,
+		}},
+	}
+}
+
+func mustNet(t *testing.T, kind topology.Kind, w traffic.Workload, mode qos.Mode, seed uint64) *Network {
+	t.Helper()
+	cfg := qos.DefaultConfig(w.TotalFlows())
+	cfg.Mode = mode
+	n, err := New(Config{Kind: kind, QoS: cfg, Workload: w, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := traffic.UniformRandom(8, 0.05)
+	bad := qos.DefaultConfig(10) // wrong flow population
+	if _, err := New(Config{Kind: topology.MeshX1, QoS: bad, Workload: w}); err == nil {
+		t.Fatal("mismatched flow population accepted")
+	}
+	outside := traffic.Workload{Nodes: 8, Specs: []traffic.Spec{{
+		Flow: 0, Node: 9, Rate: 0.1,
+		Dest: func(*sim.RNG) noc.NodeID { return 0 },
+	}}}
+	if _, err := New(Config{Kind: topology.MeshX1, QoS: qos.DefaultConfig(64), Workload: outside}); err == nil {
+		t.Fatal("out-of-column injector accepted")
+	}
+	overRate := traffic.Workload{Nodes: 8, Specs: []traffic.Spec{{
+		Flow: 0, Node: 0, Rate: 1.5,
+		Dest: func(*sim.RNG) noc.NodeID { return 1 },
+	}}}
+	if _, err := New(Config{Kind: topology.MeshX1, QoS: qos.DefaultConfig(64), Workload: overRate}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestSinglePacketLatencyMatchesPipelineModel(t *testing.T) {
+	// The paper's Table 1 pipelines imply exact zero-load latencies:
+	// mesh 3d+2, MECS d+6, DPS 2d+3 for a 1-flit packet at distance d.
+	cases := []struct {
+		kind topology.Kind
+		want func(d int) int64
+	}{
+		{topology.MeshX1, func(d int) int64 { return int64(3*d + 2) }},
+		{topology.MeshX4, func(d int) int64 { return int64(3*d + 2) }},
+		{topology.MECS, func(d int) int64 { return int64(d + 6) }},
+		{topology.DPS, func(d int) int64 { return int64(2*d + 3) }},
+	}
+	for _, tc := range cases {
+		for d := 1; d <= 7; d++ {
+			n := mustNet(t, tc.kind, singlePacketWorkload(0, noc.NodeID(d)), qos.PVC, 1)
+			if done, ok := n.RunUntilDrained(500); !ok {
+				t.Fatalf("%v d=%d: did not drain by %d", tc.kind, d, done)
+			}
+			if got := n.Stats().TotalDelivered; got != 1 {
+				t.Fatalf("%v d=%d: delivered %d packets", tc.kind, d, got)
+			}
+			if got, want := n.Stats().TotalLatency, tc.want(d); got != want {
+				t.Errorf("%v d=%d: latency %d, want %d", tc.kind, d, got, want)
+			}
+		}
+	}
+}
+
+func TestIntraNodeDelivery(t *testing.T) {
+	for _, kind := range topology.Kinds() {
+		n := mustNet(t, kind, singlePacketWorkload(3, 3), qos.PVC, 1)
+		if _, ok := n.RunUntilDrained(100); !ok {
+			t.Fatalf("%v: intra-node packet stuck", kind)
+		}
+		if n.Stats().TotalDelivered != 1 {
+			t.Fatalf("%v: intra-node packet lost", kind)
+		}
+	}
+}
+
+func TestFourFlitSerialization(t *testing.T) {
+	// A 4-flit reply adds exactly 3 cycles of tail serialization. The
+	// all-reply mix caps the per-cycle packet probability at 0.25, so
+	// scan seeds for one that generates the packet in the single
+	// generation cycle the workload allows.
+	for seed := uint64(1); seed < 64; seed++ {
+		w := singlePacketWorkload(0, 3)
+		w.Specs[0].RequestFraction = 0.0 // all replies
+		n := mustNet(t, topology.MECS, w, qos.PVC, seed)
+		n.RunUntilDrained(500)
+		if n.Stats().TotalDelivered != 1 {
+			continue
+		}
+		if got, want := n.Stats().TotalLatency, int64(3+6+3); got != want {
+			t.Errorf("4-flit MECS latency %d, want %d", got, want)
+		}
+		return
+	}
+	t.Fatal("no seed generated the single reply packet")
+}
+
+func TestAllTopologiesDrainUniformTraffic(t *testing.T) {
+	for _, kind := range topology.Kinds() {
+		w := traffic.UniformRandom(8, 0.05).WithStop(2000)
+		n := mustNet(t, kind, w, qos.PVC, 7)
+		if _, ok := n.RunUntilDrained(20000); !ok {
+			t.Fatalf("%v: network did not drain (in flight %d)", kind, n.InFlight())
+		}
+		st := n.Stats()
+		if st.TotalDelivered == 0 {
+			t.Fatalf("%v: nothing delivered", kind)
+		}
+		// Conservation: delivered packets = injected attempts minus
+		// retransmitted attempts.
+		if st.InjectedPackets-st.Retransmits != st.TotalDelivered {
+			t.Errorf("%v: conservation broken: injected %d, retransmits %d, delivered %d",
+				kind, st.InjectedPackets, st.Retransmits, st.TotalDelivered)
+		}
+	}
+}
+
+func TestAllVCsFreeAfterDrain(t *testing.T) {
+	for _, kind := range topology.Kinds() {
+		w := traffic.UniformRandom(8, 0.08).WithStop(1500)
+		n := mustNet(t, kind, w, qos.PVC, 11)
+		if _, ok := n.RunUntilDrained(20000); !ok {
+			t.Fatalf("%v: did not drain", kind)
+		}
+		n.Run(64) // let trailing credit releases fire
+		for _, b := range n.bufs {
+			if b.occupied != 0 {
+				t.Errorf("%v: buffer %s still holds %d VCs after drain",
+					kind, b.spec.Name, b.occupied)
+			}
+			for _, vc := range b.vcs {
+				if vc.State != noc.VCFree {
+					t.Errorf("%v: VC %d of %s not free after drain", kind, vc.Index, b.spec.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64, int64) {
+		w := traffic.UniformRandom(8, 0.10).WithStop(3000)
+		n := mustNet(t, topology.DPS, w, qos.PVC, 99)
+		n.RunUntilDrained(30000)
+		st := n.Stats()
+		return st.TotalDelivered, st.TotalLatency, st.PreemptionEvents
+	}
+	d1, l1, p1 := run()
+	d2, l2, p2 := run()
+	if d1 != d2 || l1 != l2 || p1 != p2 {
+		t.Fatalf("runs diverged: (%d,%d,%d) vs (%d,%d,%d)", d1, l1, p1, d2, l2, p2)
+	}
+}
+
+func TestHotspotFairnessUnderPVC(t *testing.T) {
+	// All 64 injectors stream at node 0's terminal; with equal assigned
+	// rates every flow should receive a near-equal share (Table 2).
+	n := mustNet(t, topology.MECS, traffic.Hotspot(8, 0.10), qos.PVC, 3)
+	n.WarmupAndMeasure(5000, 30000)
+	flits := make([]float64, 0, 64)
+	for _, v := range n.Stats().FlitsByFlow() {
+		flits = append(flits, float64(v))
+	}
+	sum := stats.Summarize(flits)
+	if sum.Mean == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	if dev := sum.MaxDeviationPct(); dev > 10 {
+		t.Errorf("hotspot max deviation %.1f%% under PVC, want < 10%%", dev)
+	}
+	if jain := stats.JainIndex(flits); jain < 0.99 {
+		t.Errorf("hotspot Jain index %.4f under PVC, want ~1", jain)
+	}
+}
+
+func TestHotspotStarvationWithoutQoS(t *testing.T) {
+	// The motivating failure: round-robin arbitration lets sources near
+	// the hotspot capture bandwidth while distant nodes starve.
+	n := mustNet(t, topology.MeshX1, traffic.Hotspot(8, 0.10), qos.NoQoS, 3)
+	n.WarmupAndMeasure(5000, 30000)
+	byFlow := n.Stats().FlitsByFlow()
+	near, far := 0.0, 0.0
+	for f, v := range byFlow {
+		if traffic.NodeOfFlow(noc.FlowID(f)) <= 1 {
+			near += float64(v)
+		}
+		if traffic.NodeOfFlow(noc.FlowID(f)) >= 6 {
+			far += float64(v)
+		}
+	}
+	if near < 2*far {
+		t.Errorf("expected near-hotspot capture without QoS: near %v far %v", near, far)
+	}
+	// And PVC fixes exactly this, same topology and load.
+	nq := mustNet(t, topology.MeshX1, traffic.Hotspot(8, 0.10), qos.PVC, 3)
+	nq.WarmupAndMeasure(5000, 30000)
+	var flits []float64
+	for _, v := range nq.Stats().FlitsByFlow() {
+		flits = append(flits, float64(v))
+	}
+	if jain := stats.JainIndex(flits); jain < 0.99 {
+		t.Errorf("PVC Jain index %.4f, want ~1", jain)
+	}
+}
+
+func TestWorkload1TriggersPreemptionsUnderPVC(t *testing.T) {
+	// Section 5.3: a subset of sources exhausts the reserved quota early
+	// in the frame and preemptions follow.
+	n := mustNet(t, topology.MeshX1, traffic.Workload1(8, 0), qos.PVC, 5)
+	n.WarmupAndMeasure(2000, 60000)
+	st := n.Stats()
+	if st.PreemptionEvents == 0 {
+		t.Error("adversarial workload produced no preemptions")
+	}
+	if st.WastedHops == 0 {
+		t.Error("preemptions wasted no hops")
+	}
+	if st.TotalDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestPerFlowQueueingNeverPreempts(t *testing.T) {
+	n := mustNet(t, topology.MeshX1, traffic.Workload1(8, 0), qos.PerFlowQueue, 5)
+	n.WarmupAndMeasure(2000, 30000)
+	if got := n.Stats().PreemptionEvents; got != 0 {
+		t.Errorf("per-flow queueing preempted %d times", got)
+	}
+}
+
+func TestNoQoSNeverPreempts(t *testing.T) {
+	n := mustNet(t, topology.MeshX1, traffic.Hotspot(8, 0.12), qos.NoQoS, 5)
+	n.WarmupAndMeasure(2000, 20000)
+	if got := n.Stats().PreemptionEvents; got != 0 {
+		t.Errorf("NoQoS preempted %d times", got)
+	}
+}
+
+func TestWindowBoundsInFlightPackets(t *testing.T) {
+	w := traffic.Hotspot(8, 0.15)
+	cfg := qos.DefaultConfig(w.TotalFlows())
+	cfg.WindowPackets = 4
+	n, err := New(Config{Kind: topology.MECS, QoS: cfg, Workload: w, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		n.Step()
+		for _, s := range n.srcs {
+			if s.window > 4 {
+				t.Fatalf("window %d exceeds bound 4", s.window)
+			}
+		}
+	}
+}
+
+func TestSaturationLatencyOrdering(t *testing.T) {
+	// At moderate load, MECS and DPS must beat the mesh on mean latency
+	// (Figure 4(a): ~13% faster on uniform random).
+	lat := map[topology.Kind]float64{}
+	for _, kind := range []topology.Kind{topology.MeshX1, topology.MECS, topology.DPS} {
+		n := mustNet(t, kind, traffic.UniformRandom(8, 0.04), qos.PVC, 21)
+		n.WarmupAndMeasure(4000, 12000)
+		lat[kind] = n.Stats().MeanLatency()
+		if lat[kind] == 0 {
+			t.Fatalf("%v: no latency samples", kind)
+		}
+	}
+	if lat[topology.MECS] >= lat[topology.MeshX1] || lat[topology.DPS] >= lat[topology.MeshX1] {
+		t.Errorf("latency ordering wrong: mesh %.2f, mecs %.2f, dps %.2f",
+			lat[topology.MeshX1], lat[topology.MECS], lat[topology.DPS])
+	}
+}
+
+func TestTornadoFavoursMECSOverDPS(t *testing.T) {
+	// Figure 4(b): at tornado's distance-4 transfers MECS amortizes its
+	// deeper pipeline over the express channel and edges out DPS.
+	mecs := mustNet(t, topology.MECS, traffic.Tornado(8, 0.04), qos.PVC, 23)
+	mecs.WarmupAndMeasure(4000, 12000)
+	dps := mustNet(t, topology.DPS, traffic.Tornado(8, 0.04), qos.PVC, 23)
+	dps.WarmupAndMeasure(4000, 12000)
+	lm, ld := mecs.Stats().MeanLatency(), dps.Stats().MeanLatency()
+	if lm >= ld {
+		t.Errorf("tornado: MECS %.2f should beat DPS %.2f", lm, ld)
+	}
+}
+
+func TestMeshX1SaturatesFirst(t *testing.T) {
+	// Figure 4(a): the baseline mesh's single-channel bisection saturates
+	// well before DPS's. Compare accepted throughput at high offered load.
+	accept := func(kind topology.Kind) float64 {
+		n := mustNet(t, kind, traffic.UniformRandom(8, 0.12), qos.PVC, 31)
+		n.WarmupAndMeasure(5000, 15000)
+		return n.Stats().AcceptedFlitRate(n.Now())
+	}
+	if x1, dps := accept(topology.MeshX1), accept(topology.DPS); x1 >= 0.85*dps {
+		t.Errorf("mesh x1 accepted %.3f f/c, DPS %.3f — x1 should saturate far lower", x1, dps)
+	}
+}
+
+func TestReservedQuotaSuppressesPreemptions(t *testing.T) {
+	// Table 2's setting: with all 64 sources transmitting, virtually all
+	// packets fall under the reserved cap and preemptions are rare.
+	n := mustNet(t, topology.MeshX1, traffic.Hotspot(8, 0.05), qos.PVC, 13)
+	n.WarmupAndMeasure(5000, 50000)
+	st := n.Stats()
+	if st.TotalDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if rate := st.PreemptionPacketRate(); rate > 2.0 {
+		t.Errorf("preemption rate %.2f%% with all sources under quota, want ~0", rate)
+	}
+}
+
+func TestRunUntilDrainedTimesOut(t *testing.T) {
+	// Continuous traffic never drains; the call must return rather than
+	// spin forever.
+	n := mustNet(t, topology.MeshX1, traffic.Hotspot(8, 0.05), qos.PVC, 1)
+	if _, drained := n.RunUntilDrained(500); drained {
+		t.Fatal("continuous workload reported drained")
+	}
+}
+
+func TestStepProgressesClock(t *testing.T) {
+	n := mustNet(t, topology.MeshX1, singlePacketWorkload(0, 1), qos.PVC, 1)
+	n.Run(10)
+	if n.Now() != 10 {
+		t.Fatalf("clock at %d after 10 steps", n.Now())
+	}
+}

@@ -1,0 +1,143 @@
+package network
+
+import (
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/traffic"
+)
+
+// source is one traffic injector: a terminal port or a MECS row input at a
+// column node. It owns the single injection VC (packets enter the network
+// one at a time), the PVC retransmission window (unACKed packets stay
+// buffered for replay) and the retransmission queue fed by NACKs.
+type source struct {
+	net  *Network
+	spec traffic.Spec
+	rng  *sim.RNG
+
+	// queue holds freshly generated packets awaiting first injection
+	// (unbounded: offered load beyond acceptance shows up as source
+	// queueing delay, the classic latency-throughput hockey stick).
+	queue []*pkt
+	// retx holds preempted packets awaiting re-injection; they are
+	// replayed ahead of new traffic and already occupy window slots.
+	retx []*pkt
+	// offering is the packet currently registered as a first-leg
+	// arbitration candidate (the injection VC).
+	offering *pkt
+	// window counts injected-but-unACKed packets.
+	window int
+	// busyUntil serializes the injection VC: the next packet may only
+	// be offered after the previous one's tail left the source router.
+	busyUntil sim.Cycle
+	// replica round-robins packets across replicated mesh channels.
+	replica int
+
+	generated int64
+	injected  int64
+}
+
+func newSource(n *Network, spec traffic.Spec) *source {
+	return &source{net: n, spec: spec, rng: n.rng.Split()}
+}
+
+// active reports whether the injector still generates traffic at cycle t.
+func (s *source) active(t sim.Cycle) bool {
+	return s.spec.Rate > 0 && (s.spec.StopAt == 0 || t < s.spec.StopAt)
+}
+
+// exhausted reports whether the source will never produce work again.
+func (s *source) exhausted(t sim.Cycle) bool {
+	return !s.active(t) && len(s.queue) == 0 && len(s.retx) == 0 && s.offering == nil && s.window == 0
+}
+
+// generate samples the Bernoulli packet process: the flit rate divided by
+// the mean packet size gives the per-cycle packet probability for the
+// stochastic 1-/4-flit mix.
+func (s *source) generate(t sim.Cycle) {
+	if !s.active(t) {
+		return
+	}
+	pktProb := s.spec.Rate / s.spec.MeanFlitsPerPacket()
+	if !s.rng.Bernoulli(pktProb) {
+		return
+	}
+	class := noc.ClassReply
+	if s.rng.Bernoulli(s.spec.RequestFraction) {
+		class = noc.ClassRequest
+	}
+	p := s.net.newPacket(s, class, s.spec.Dest(s.rng), t)
+	s.queue = append(s.queue, p)
+	s.generated++
+}
+
+// offer registers the next injectable packet as a first-leg arbitration
+// candidate. Retransmissions go first and already hold window slots; new
+// packets need a free slot in the outstanding-packet window (PVC mode).
+func (s *source) offer(t sim.Cycle) {
+	if s.offering != nil || t < s.busyUntil {
+		return
+	}
+	var p *pkt
+	switch {
+	case len(s.retx) > 0:
+		p = s.retx[0]
+	case len(s.queue) > 0:
+		if s.net.mode == qos.PVC && s.window >= s.net.cfg.QoS.WindowPackets {
+			return
+		}
+		p = s.queue[0]
+	default:
+		return
+	}
+	// (Re)compute the path; a retransmission may take a different
+	// replica channel.
+	p.legs = s.net.graph.Path(p.Src, p.Dst, s.replica)
+	s.replica++
+	// Rate compliance: the first rate x frame flits a source sends in a
+	// frame are protected. A retransmission may gain protection if the
+	// frame rolled over since the original attempt.
+	if s.net.quota != nil && !p.Reserved {
+		p.Reserved = s.net.quota.TryConsume(p.Flow, p.Size)
+	}
+	p.state = stAtSource
+	p.enq = t
+	s.offering = p
+	s.net.ports[p.legs[0].Out].register(p)
+}
+
+// onInjected is called when the offered packet wins first-leg arbitration:
+// it leaves the source queue and occupies a window slot.
+func (s *source) onInjected(p *pkt, tailDeparture sim.Cycle, now sim.Cycle) {
+	if s.offering != p {
+		panic("network: injected packet was not the offered one")
+	}
+	s.offering = nil
+	if len(s.retx) > 0 && s.retx[0] == p {
+		s.retx = s.retx[1:]
+	} else {
+		s.queue = s.queue[1:]
+		s.window++
+		s.net.inFlight++
+	}
+	s.busyUntil = tailDeparture
+	s.injected++
+	p.Injected = now
+	s.net.coll.Injected(p.Size)
+}
+
+// onAck frees the window slot of a delivered packet.
+func (s *source) onAck(p *pkt) {
+	s.window--
+	if s.window < 0 {
+		panic("network: ACK without outstanding packet")
+	}
+}
+
+// onNack queues a preempted packet for retransmission. The packet keeps
+// its window slot — it is still unacknowledged.
+func (s *source) onNack(p *pkt) {
+	p.state = stAtSource
+	s.retx = append(s.retx, p)
+}

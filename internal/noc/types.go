@@ -1,0 +1,208 @@
+// Package noc defines the datatypes shared by every network model in tanoq:
+// nodes, flows, packets, virtual channels and traffic classes. The
+// terminology follows the paper: a *node* is a network node (a router); a
+// *terminal* is a discrete system resource (core, cache tile, memory
+// controller) with a dedicated port at a node; a *flow* is the unit of QoS
+// accounting — one traffic injector with an assigned rate of service.
+package noc
+
+import (
+	"fmt"
+
+	"tanoq/internal/sim"
+)
+
+// NodeID identifies a router in the simulated network. In the shared-region
+// column study nodes are numbered 0..7 top to bottom.
+type NodeID int
+
+// FlowID identifies a QoS flow: one injector (a terminal port or one of the
+// MECS row inputs feeding the column). PVC tracks bandwidth per FlowID.
+type FlowID int
+
+// InvalidNode marks an unset node reference.
+const InvalidNode NodeID = -1
+
+// Class is the traffic class of a packet. The paper models two packet sizes
+// corresponding to request (1 flit) and reply (4 flit) traffic, without
+// specializing buffers by class.
+type Class uint8
+
+const (
+	// ClassRequest packets are single-flit (e.g. a read request or
+	// coherence control message).
+	ClassRequest Class = iota
+	// ClassReply packets are four flits (a cache-line-bearing reply on
+	// 16-byte links).
+	ClassReply
+)
+
+// Flits returns the packet size in flits for the class.
+func (c Class) Flits() int {
+	if c == ClassReply {
+		return ReplyFlits
+	}
+	return RequestFlits
+}
+
+func (c Class) String() string {
+	if c == ClassReply {
+		return "reply"
+	}
+	return "request"
+}
+
+// Link and packet geometry shared by every topology in the study
+// (Section 4, Table 1 of the paper).
+const (
+	// LinkBytes is the physical channel width: 16-byte (128-bit) links.
+	LinkBytes = 16
+	// FlitBytes equals the link width: one flit crosses a link per cycle.
+	FlitBytes = LinkBytes
+	// RequestFlits is the size of request packets.
+	RequestFlits = 1
+	// ReplyFlits is the size of reply packets and the maximum packet
+	// size; with virtual cut-through each VC must hold a full packet.
+	ReplyFlits = 4
+	// FlitsPerVC is the buffer depth of one virtual channel.
+	FlitsPerVC = ReplyFlits
+	// WireDelay is the wire latency in cycles between adjacent routers.
+	WireDelay = 1
+)
+
+// Priority is a PVC dynamic priority. Lower values are *better* (served
+// first): a flow's priority is its accumulated bandwidth consumption scaled
+// by its assigned rate of service, so lightly-served flows win arbitration.
+type Priority uint64
+
+// WorstPriority compares as lower-priority than any real priority value.
+const WorstPriority Priority = ^Priority(0)
+
+// Packet is the unit of transfer. Packets are created by traffic injectors,
+// carried through the network by virtual cut-through switching, and either
+// delivered (then ACKed to the source) or preempted (discarded; then NACKed
+// and retransmitted from the source window).
+type Packet struct {
+	// ID is unique per logical packet for the lifetime of a simulation.
+	// A retransmission keeps the ID of the packet it replays.
+	ID uint64
+	// Flow is the injector this packet belongs to.
+	Flow FlowID
+	// Src is the column node at which the packet enters the network.
+	Src NodeID
+	// Dst is the column node whose terminal the packet must reach.
+	Dst NodeID
+	// Class determines the size in flits.
+	Class Class
+	// Size is the length in flits (cached from Class at creation).
+	Size int
+
+	// Priority is the PVC priority carried in the header. It is computed
+	// from the flow table at injection and refreshed at flow-table-
+	// equipped routers ("priority reuse" lets intermediate DPS hops use
+	// the carried value without a table lookup).
+	Priority Priority
+	// Reserved marks a rate-compliant packet: it was injected within the
+	// source's reserved quota for the current frame, may claim the
+	// reserved VC at each port, and must never be preempted.
+	Reserved bool
+
+	// Created is the cycle the logical packet was first generated.
+	Created sim.Cycle
+	// Injected is the cycle this (re)transmission entered the network.
+	Injected sim.Cycle
+
+	// Retransmits counts how many times the packet was preempted and
+	// replayed.
+	Retransmits int
+	// HopsDone counts completed hop traversals of the current
+	// transmission attempt; on preemption these are the wasted hops that
+	// must be replayed.
+	HopsDone int
+	// hop is the index of the current leg on the packet's path.
+	hop int
+}
+
+// Hop returns the index of the path leg the packet is currently on.
+func (p *Packet) Hop() int { return p.hop }
+
+// AdvanceHop moves the packet to its next path leg and records the
+// completed traversal.
+func (p *Packet) AdvanceHop() {
+	p.hop++
+	p.HopsDone++
+}
+
+// ResetForRetransmit rewinds the packet to its source for replay after a
+// preemption. The original creation time is kept so end-to-end latency
+// accounts for the wasted attempt; priority will be recomputed at
+// re-injection.
+func (p *Packet) ResetForRetransmit() {
+	p.hop = 0
+	p.HopsDone = 0
+	p.Retransmits++
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt %d flow %d %d->%d %s prio %d hop %d",
+		p.ID, p.Flow, p.Src, p.Dst, p.Class, p.Priority, p.hop)
+}
+
+// VCState is the lifecycle of a virtual channel buffer.
+type VCState uint8
+
+const (
+	// VCFree means the VC holds no packet and can be allocated.
+	VCFree VCState = iota
+	// VCBusy means a packet owns the VC: its flits are arriving into or
+	// draining out of the buffer.
+	VCBusy
+)
+
+// VC is one virtual channel at a router input port. Under virtual
+// cut-through flow control a VC is allocated to exactly one packet at a
+// time and must be deep enough (FlitsPerVC) to hold the largest packet, so
+// a granted packet can always be fully absorbed.
+type VC struct {
+	// Index of this VC within its port.
+	Index int
+	// ReservedForCompliant marks the one VC per network port that only
+	// rate-compliant (Reserved) packets may claim, which throttles
+	// preemption incidence (Section 4).
+	ReservedForCompliant bool
+
+	State VCState
+	// Owner is the packet currently holding the VC (nil when free).
+	Owner *Packet
+	// HeadArrival is the cycle the owner's head flit reaches (reached)
+	// this buffer; the packet may be forwarded from this time on
+	// (cut-through).
+	HeadArrival sim.Cycle
+	// TailArrival is the cycle the owner's tail flit reaches the buffer;
+	// the VC can be handed to a new packet only after the tail has also
+	// *departed* downstream, which the engine tracks separately.
+	TailArrival sim.Cycle
+}
+
+// Allocate claims the VC for p. It panics when the VC is not free — the
+// allocator must never double-book a buffer; making that a hard failure
+// turns allocator bugs into immediate, debuggable crashes instead of silent
+// flit corruption.
+func (v *VC) Allocate(p *Packet, headArrival, tailArrival sim.Cycle) {
+	if v.State != VCFree {
+		panic(fmt.Sprintf("noc: allocating busy VC %d (owner %v)", v.Index, v.Owner))
+	}
+	v.State = VCBusy
+	v.Owner = p
+	v.HeadArrival = headArrival
+	v.TailArrival = tailArrival
+}
+
+// Release frees the VC after its owner's tail flit has departed (or the
+// owner was preempted).
+func (v *VC) Release() {
+	v.State = VCFree
+	v.Owner = nil
+	v.HeadArrival = 0
+	v.TailArrival = 0
+}

@@ -1,0 +1,224 @@
+package physical
+
+import (
+	"testing"
+
+	"tanoq/internal/topology"
+)
+
+func structOf(k topology.Kind) topology.Structure {
+	return topology.StructureOf(k, topology.ColumnNodes, 64)
+}
+
+func areas() map[topology.Kind]AreaBreakdown {
+	out := map[topology.Kind]AreaBreakdown{}
+	for _, k := range topology.Kinds() {
+		out[k] = RouterArea(structOf(k))
+	}
+	return out
+}
+
+func TestFig3AreaOrdering(t *testing.T) {
+	a := areas()
+	// "Mesh x1 is the most area-efficient topology"; "Mesh x4 ... has
+	// the largest footprint".
+	for _, k := range topology.Kinds() {
+		if k == topology.MeshX1 {
+			continue
+		}
+		if a[topology.MeshX1].Total() >= a[k].Total() {
+			t.Errorf("mesh x1 (%.4f) not smaller than %v (%.4f)",
+				a[topology.MeshX1].Total(), k, a[k].Total())
+		}
+		if k == topology.MeshX4 {
+			continue
+		}
+		if a[topology.MeshX4].Total() <= a[k].Total() {
+			t.Errorf("mesh x4 (%.4f) not larger than %v (%.4f)",
+				a[topology.MeshX4].Total(), k, a[k].Total())
+		}
+	}
+}
+
+func TestFig3MeshX4CrossbarDominates(t *testing.T) {
+	a := areas()
+	// "mostly due to a crossbar that is roughly four times larger than
+	// that in a baseline mesh" (5x5 vs 11x11 port spans).
+	ratio := a[topology.MeshX4].Crossbar / a[topology.MeshX1].Crossbar
+	if ratio < 3.5 || ratio > 6.0 {
+		t.Errorf("x4/x1 crossbar ratio %.2f, want ~4-5", ratio)
+	}
+}
+
+func TestFig3MECSBuffersLargestCrossbarCompact(t *testing.T) {
+	a := areas()
+	for _, k := range topology.Kinds() {
+		if k == topology.MECS {
+			continue
+		}
+		if a[k].ColBuffers >= a[topology.MECS].ColBuffers {
+			t.Errorf("%v column buffers (%.4f) >= MECS (%.4f)", k, a[k].ColBuffers, a[topology.MECS].ColBuffers)
+		}
+	}
+	if a[topology.MECS].Crossbar > a[topology.MeshX1].Crossbar {
+		t.Error("MECS crossbar should be as compact as mesh x1's")
+	}
+}
+
+func TestFig3DPSComparableToMECS(t *testing.T) {
+	a := areas()
+	// "DPS router's area overhead is comparable to that of MECS":
+	// smaller buffers, larger crossbar, similar total (within ~35%).
+	dps, mecs := a[topology.DPS], a[topology.MECS]
+	if dps.ColBuffers >= mecs.ColBuffers {
+		t.Error("DPS buffers should undercut MECS")
+	}
+	if dps.Crossbar <= mecs.Crossbar {
+		t.Error("DPS crossbar should exceed MECS")
+	}
+	ratio := dps.Total() / mecs.Total()
+	if ratio < 0.65 || ratio > 1.35 {
+		t.Errorf("DPS/MECS total area ratio %.2f, want comparable", ratio)
+	}
+}
+
+func TestFig3FlowStateIsMinorContributor(t *testing.T) {
+	// "In all networks, PVC's per-flow state is not a significant
+	// contributor to area overhead."
+	for k, a := range areas() {
+		if share := a.FlowState / a.Total(); share > 0.20 {
+			t.Errorf("%v flow state is %.0f%% of router area", k, 100*share)
+		}
+	}
+}
+
+func TestFig3RowBuffersEqual(t *testing.T) {
+	a := areas()
+	want := a[topology.MeshX1].RowBuffers
+	for k, v := range a {
+		if v.RowBuffers != want {
+			t.Errorf("%v row buffer area %.4f differs from %.4f", k, v.RowBuffers, want)
+		}
+	}
+}
+
+func TestFig3AbsoluteScale(t *testing.T) {
+	// Figure 3's axis runs 0–0.14 mm²; routers must land in that decade.
+	for k, a := range areas() {
+		if tot := a.Total(); tot < 0.01 || tot > 0.2 {
+			t.Errorf("%v router area %.4f mm² outside Figure 3's scale", k, tot)
+		}
+	}
+}
+
+func TestFig7MECSSwitchMostEnergyHungry(t *testing.T) {
+	// "MECS has the most energy-hungry switch stage among the evaluated
+	// topologies due to the long input lines feeding the crossbar."
+	mecs := HopEnergy(structOf(topology.MECS), HopSource).Crossbar
+	for _, k := range topology.Kinds() {
+		if k == topology.MECS {
+			continue
+		}
+		if got := HopEnergy(structOf(k), HopSource).Crossbar; got >= mecs {
+			t.Errorf("%v switch energy %.2f >= MECS %.2f", k, got, mecs)
+		}
+	}
+}
+
+func TestFig7DPSIntermediateHopIsCheap(t *testing.T) {
+	s := structOf(topology.DPS)
+	inter := HopEnergy(s, HopIntermediate)
+	src := HopEnergy(s, HopSource)
+	if inter.FlowTable != 0 {
+		t.Error("DPS intermediate hops must not touch flow state")
+	}
+	if inter.Crossbar >= src.Crossbar/2 {
+		t.Error("DPS intermediate mux should be far cheaper than the source crossbar")
+	}
+	if inter.Total() >= src.Total()/2 {
+		t.Errorf("DPS intermediate (%.2f) should be <half of source (%.2f)", inter.Total(), src.Total())
+	}
+}
+
+func TestFig7ThreeHopShape(t *testing.T) {
+	e := map[topology.Kind]float64{}
+	for _, k := range topology.Kinds() {
+		e[k] = RouteEnergy(structOf(k), 3).Total()
+	}
+	// Meshes are least efficient on 3-hop routes (four full traversals).
+	if e[topology.DPS] >= e[topology.MeshX1] || e[topology.MECS] >= e[topology.MeshX1] {
+		t.Errorf("3-hop: dps %.1f mecs %.1f should beat mesh x1 %.1f",
+			e[topology.DPS], e[topology.MECS], e[topology.MeshX1])
+	}
+	// "DPS ... resulting in 17%% energy savings over mesh x1 and 33%%
+	// over mesh x4" — hold the direction and rough magnitude.
+	saveX1 := 1 - e[topology.DPS]/e[topology.MeshX1]
+	saveX4 := 1 - e[topology.DPS]/e[topology.MeshX4]
+	if saveX1 < 0.10 || saveX1 > 0.30 {
+		t.Errorf("DPS vs mesh x1 3-hop savings %.0f%%, want ~17%%", 100*saveX1)
+	}
+	if saveX4 < 0.25 || saveX4 > 0.50 {
+		t.Errorf("DPS vs mesh x4 3-hop savings %.0f%%, want ~33%%", 100*saveX4)
+	}
+	// "On the 3-hop pattern, MECS and DPS have nearly identical router
+	// energy consumption."
+	ratio := e[topology.MECS] / e[topology.DPS]
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("MECS/DPS 3-hop ratio %.2f, want ~1", ratio)
+	}
+}
+
+func TestFig7DistanceCrossover(t *testing.T) {
+	mecs, dps := structOf(topology.MECS), structOf(topology.DPS)
+	// "Longer communication distances improve the efficiency of the
+	// MECS topology, while near-neighbor patterns favor mesh and DPS."
+	if RouteEnergy(dps, 1).Total() >= RouteEnergy(mecs, 1).Total() {
+		t.Error("DPS should beat MECS at distance 1")
+	}
+	if RouteEnergy(mecs, 7).Total() >= RouteEnergy(dps, 7).Total() {
+		t.Error("MECS should beat DPS at distance 7")
+	}
+	// MECS route energy is distance-invariant (no intermediate hops).
+	if RouteEnergy(mecs, 2).Total() != RouteEnergy(mecs, 6).Total() {
+		t.Error("MECS route energy must not grow with distance")
+	}
+}
+
+func TestRouteEnergyDegenerate(t *testing.T) {
+	s := structOf(topology.MeshX1)
+	if RouteEnergy(s, 0).Total() != HopEnergy(s, HopSource).Total() {
+		t.Error("distance 0 should cost one source traversal")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative distance did not panic")
+		}
+	}()
+	RouteEnergy(s, -1)
+}
+
+func TestHopTypeString(t *testing.T) {
+	if HopSource.String() != "src" || HopIntermediate.String() != "intermediate" || HopDest.String() != "dest" {
+		t.Error("hop type strings wrong")
+	}
+}
+
+func TestQoSLogicAreaShare(t *testing.T) {
+	for _, k := range topology.Kinds() {
+		share := QoSLogicAreaShare(structOf(k))
+		if share <= 0 || share >= 0.35 {
+			t.Errorf("%v QoS logic share %.2f implausible", k, share)
+		}
+	}
+}
+
+func TestEnergyBreakdownTotal(t *testing.T) {
+	e := EnergyBreakdown{Buffers: 1, Crossbar: 2, FlowTable: 3}
+	if e.Total() != 6 {
+		t.Error("Total should sum components")
+	}
+	sum := e.add(EnergyBreakdown{Buffers: 1})
+	if sum.Buffers != 2 || sum.Total() != 7 {
+		t.Error("add broken")
+	}
+}

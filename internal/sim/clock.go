@@ -1,0 +1,32 @@
+package sim
+
+// Cycle is a point in simulated time, measured in router clock cycles.
+// The paper's target is a 32 nm CMP; all latency results are reported in
+// cycles so the clock frequency never needs to be fixed.
+type Cycle int64
+
+// Clock is the global cycle counter of a simulation. Components read it
+// for timestamps; only the top-level engine advances it.
+type Clock struct {
+	now Cycle
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() Cycle { return c.now }
+
+// Tick advances the clock by one cycle and returns the new time.
+func (c *Clock) Tick() Cycle {
+	c.now++
+	return c.now
+}
+
+// Advance moves the clock forward by d cycles (d must be non-negative).
+func (c *Clock) Advance(d Cycle) {
+	if d < 0 {
+		panic("sim: Advance with negative delta")
+	}
+	c.now += d
+}
+
+// Reset rewinds the clock to cycle zero, for reuse across measurement runs.
+func (c *Clock) Reset() { c.now = 0 }

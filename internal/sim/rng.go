@@ -1,0 +1,116 @@
+// Package sim provides the low-level simulation substrate shared by every
+// model in tanoq: a deterministic, seedable random number generator and a
+// cycle clock. Determinism matters here — every experiment in the paper is
+// regenerated from a fixed seed, so two runs of the same harness must
+// produce bit-identical results.
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// SplitMix64 (Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+// Generators", OOPSLA 2014). It is small, fast, allocation-free and passes
+// BigCrush, which is more than sufficient for stochastic traffic
+// generation. The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds yield
+// independent-looking streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives a new, statistically independent generator from r.
+// The derived stream does not overlap r's stream for any practical length;
+// it is used to give each traffic injector its own private stream so that
+// adding or removing injectors does not perturb the others.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x6a09e667f3bcc909}
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics when
+// n <= 0. Lemire's multiply-shift rejection method keeps the result
+// unbiased without a modulo in the common path.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 computes the 128-bit product of a and b, returning the high and low
+// 64-bit halves. Written out long-hand to stay allocation-free on every
+// platform without importing math/bits semantics concerns (math/bits would
+// be fine too; this keeps the dependency surface explicit).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniformly distributed float in [0, 1) with 53 bits of
+// precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean. Used by traffic generators that model bursty inter-arrival times.
+func (r *RNG) Exponential(mean float64) float64 {
+	u := r.Float64()
+	// Guard against log(0); Float64 never returns 1.0 so 1-u is never 0.
+	return -mean * math.Log(1-u)
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// The child stream must not replay the parent stream.
+	p := NewRNG(7)
+	p.Uint64() // consume the split draw
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("child stream collided with parent at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := NewRNG(13)
+	const p, draws = 0.14, 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.005 {
+		t.Errorf("Bernoulli(%v) empirical rate %v", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	check := func(n uint8) bool {
+		m := int(n%32) + 1
+		p := r.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(23)
+	const mean, draws = 40.0, 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("Exponential returned negative %v", v)
+		}
+		sum += v
+	}
+	if got := sum / draws; math.Abs(got-mean) > 0.02*mean {
+		t.Errorf("Exponential mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestMul64AgainstStdlib(t *testing.T) {
+	check := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		wantHi, wantLo := bits.Mul64(a, b)
+		return lo == wantLo && hi == wantHi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d", c.Now())
+	}
+	if c.Tick() != 1 || c.Now() != 1 {
+		t.Fatal("Tick did not advance to 1")
+	}
+	c.Advance(10)
+	if c.Now() != 11 {
+		t.Fatalf("Advance(10): now = %d, want 11", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,194 @@
+// Package stats provides the measurement machinery of the evaluation:
+// per-flow throughput and latency collection with warmup-aware measurement
+// windows, preemption accounting (events and normalized wasted hops), and
+// the fairness mathematics the paper reports against — max-min fair
+// allocations via water-filling, deviation from expectation, and summary
+// dispersion statistics.
+package stats
+
+import (
+	"tanoq/internal/noc"
+	"tanoq/internal/sim"
+)
+
+// Collector accumulates simulation metrics. Counters are only charged
+// while measuring, so a warmup phase can be excluded; resource-level
+// bookkeeping (e.g. hop totals) follows the same gate.
+type Collector struct {
+	flows     int
+	measuring bool
+	start     sim.Cycle
+
+	// Per-flow, measurement window only.
+	DeliveredPackets []int64
+	DeliveredFlits   []int64
+	LatencySumByFlow []int64
+
+	// Aggregates, measurement window only.
+	TotalDelivered   int64
+	TotalLatency     int64
+	InjectedPackets  int64
+	InjectedFlits    int64
+	PreemptionEvents int64
+	PreemptedUnique  int64
+	WastedHops       int64
+	TotalHops        int64
+	Retransmits      int64
+	LastDelivery     sim.Cycle
+	MaxLatency       int64
+
+	// Latencies is the delivered-packet latency distribution, for tail
+	// percentiles (p50/p99 of the load-latency curves).
+	Latencies Histogram
+}
+
+// NewCollector creates a collector for the given flow population. It
+// starts measuring immediately; call Reset after warmup to discard the
+// transient.
+func NewCollector(flows int) *Collector {
+	c := &Collector{flows: flows, measuring: true}
+	c.alloc()
+	return c
+}
+
+func (c *Collector) alloc() {
+	c.DeliveredPackets = make([]int64, c.flows)
+	c.DeliveredFlits = make([]int64, c.flows)
+	c.LatencySumByFlow = make([]int64, c.flows)
+}
+
+// Flows returns the flow population size.
+func (c *Collector) Flows() int { return c.flows }
+
+// Reset clears all counters and marks the beginning of the measurement
+// window at cycle now.
+func (c *Collector) Reset(now sim.Cycle) {
+	c.alloc()
+	c.TotalDelivered, c.TotalLatency = 0, 0
+	c.InjectedPackets, c.InjectedFlits = 0, 0
+	c.PreemptionEvents, c.PreemptedUnique = 0, 0
+	c.WastedHops, c.TotalHops = 0, 0
+	c.Retransmits = 0
+	c.LastDelivery = 0
+	c.MaxLatency = 0
+	c.Latencies.Reset()
+	c.start = now
+	c.measuring = true
+}
+
+// Pause suspends measurement (warmup/drain phases).
+func (c *Collector) Pause() { c.measuring = false }
+
+// Measuring reports whether counters are live.
+func (c *Collector) Measuring() bool { return c.measuring }
+
+// Start returns the beginning of the measurement window.
+func (c *Collector) Start() sim.Cycle { return c.start }
+
+// Injected records a packet entering the network.
+func (c *Collector) Injected(flits int) {
+	if !c.measuring {
+		return
+	}
+	c.InjectedPackets++
+	c.InjectedFlits += int64(flits)
+}
+
+// Delivered records a packet's arrival at its destination terminal.
+func (c *Collector) Delivered(f noc.FlowID, flits int, latency int64, now sim.Cycle) {
+	if !c.measuring {
+		return
+	}
+	c.DeliveredPackets[f]++
+	c.DeliveredFlits[f] += int64(flits)
+	c.LatencySumByFlow[f] += latency
+	c.TotalDelivered++
+	c.TotalLatency += latency
+	c.Latencies.Observe(latency)
+	if latency > c.MaxLatency {
+		c.MaxLatency = latency
+	}
+	if now > c.LastDelivery {
+		c.LastDelivery = now
+	}
+}
+
+// Preempted records one preemption event and the (mesh-normalized) hop
+// traversals wasted by it. firstForPacket distinguishes packets' first
+// preemption, for the unique-packet rate.
+func (c *Collector) Preempted(wastedHops int, firstForPacket bool) {
+	if !c.measuring {
+		return
+	}
+	c.PreemptionEvents++
+	c.Retransmits++
+	c.WastedHops += int64(wastedHops)
+	if firstForPacket {
+		c.PreemptedUnique++
+	}
+}
+
+// HopTraversed records weight completed hop traversals (useful or not);
+// the denominator of the wasted-hop rate.
+func (c *Collector) HopTraversed(weight int) {
+	if !c.measuring {
+		return
+	}
+	c.TotalHops += int64(weight)
+}
+
+// MeanLatency returns the average delivered-packet latency in cycles.
+func (c *Collector) MeanLatency() float64 {
+	if c.TotalDelivered == 0 {
+		return 0
+	}
+	return float64(c.TotalLatency) / float64(c.TotalDelivered)
+}
+
+// MeanLatencyOfFlow returns one flow's average latency.
+func (c *Collector) MeanLatencyOfFlow(f noc.FlowID) float64 {
+	if c.DeliveredPackets[f] == 0 {
+		return 0
+	}
+	return float64(c.LatencySumByFlow[f]) / float64(c.DeliveredPackets[f])
+}
+
+// AcceptedFlitRate returns delivered flits per cycle over the window
+// ending at cycle now.
+func (c *Collector) AcceptedFlitRate(now sim.Cycle) float64 {
+	d := now - c.start
+	if d <= 0 {
+		return 0
+	}
+	var total int64
+	for _, v := range c.DeliveredFlits {
+		total += v
+	}
+	return float64(total) / float64(d)
+}
+
+// PreemptionPacketRate returns preemption events as a percentage of
+// delivered packets (Figure 5's "Packets" bar; a packet preempted twice
+// counts twice, per Section 5.3).
+func (c *Collector) PreemptionPacketRate() float64 {
+	if c.TotalDelivered == 0 {
+		return 0
+	}
+	return 100 * float64(c.PreemptionEvents) / float64(c.TotalDelivered)
+}
+
+// WastedHopRate returns wasted hop traversals as a percentage of all hop
+// traversals (Figure 5's "Hops" bar).
+func (c *Collector) WastedHopRate() float64 {
+	if c.TotalHops == 0 {
+		return 0
+	}
+	return 100 * float64(c.WastedHops) / float64(c.TotalHops)
+}
+
+// FlitsByFlow returns a copy of the per-flow delivered flit counts.
+func (c *Collector) FlitsByFlow() []int64 {
+	out := make([]int64, len(c.DeliveredFlits))
+	copy(out, c.DeliveredFlits)
+	return out
+}

@@ -1,0 +1,122 @@
+package topology
+
+// Structure is the physical description of one shared-region router, from
+// which the area model (Figure 3) and energy model (Figure 7) are derived.
+// All counts are per router at one column node.
+//
+// Crossbar geometry follows Section 3.2 and Figure 2: every router has a
+// terminal input, two row-input switch ports (the seven MECS row channels
+// share crossbar ports four/three to a side), and east/west/terminal
+// outputs; the column-facing ports differ per topology:
+//
+//   - mesh xK: 2K column inputs and 2K column outputs on the crossbar —
+//     5x5 for x1 and 11x11 for x4, the spans the paper quotes;
+//   - MECS: all column inputs from a direction share one switch port, so
+//     the crossbar stays 5x5, but the input lines that feed it run from
+//     buffers spread along the express channels (the long wires that make
+//     the MECS switch stage energy-hungry);
+//   - DPS: intermediate traffic bypasses the crossbar through 2:1 muxes;
+//     the crossbar carries injections (terminal + row ports) into one
+//     output per subnet plus the ejection side, giving few inputs but many
+//     outputs.
+type Structure struct {
+	Kind Kind
+
+	// Column-facing input buffering.
+	ColInPorts  int // network input ports facing the column
+	ColVCsPerIn int // VCs per column input port
+	FlitsPerVC  int
+	FlitBytes   int
+	// Row-facing input buffering, identical across topologies (the
+	// dotted line in Figure 3).
+	RowInPorts  int
+	RowVCsPerIn int
+
+	// Crossbar geometry.
+	XbarIn  int
+	XbarOut int
+	// XbarInputLineTiles is the average wire length, in tile spans, from
+	// an input buffer to the crossbar. ~0 for compact routers; several
+	// tiles for MECS, whose drop-off buffers sit along the channel.
+	XbarInputLineTiles float64
+
+	// Flow state: PVC keeps a bandwidth counter per flow per output
+	// port (DPS scales tables with its larger output-port count).
+	FlowTables      int
+	FlowTableFlows  int
+	FlowCounterBits int
+}
+
+// Flow-state sizing: a PVC bandwidth counter must span a frame's worth of
+// flits (50K cycles at 1 flit/cycle needs 16 bits) plus the fixed-point
+// rate weight.
+const (
+	flowCounterBits = 24
+	rowVCsPerInput  = 4
+)
+
+// StructureOf returns the physical router description of a topology, for a
+// column of the given node count and flow population.
+func StructureOf(kind Kind, nodes, flows int) Structure {
+	s := Structure{
+		Kind:            kind,
+		FlitsPerVC:      4,
+		FlitBytes:       16,
+		RowInPorts:      RowInputsPerNode,
+		RowVCsPerIn:     rowVCsPerInput,
+		FlowTableFlows:  flows,
+		FlowCounterBits: flowCounterBits,
+	}
+	switch kind {
+	case MeshX1, MeshX2, MeshX4:
+		k := kind.Replication()
+		s.ColInPorts = 2 * k
+		s.ColVCsPerIn = MeshVCs
+		// Crossbar: 2K column in + 2 row switch ports + terminal in;
+		// 2K column out + east/west/terminal out.
+		s.XbarIn = 2*k + 3
+		s.XbarOut = 2*k + 3
+		s.XbarInputLineTiles = 0.25
+	case MECS:
+		// One input buffer per other node in the column; inputs from
+		// a direction share a crossbar port.
+		s.ColInPorts = nodes - 1
+		s.ColVCsPerIn = MECSVCs
+		s.XbarIn = 5
+		s.XbarOut = 5
+		// Drop-off buffers sit along the express channel span; the
+		// average feed line is about half the column radius.
+		s.XbarInputLineTiles = float64(nodes) / 2.0
+	case DPS:
+		// One buffer per through subnet plus the two destination-side
+		// buffers of the node's own subnet.
+		s.ColInPorts = nodes
+		s.ColVCsPerIn = DPSVCs
+		// Crossbar inputs: terminal + 2 row ports + the 2 own-subnet
+		// buffers on the ejection side; outputs: one per subnet plus
+		// east/west/terminal.
+		s.XbarIn = 5
+		s.XbarOut = (nodes - 1) + 3
+		s.XbarInputLineTiles = 0.25
+	}
+	// One flow table per crossbar output port (PVC tracks bandwidth per
+	// output; Section 3.2 notes DPS scales tables with its output count).
+	s.FlowTables = s.XbarOut
+	return s
+}
+
+// ColBufferBits returns the column-facing input buffer capacity in bits.
+func (s Structure) ColBufferBits() int {
+	return s.ColInPorts * s.ColVCsPerIn * s.FlitsPerVC * s.FlitBytes * 8
+}
+
+// RowBufferBits returns the row-facing input buffer capacity in bits
+// (identical across topologies).
+func (s Structure) RowBufferBits() int {
+	return s.RowInPorts * s.RowVCsPerIn * s.FlitsPerVC * s.FlitBytes * 8
+}
+
+// FlowStateBits returns the flow-state storage in bits.
+func (s Structure) FlowStateBits() int {
+	return s.FlowTables * s.FlowTableFlows * s.FlowCounterBits
+}

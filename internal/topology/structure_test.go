@@ -1,0 +1,102 @@
+package topology
+
+import "testing"
+
+func TestCrossbarSpansMatchPaper(t *testing.T) {
+	// Section 5.1 quotes crossbar spans explicitly: 5x5 for the baseline
+	// mesh, 11x11 for the 4-way replicated mesh, one switch port per
+	// direction for MECS.
+	if s := StructureOf(MeshX1, ColumnNodes, 64); s.XbarIn != 5 || s.XbarOut != 5 {
+		t.Errorf("mesh x1 crossbar %dx%d, want 5x5", s.XbarIn, s.XbarOut)
+	}
+	if s := StructureOf(MeshX4, ColumnNodes, 64); s.XbarIn != 11 || s.XbarOut != 11 {
+		t.Errorf("mesh x4 crossbar %dx%d, want 11x11", s.XbarIn, s.XbarOut)
+	}
+	if s := StructureOf(MECS, ColumnNodes, 64); s.XbarIn != 5 || s.XbarOut != 5 {
+		t.Errorf("MECS crossbar %dx%d, want 5x5", s.XbarIn, s.XbarOut)
+	}
+	d := StructureOf(DPS, ColumnNodes, 64)
+	if d.XbarOut <= StructureOf(MECS, ColumnNodes, 64).XbarOut {
+		t.Error("DPS must have more crossbar outputs than MECS (one per subnet)")
+	}
+}
+
+func TestMECSHasLargestBuffers(t *testing.T) {
+	// Figure 3: "the MECS topology has the largest buffer footprint".
+	mecs := StructureOf(MECS, ColumnNodes, 64).ColBufferBits()
+	for _, k := range Kinds() {
+		if k == MECS {
+			continue
+		}
+		if got := StructureOf(k, ColumnNodes, 64).ColBufferBits(); got >= mecs {
+			t.Errorf("%v buffer bits %d >= MECS %d", k, got, mecs)
+		}
+	}
+}
+
+func TestDPSBuffersSmallerThanMECS(t *testing.T) {
+	// Section 5.1: "DPS has smaller buffer requirements but a larger
+	// crossbar".
+	dps := StructureOf(DPS, ColumnNodes, 64)
+	mecs := StructureOf(MECS, ColumnNodes, 64)
+	if dps.ColBufferBits() >= mecs.ColBufferBits() {
+		t.Error("DPS buffers should be smaller than MECS")
+	}
+	if dps.XbarOut <= mecs.XbarOut {
+		t.Error("DPS crossbar should be larger than MECS")
+	}
+}
+
+func TestRowBuffersIdenticalAcrossTopologies(t *testing.T) {
+	// The dotted line in Figure 3: row-input buffering is identical for
+	// every topology.
+	want := StructureOf(MeshX1, ColumnNodes, 64).RowBufferBits()
+	for _, k := range Kinds() {
+		if got := StructureOf(k, ColumnNodes, 64).RowBufferBits(); got != want {
+			t.Errorf("%v row buffer bits %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestFlowStateScalesWithFlows(t *testing.T) {
+	small := StructureOf(MECS, ColumnNodes, 16).FlowStateBits()
+	large := StructureOf(MECS, ColumnNodes, 64).FlowStateBits()
+	if large != 4*small {
+		t.Errorf("flow state bits %d -> %d, want 4x scaling", small, large)
+	}
+}
+
+func TestDPSFlowTablesScaledUp(t *testing.T) {
+	// Section 3.2: DPS flow tables scale with the per-subnet output
+	// ports.
+	dps := StructureOf(DPS, ColumnNodes, 64)
+	mesh := StructureOf(MeshX1, ColumnNodes, 64)
+	if dps.FlowTables <= mesh.FlowTables {
+		t.Errorf("DPS flow tables %d should exceed mesh x1's %d", dps.FlowTables, mesh.FlowTables)
+	}
+}
+
+func TestMECSInputLinesAreLong(t *testing.T) {
+	// The root of MECS's energy-hungry switch stage (Section 5.4).
+	mecs := StructureOf(MECS, ColumnNodes, 64)
+	for _, k := range Kinds() {
+		if k == MECS {
+			continue
+		}
+		if s := StructureOf(k, ColumnNodes, 64); s.XbarInputLineTiles >= mecs.XbarInputLineTiles {
+			t.Errorf("%v input lines (%v tiles) >= MECS (%v)", k, s.XbarInputLineTiles, mecs.XbarInputLineTiles)
+		}
+	}
+}
+
+func TestMeshReplicationGrowsStructure(t *testing.T) {
+	x1 := StructureOf(MeshX1, ColumnNodes, 64)
+	x2 := StructureOf(MeshX2, ColumnNodes, 64)
+	x4 := StructureOf(MeshX4, ColumnNodes, 64)
+	if !(x1.ColInPorts < x2.ColInPorts && x2.ColInPorts < x4.ColInPorts) {
+		t.Error("column ports must grow with replication")
+	}
+	if !(x1.XbarIn*x1.XbarOut < x2.XbarIn*x2.XbarOut && x2.XbarIn*x2.XbarOut < x4.XbarIn*x4.XbarOut) {
+		t.Error("crossbar area product must grow with replication")
+	}
+}

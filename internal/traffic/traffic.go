@@ -1,0 +1,249 @@
+// Package traffic builds the synthetic workloads of the paper's
+// evaluation (Section 4): uniform random and tornado load-latency sweeps,
+// the hotspot fairness pattern of Table 2, and the two adversarial
+// preemption workloads of Section 5.3. A workload is a set of injector
+// specifications the network engine samples every cycle.
+//
+// Injector numbering: each of the eight column nodes hosts
+// topology.InjectorsPerNode = 8 injectors — index 0 is the shared-resource
+// terminal port, indices 1..7 are the MECS row inputs arriving from the
+// node's row. FlowID = node*8 + index; QoS state is provisioned for the
+// full population even when a workload activates only a subset (that is
+// precisely how the adversarial workloads exhaust PVC's reserved quota).
+package traffic
+
+import (
+	"fmt"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+)
+
+// DestFn picks the destination node of a freshly generated packet.
+type DestFn func(r *sim.RNG) noc.NodeID
+
+// Spec describes one traffic injector.
+type Spec struct {
+	Flow noc.FlowID
+	Node noc.NodeID
+	// Rate is the offered load in flits per cycle (0.12 = 12 %).
+	Rate float64
+	// RequestFraction is the probability a generated packet is a 1-flit
+	// request; the remainder are 4-flit replies. The paper's stochastic
+	// 1-and-4-flit mix uses 0.5.
+	RequestFraction float64
+	// Dest picks each packet's destination.
+	Dest DestFn
+	// StopAt, when positive, halts generation at that cycle (used by
+	// the finite run-to-drain workloads of Figure 6).
+	StopAt sim.Cycle
+}
+
+// DefaultRequestFraction is the paper's packet mix: an equal stochastic
+// blend of 1-flit requests and 4-flit replies.
+const DefaultRequestFraction = 0.5
+
+// MeanFlitsPerPacket returns the expected packet size under the spec's
+// class mix.
+func (s Spec) MeanFlitsPerPacket() float64 {
+	return s.RequestFraction*float64(noc.RequestFlits) + (1-s.RequestFraction)*float64(noc.ReplyFlits)
+}
+
+// Workload is a named set of injectors over a column of nodes.
+type Workload struct {
+	Name  string
+	Nodes int
+	Specs []Spec
+}
+
+// TotalFlows returns the QoS flow population (all potential injectors,
+// active or not): qos.Config.Rates must cover every flow ID.
+func (w Workload) TotalFlows() int { return w.Nodes * topology.InjectorsPerNode }
+
+// FlowOf returns the flow ID of an injector position.
+func FlowOf(node noc.NodeID, injector int) noc.FlowID {
+	return noc.FlowID(int(node)*topology.InjectorsPerNode + injector)
+}
+
+// NodeOfFlow returns the column node hosting a flow.
+func NodeOfFlow(f noc.FlowID) noc.NodeID {
+	return noc.NodeID(int(f) / topology.InjectorsPerNode)
+}
+
+// UniformRandom activates every injector at the given per-injector rate,
+// spreading destinations uniformly over the other column nodes — the
+// benign pattern of Figure 4(a).
+func UniformRandom(nodes int, rate float64) Workload {
+	w := Workload{Name: fmt.Sprintf("uniform-%.3f", rate), Nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		node := noc.NodeID(n)
+		for i := 0; i < topology.InjectorsPerNode; i++ {
+			w.Specs = append(w.Specs, Spec{
+				Flow:            FlowOf(node, i),
+				Node:            node,
+				Rate:            rate,
+				RequestFraction: DefaultRequestFraction,
+				Dest:            uniformExcluding(nodes, n),
+			})
+		}
+	}
+	return w
+}
+
+func uniformExcluding(nodes, self int) DestFn {
+	return func(r *sim.RNG) noc.NodeID {
+		d := r.Intn(nodes - 1)
+		if d >= self {
+			d++
+		}
+		return noc.NodeID(d)
+	}
+}
+
+// Tornado concentrates each node's traffic on the destination half-way
+// across the dimension ((i + n/2) mod n) — the challenge pattern for rings
+// and meshes of Figure 4(b).
+func Tornado(nodes int, rate float64) Workload {
+	w := Workload{Name: fmt.Sprintf("tornado-%.3f", rate), Nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		node := noc.NodeID(n)
+		dst := noc.NodeID((n + nodes/2) % nodes)
+		for i := 0; i < topology.InjectorsPerNode; i++ {
+			w.Specs = append(w.Specs, Spec{
+				Flow:            FlowOf(node, i),
+				Node:            node,
+				Rate:            rate,
+				RequestFraction: DefaultRequestFraction,
+				Dest:            fixedDest(dst),
+			})
+		}
+	}
+	return w
+}
+
+func fixedDest(d noc.NodeID) DestFn {
+	return func(*sim.RNG) noc.NodeID { return d }
+}
+
+// HotspotNode is where the contended shared resource (e.g. the busiest
+// memory controller) sits in the fairness experiments.
+const HotspotNode noc.NodeID = 0
+
+// Hotspot streams every injector — including the row inputs at node 0
+// itself — at the terminal of node 0, following the methodology of the
+// PVC paper that Table 2 reproduces. Without QoS, sources close to the
+// hotspot capture the bandwidth and distant ones starve.
+func Hotspot(nodes int, rate float64) Workload {
+	w := Workload{Name: fmt.Sprintf("hotspot-%.3f", rate), Nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		node := noc.NodeID(n)
+		for i := 0; i < topology.InjectorsPerNode; i++ {
+			w.Specs = append(w.Specs, Spec{
+				Flow:            FlowOf(node, i),
+				Node:            node,
+				Rate:            rate,
+				RequestFraction: DefaultRequestFraction,
+				Dest:            fixedDest(HotspotNode),
+			})
+		}
+	}
+	return w
+}
+
+// Workload1Rates are the widely different injection rates (5–20 %,
+// average ≈ 14 %) assigned to the eight terminal injectors of adversarial
+// Workload 1. Only a subset of the 64 provisioned flows communicates, so
+// each active source exhausts its reserved quota early in every frame and
+// preemptions follow (Section 5.3).
+var Workload1Rates = []float64{0.05, 0.09, 0.12, 0.14, 0.16, 0.18, 0.19, 0.20}
+
+// Workload1 activates only the terminal injector of each node, all
+// streaming at the hotspot with Workload1Rates.
+func Workload1(nodes int, stopAt sim.Cycle) Workload {
+	if nodes != len(Workload1Rates) {
+		panic(fmt.Sprintf("traffic: workload 1 defined for %d nodes, got %d", len(Workload1Rates), nodes))
+	}
+	w := Workload{Name: "workload1", Nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		node := noc.NodeID(n)
+		w.Specs = append(w.Specs, Spec{
+			Flow:            FlowOf(node, 0),
+			Node:            node,
+			Rate:            Workload1Rates[n],
+			RequestFraction: DefaultRequestFraction,
+			Dest:            fixedDest(HotspotNode),
+			StopAt:          stopAt,
+		})
+	}
+	return w
+}
+
+// Workload2NodeRates are the rates of the eight injectors co-located at
+// node 7 (the farthest from the hotspot), crafted to pressure one
+// downstream MECS port; Workload2ExtraRate drives the additional injector
+// at node 6 that keeps the destination output port contended.
+var (
+	Workload2NodeRates = []float64{0.05, 0.08, 0.11, 0.13, 0.15, 0.17, 0.19, 0.20}
+	Workload2ExtraRate = 0.18
+)
+
+// Workload2 activates all eight injectors of node 7 plus one injector at
+// node 6, all streaming at the hotspot (Section 5.3's MECS stress).
+func Workload2(nodes int, stopAt sim.Cycle) Workload {
+	if nodes < 8 {
+		panic(fmt.Sprintf("traffic: workload 2 needs at least 8 nodes, got %d", nodes))
+	}
+	w := Workload{Name: "workload2", Nodes: nodes}
+	far := noc.NodeID(nodes - 1)
+	for i := 0; i < topology.InjectorsPerNode; i++ {
+		w.Specs = append(w.Specs, Spec{
+			Flow:            FlowOf(far, i),
+			Node:            far,
+			Rate:            Workload2NodeRates[i],
+			RequestFraction: DefaultRequestFraction,
+			Dest:            fixedDest(HotspotNode),
+			StopAt:          stopAt,
+		})
+	}
+	w.Specs = append(w.Specs, Spec{
+		Flow:            FlowOf(far-1, 0),
+		Node:            far - 1,
+		Rate:            Workload2ExtraRate,
+		RequestFraction: DefaultRequestFraction,
+		Dest:            fixedDest(HotspotNode),
+		StopAt:          stopAt,
+	})
+	return w
+}
+
+// ActiveRates returns the offered rate per flow over the full flow
+// population (zero for inactive flows) — the demand vector handed to the
+// max-min fairness expectation.
+func (w Workload) ActiveRates() []float64 {
+	rates := make([]float64, w.TotalFlows())
+	for _, s := range w.Specs {
+		rates[s.Flow] = s.Rate
+	}
+	return rates
+}
+
+// OfferedLoad returns the total offered load in flits per cycle.
+func (w Workload) OfferedLoad() float64 {
+	total := 0.0
+	for _, s := range w.Specs {
+		total += s.Rate
+	}
+	return total
+}
+
+// WithStop returns a copy of the workload whose injectors all stop at the
+// given cycle.
+func (w Workload) WithStop(stopAt sim.Cycle) Workload {
+	out := Workload{Name: w.Name, Nodes: w.Nodes, Specs: make([]Spec, len(w.Specs))}
+	copy(out.Specs, w.Specs)
+	for i := range out.Specs {
+		out.Specs[i].StopAt = stopAt
+	}
+	return out
+}

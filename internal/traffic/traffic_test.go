@@ -1,0 +1,232 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+)
+
+func TestFlowNumbering(t *testing.T) {
+	if FlowOf(0, 0) != 0 {
+		t.Error("node 0 terminal should be flow 0")
+	}
+	if FlowOf(3, 5) != noc.FlowID(3*topology.InjectorsPerNode+5) {
+		t.Error("flow numbering broken")
+	}
+	for f := noc.FlowID(0); f < 64; f++ {
+		n := NodeOfFlow(f)
+		if n < 0 || int(n) >= 8 {
+			t.Fatalf("flow %d maps to node %d", f, n)
+		}
+	}
+	if NodeOfFlow(FlowOf(5, 7)) != 5 {
+		t.Error("NodeOfFlow does not invert FlowOf")
+	}
+}
+
+func TestUniformRandomPopulation(t *testing.T) {
+	w := UniformRandom(8, 0.10)
+	if len(w.Specs) != 64 {
+		t.Fatalf("uniform activates %d injectors, want 64", len(w.Specs))
+	}
+	if w.TotalFlows() != 64 {
+		t.Fatalf("total flows %d, want 64", w.TotalFlows())
+	}
+	seen := map[noc.FlowID]bool{}
+	for _, s := range w.Specs {
+		if seen[s.Flow] {
+			t.Fatalf("duplicate flow %d", s.Flow)
+		}
+		seen[s.Flow] = true
+		if s.Rate != 0.10 {
+			t.Errorf("flow %d rate %v", s.Flow, s.Rate)
+		}
+	}
+}
+
+func TestUniformRandomExcludesSelf(t *testing.T) {
+	w := UniformRandom(8, 0.10)
+	r := sim.NewRNG(1)
+	for _, s := range w.Specs {
+		for i := 0; i < 200; i++ {
+			d := s.Dest(r)
+			if d == s.Node {
+				t.Fatalf("injector at node %d generated self-destined packet", s.Node)
+			}
+			if d < 0 || int(d) >= 8 {
+				t.Fatalf("destination %d out of range", d)
+			}
+		}
+	}
+}
+
+func TestUniformRandomCoversAllDests(t *testing.T) {
+	w := UniformRandom(8, 0.10)
+	r := sim.NewRNG(7)
+	counts := make([]int, 8)
+	s := w.Specs[0] // node 0 terminal
+	const draws = 70000
+	for i := 0; i < draws; i++ {
+		counts[s.Dest(r)]++
+	}
+	if counts[0] != 0 {
+		t.Fatal("self-destination drawn")
+	}
+	want := float64(draws) / 7
+	for d := 1; d < 8; d++ {
+		if math.Abs(float64(counts[d])-want) > 0.05*want {
+			t.Errorf("dest %d drawn %d times, want ~%.0f", d, counts[d], want)
+		}
+	}
+}
+
+func TestTornadoPattern(t *testing.T) {
+	w := Tornado(8, 0.10)
+	r := sim.NewRNG(1)
+	for _, s := range w.Specs {
+		want := noc.NodeID((int(s.Node) + 4) % 8)
+		if got := s.Dest(r); got != want {
+			t.Errorf("tornado from node %d goes to %d, want %d", s.Node, got, want)
+		}
+	}
+	// Tornado distance is the half-dimension everywhere.
+	for _, s := range w.Specs {
+		if d := topology.Distance(s.Node, s.Dest(r)); d != 4 {
+			t.Errorf("tornado distance %d, want 4", d)
+		}
+	}
+}
+
+func TestHotspotAllToNodeZero(t *testing.T) {
+	w := Hotspot(8, 0.05)
+	if len(w.Specs) != 64 {
+		t.Fatalf("hotspot activates %d injectors", len(w.Specs))
+	}
+	r := sim.NewRNG(1)
+	for _, s := range w.Specs {
+		if s.Dest(r) != HotspotNode {
+			t.Fatal("hotspot packet not destined for node 0")
+		}
+	}
+}
+
+func TestWorkload1Shape(t *testing.T) {
+	w := Workload1(8, 0)
+	if len(w.Specs) != 8 {
+		t.Fatalf("workload 1 activates %d injectors, want 8", len(w.Specs))
+	}
+	// Section 5.3: rates range 5–20 % with average around 14 %, which
+	// oversubscribes the 12.5 % fair share.
+	sum := 0.0
+	for i, s := range w.Specs {
+		if s.Flow != FlowOf(noc.NodeID(i), 0) {
+			t.Errorf("injector %d is not a terminal port", i)
+		}
+		if s.Rate < 0.05 || s.Rate > 0.20 {
+			t.Errorf("rate %v outside 5–20%%", s.Rate)
+		}
+		sum += s.Rate
+	}
+	avg := sum / 8
+	if avg < 0.13 || avg > 0.15 {
+		t.Errorf("average rate %v, want ~0.14", avg)
+	}
+	if sum <= 1.0 {
+		t.Errorf("offered load %v must oversubscribe the hotspot", sum)
+	}
+}
+
+func TestWorkload2Shape(t *testing.T) {
+	w := Workload2(8, 0)
+	if len(w.Specs) != 9 {
+		t.Fatalf("workload 2 activates %d injectors, want 9", len(w.Specs))
+	}
+	at7 := 0
+	at6 := 0
+	for _, s := range w.Specs {
+		switch s.Node {
+		case 7:
+			at7++
+		case 6:
+			at6++
+		default:
+			t.Errorf("workload 2 injector at node %d", s.Node)
+		}
+	}
+	if at7 != 8 || at6 != 1 {
+		t.Errorf("workload 2 placement: %d at node 7, %d at node 6", at7, at6)
+	}
+}
+
+func TestWorkloadPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"workload1 wrong size": func() { Workload1(4, 0) },
+		"workload2 too small":  func() { Workload2(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestActiveRates(t *testing.T) {
+	w := Workload1(8, 0)
+	rates := w.ActiveRates()
+	if len(rates) != 64 {
+		t.Fatalf("rates len %d, want 64", len(rates))
+	}
+	active := 0
+	for _, r := range rates {
+		if r > 0 {
+			active++
+		}
+	}
+	if active != 8 {
+		t.Errorf("%d active flows, want 8", active)
+	}
+	if rates[FlowOf(0, 0)] != Workload1Rates[0] {
+		t.Error("terminal rate not mapped")
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	w := UniformRandom(8, 0.10)
+	if got := w.OfferedLoad(); math.Abs(got-6.4) > 1e-9 {
+		t.Errorf("offered load %v, want 6.4", got)
+	}
+}
+
+func TestWithStop(t *testing.T) {
+	w := UniformRandom(8, 0.10)
+	s := w.WithStop(5000)
+	for _, spec := range s.Specs {
+		if spec.StopAt != 5000 {
+			t.Fatal("WithStop did not set stop cycle")
+		}
+	}
+	// Original untouched.
+	for _, spec := range w.Specs {
+		if spec.StopAt != 0 {
+			t.Fatal("WithStop mutated the original workload")
+		}
+	}
+}
+
+func TestMeanFlitsPerPacket(t *testing.T) {
+	s := Spec{RequestFraction: 0.5}
+	if got := s.MeanFlitsPerPacket(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("mean flits %v, want 2.5", got)
+	}
+	s.RequestFraction = 1.0
+	if got := s.MeanFlitsPerPacket(); got != 1 {
+		t.Errorf("all-request mean %v, want 1", got)
+	}
+}
