@@ -155,6 +155,29 @@ func BenchmarkChipCost(b *testing.B) {
 	b.ReportMetric(100*saved, "saved-%")
 }
 
+// benchFig4 regenerates a reduced Figure 4(a) grid through the experiment
+// runner with the given worker-pool size.
+func benchFig4(b *testing.B, workers int) {
+	rates := []float64{0.02, 0.05, 0.08, 0.11, 0.14}
+	p := experiments.QuickParams()
+	p.Workers = workers
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig4(experiments.Uniform, rates, p)
+		lat = series[0].Points[0].MeanLatency
+	}
+	b.ReportMetric(lat, "meshx1-latency-cycles")
+}
+
+// BenchmarkFig4Sequential is the sequential half of the runner speedup
+// pair: the same cell grid as BenchmarkFig4Parallel on one worker.
+func BenchmarkFig4Sequential(b *testing.B) { benchFig4(b, 1) }
+
+// BenchmarkFig4Parallel fans the grid across one worker per CPU. The
+// ns/op ratio against BenchmarkFig4Sequential is the runner's wall-clock
+// speedup; results are asserted bit-identical in the experiments tests.
+func BenchmarkFig4Parallel(b *testing.B) { benchFig4(b, 0) }
+
 // BenchmarkEngineCycles measures raw simulator speed: cycles simulated per
 // second for each topology under moderate uniform load.
 func BenchmarkEngineCycles(b *testing.B) {

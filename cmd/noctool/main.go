@@ -23,11 +23,14 @@
 //
 // Flags:
 //
-//	-seed     RNG seed (default 42)
-//	-warmup   warmup cycles before measurement (default 20000)
-//	-measure  measurement window in cycles (default 100000)
-//	-quick    scale runs down ~6x for a fast smoke pass
-//	-csv      emit CSV rows instead of formatted tables
+//	-seed      RNG seed (default 42)
+//	-warmup    warmup cycles before measurement (default 20000)
+//	-measure   measurement window in cycles (default 100000)
+//	-parallel  worker goroutines for independent simulation cells
+//	           (default 0 = one per CPU; 1 = sequential; results are
+//	           bit-identical for every value)
+//	-quick     scale runs down ~6x for a fast smoke pass
+//	-csv       emit CSV rows instead of formatted tables
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "RNG seed")
 	warmup := flag.Int("warmup", 20_000, "warmup cycles before measurement")
 	measure := flag.Int("measure", 100_000, "measurement window in cycles")
+	parallel := flag.Int("parallel", 0, "simulation workers (0 = one per CPU, 1 = sequential; results identical)")
 	quick := flag.Bool("quick", false, "scale runs down for a fast smoke pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	flag.Usage = usage
@@ -54,6 +58,7 @@ func main() {
 		p = experiments.QuickParams()
 		p.Seed = *seed
 	}
+	p.Workers = *parallel
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -109,6 +114,7 @@ func run(name string, p experiments.Params, quick, csv bool) error {
 			tp = p
 		}
 		tp.Seed = p.Seed
+		tp.Workers = p.Workers
 		rows := experiments.Table2(tp)
 		if csv {
 			fmt.Print(experiments.Table2CSV(rows))

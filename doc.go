@@ -20,7 +20,17 @@
 //     concentration, convex VM domains, shared-resource columns and the OS
 //     placement contract (internal/chip, internal/core),
 //   - one experiment driver per table and figure in the paper's evaluation
-//     (internal/experiments, cmd/noctool).
+//     (internal/experiments, cmd/noctool),
+//   - a parallel experiment runner (internal/runner) that fans the
+//     independent simulation cells of each evaluation grid out across a
+//     worker pool. Determinism survives parallelization: every cell owns
+//     its seeded RNG, results return in input order, and experiment
+//     output is bit-identical for every worker count (noctool -parallel).
+//
+// The simulation hot path is allocation-free at steady state: delivered
+// packets are recycled through a free list, arbitration uses reusable
+// scratch buffers, the event queue is a hand-rolled typed heap, and Step
+// scans only the still-active injectors.
 //
 // The root package exists to host repository-level benchmarks
 // (bench_test.go); the programmable surface lives in the internal packages

@@ -1,0 +1,3 @@
+module tanoq
+
+go 1.21

@@ -7,6 +7,7 @@ import (
 	"tanoq/internal/network"
 	"tanoq/internal/noc"
 	"tanoq/internal/qos"
+	"tanoq/internal/runner"
 	"tanoq/internal/sim"
 	"tanoq/internal/stats"
 	"tanoq/internal/topology"
@@ -39,21 +40,17 @@ type AblationRow struct {
 	AcceptedRate float64
 }
 
-// ablateHotspot runs the hotspot workload with a customized QoS config
-// and summarizes fairness and preemption.
-func ablateHotspot(kind topology.Kind, mut func(*qos.Config), p Params) AblationRow {
-	w := traffic.Hotspot(topology.ColumnNodes, hotspotRate)
-	cfg := defaultQoS(qos.PVC)
-	mut(&cfg)
-	n := network.MustNew(network.Config{
-		Kind:     kind,
-		Nodes:    topology.ColumnNodes,
-		QoS:      cfg,
-		Workload: w,
-		Seed:     p.Seed,
-	})
-	n.WarmupAndMeasure(p.Warmup, p.Measure)
-	st := n.Stats()
+// hotspotCell builds one hotspot-workload cell with a customized QoS
+// configuration — the unit every ablation sweep fans out over.
+func hotspotCell(kind topology.Kind, mut func(*qos.Config), p Params) runner.Cell {
+	cfg := netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC, p.Seed)
+	mut(&cfg.QoS)
+	return p.cell(cfg)
+}
+
+// hotspotRow summarizes one hotspot cell's fairness and preemption.
+func hotspotRow(r runner.Result) AblationRow {
+	st := r.Stats
 	flits := make([]float64, 0, FlowPopulation)
 	for _, v := range st.FlitsByFlow() {
 		flits = append(flits, float64(v))
@@ -75,12 +72,26 @@ var DefaultFrameSweep = []sim.Cycle{12_500, 25_000, 50_000, 100_000}
 // imbalances are forgiven quickly) at the cost of more frequent priority
 // upheaval; 50 K cycles is the paper's operating point.
 func AblateFrame(kind topology.Kind, frames []sim.Cycle, p Params) []AblationRow {
-	var out []AblationRow
-	for _, f := range frames {
-		frame := f
-		row := ablateHotspot(kind, func(c *qos.Config) { c.FrameCycles = frame }, p)
-		row.Value = int64(frame)
-		out = append(out, row)
+	values := make([]int64, len(frames))
+	for i, f := range frames {
+		values[i] = int64(f)
+	}
+	return ablateSweep(kind, values, func(v int64, c *qos.Config) { c.FrameCycles = sim.Cycle(v) }, p)
+}
+
+// ablateSweep fans one hotspot parameter sweep out over the runner: one
+// cell per value, with mut applying the value to that cell's QoS config.
+func ablateSweep(kind topology.Kind, values []int64, mut func(int64, *qos.Config), p Params) []AblationRow {
+	cells := make([]runner.Cell, len(values))
+	for i, v := range values {
+		v := v
+		cells[i] = hotspotCell(kind, func(c *qos.Config) { mut(v, c) }, p)
+	}
+	res := runner.RunCells(cells, p.Workers)
+	out := make([]AblationRow, len(values))
+	for i, v := range values {
+		out[i] = hotspotRow(res[i])
+		out[i].Value = v
 	}
 	return out
 }
@@ -94,14 +105,11 @@ var DefaultQuantumSweep = []int{4, 8, 32, 128, 512}
 // merge points tie-broken for long stretches and fairness decays — the
 // distributed-topology failure mode quantization exists to prevent.
 func AblateQuantum(kind topology.Kind, quanta []int, p Params) []AblationRow {
-	var out []AblationRow
-	for _, q := range quanta {
-		quantum := q
-		row := ablateHotspot(kind, func(c *qos.Config) { c.QuantumFlits = quantum }, p)
-		row.Value = int64(quantum)
-		out = append(out, row)
+	values := make([]int64, len(quanta))
+	for i, q := range quanta {
+		values[i] = int64(q)
 	}
-	return out
+	return ablateSweep(kind, values, func(v int64, c *qos.Config) { c.QuantumFlits = int(v) }, p)
 }
 
 // DefaultWindowSweep is the retransmission-window grid (packets).
@@ -123,21 +131,24 @@ func AblateWindow(kind topology.Kind, windows []int, p Params) []AblationRow {
 		RequestFraction: traffic.DefaultRequestFraction,
 		Dest:            func(*sim.RNG) noc.NodeID { return traffic.HotspotNode },
 	})
-	var out []AblationRow
-	for _, wnd := range windows {
+	cells := make([]runner.Cell, len(windows))
+	for i, wnd := range windows {
 		cfg := defaultQoS(qos.PVC)
 		cfg.WindowPackets = wnd
-		n := network.MustNew(network.Config{
+		cells[i] = p.cell(network.Config{
 			Kind: kind, Nodes: topology.ColumnNodes,
 			QoS: cfg, Workload: w, Seed: p.Seed,
 		})
-		n.WarmupAndMeasure(p.Warmup, p.Measure)
-		st := n.Stats()
-		out = append(out, AblationRow{
+	}
+	res := runner.RunCells(cells, p.Workers)
+	out := make([]AblationRow, len(windows))
+	for i, wnd := range windows {
+		st := res[i].Stats
+		out[i] = AblationRow{
 			Value:        int64(wnd),
 			MeanLatency:  st.MeanLatency(),
-			AcceptedRate: st.AcceptedFlitRate(n.Now()),
-		})
+			AcceptedRate: st.AcceptedFlitRate(res[i].End),
+		}
 	}
 	return out
 }
@@ -162,28 +173,27 @@ type MarginAblationRow struct {
 // preemption rate falling with the margin while hotspot fairness stays
 // flat — preemption is a safety valve, not the fairness mechanism.
 func AblateMargin(kind topology.Kind, margins []int, p Params) []MarginAblationRow {
-	var out []MarginAblationRow
+	// Two cells per margin: the adversarial workload (preemption
+	// incidence) and the hotspot (fairness), interleaved so the whole
+	// sweep fans out in one pass.
+	cells := make([]runner.Cell, 0, 2*len(margins))
 	for _, m := range margins {
 		margin := m
 		mut := func(c *qos.Config) { c.MarginClasses = margin }
-
-		w := traffic.Workload1(topology.ColumnNodes, 0)
-		cfg := defaultQoS(qos.PVC)
-		mut(&cfg)
-		n := network.MustNew(network.Config{
-			Kind: kind, Nodes: topology.ColumnNodes,
-			QoS: cfg, Workload: w, Seed: p.Seed,
-		})
-		n.WarmupAndMeasure(p.Warmup, p.Measure)
-		st := n.Stats()
-
-		hotspot := ablateHotspot(kind, mut, p)
-		out = append(out, MarginAblationRow{
-			MarginClasses: margin,
+		adv := netConfig(kind, traffic.Workload1(topology.ColumnNodes, 0), qos.PVC, p.Seed)
+		mut(&adv.QoS)
+		cells = append(cells, p.cell(adv), hotspotCell(kind, mut, p))
+	}
+	res := runner.RunCells(cells, p.Workers)
+	out := make([]MarginAblationRow, len(margins))
+	for i, m := range margins {
+		st := res[2*i].Stats
+		out[i] = MarginAblationRow{
+			MarginClasses: m,
 			PacketsPct:    st.PreemptionPacketRate(),
 			HopsPct:       st.WastedHopRate(),
-			MaxDevPct:     hotspot.MaxDevPct,
-		})
+			MaxDevPct:     hotspotRow(res[2*i+1]).MaxDevPct,
+		}
 	}
 	return out
 }
@@ -205,24 +215,25 @@ type QuotaAblationRow struct {
 // cap, throttling preemptions", Section 5.3); without it, the same
 // statistical wobbles turn into discards.
 func AblateQuota(kind topology.Kind, p Params) []QuotaAblationRow {
-	var out []QuotaAblationRow
-	for _, enabled := range []bool{true, false} {
-		cfg := defaultQoS(qos.PVC)
-		cfg.DisableReservedQuota = !enabled
-		cfg.MarginClasses = 1
-		w := traffic.Hotspot(topology.ColumnNodes, hotspotRate)
-		n := network.MustNew(network.Config{
-			Kind: kind, Nodes: topology.ColumnNodes,
-			QoS: cfg, Workload: w, Seed: p.Seed,
-		})
-		n.WarmupAndMeasure(p.Warmup, p.Measure)
-		st := n.Stats()
-		out = append(out, QuotaAblationRow{
+	toggles := []bool{true, false}
+	cells := make([]runner.Cell, len(toggles))
+	for i, enabled := range toggles {
+		on := enabled
+		cells[i] = hotspotCell(kind, func(c *qos.Config) {
+			c.DisableReservedQuota = !on
+			c.MarginClasses = 1
+		}, p)
+	}
+	res := runner.RunCells(cells, p.Workers)
+	out := make([]QuotaAblationRow, len(toggles))
+	for i, enabled := range toggles {
+		st := res[i].Stats
+		out[i] = QuotaAblationRow{
 			QuotaEnabled: enabled,
 			PacketsPct:   st.PreemptionPacketRate(),
 			HopsPct:      st.WastedHopRate(),
 			MeanLatency:  st.MeanLatency(),
-		})
+		}
 	}
 	return out
 }

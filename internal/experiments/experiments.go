@@ -12,17 +12,23 @@ import (
 
 	"tanoq/internal/network"
 	"tanoq/internal/qos"
+	"tanoq/internal/runner"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
 )
 
-// Params controls simulation length and seeding for the dynamic
-// experiments. The zero value is unusable; use DefaultParams or
+// Params controls simulation length, seeding and parallelism for the
+// dynamic experiments. The zero value is unusable; use DefaultParams or
 // QuickParams.
 type Params struct {
 	Seed    uint64
 	Warmup  int
 	Measure int
+	// Workers caps the experiment runner's parallelism: 0 runs one
+	// worker per CPU, 1 forces sequential execution. Results are
+	// bit-identical for every value — each simulation cell owns its
+	// seeded RNG, and the runner returns results in input order.
+	Workers int
 }
 
 // DefaultParams reproduces the paper-scale runs: a warmup transient plus
@@ -51,16 +57,27 @@ func defaultQoS(mode qos.Mode) qos.Config {
 	return cfg
 }
 
-// buildNet assembles one shared-column network.
-func buildNet(kind topology.Kind, w traffic.Workload, mode qos.Mode, seed uint64) *network.Network {
-	cfg := defaultQoS(mode)
-	return network.MustNew(network.Config{
+// netConfig assembles one shared-column network configuration — the unit
+// the parallel experiment runner fans out over.
+func netConfig(kind topology.Kind, w traffic.Workload, mode qos.Mode, seed uint64) network.Config {
+	return network.Config{
 		Kind:     kind,
 		Nodes:    topology.ColumnNodes,
-		QoS:      cfg,
+		QoS:      defaultQoS(mode),
 		Workload: w,
 		Seed:     seed,
-	})
+	}
+}
+
+// buildNet assembles one shared-column network (single-simulation paths;
+// grid experiments go through runner.RunCells instead).
+func buildNet(kind topology.Kind, w traffic.Workload, mode qos.Mode, seed uint64) *network.Network {
+	return network.MustNew(netConfig(kind, w, mode, seed))
+}
+
+// cell pairs a network configuration with p's warmup/measure schedule.
+func (p Params) cell(cfg network.Config) runner.Cell {
+	return runner.Cell{Config: cfg, Warmup: p.Warmup, Measure: p.Measure}
 }
 
 // header renders an underlined section title.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tanoq/internal/qos"
+	"tanoq/internal/runner"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
 )
@@ -65,20 +66,30 @@ func DefaultFig4Rates() []float64 {
 }
 
 // Fig4 runs the load-latency sweep for every topology under the given
-// pattern (Figure 4(a) uniform random, Figure 4(b) tornado).
+// pattern (Figure 4(a) uniform random, Figure 4(b) tornado). The
+// (topology × rate) grid is fully independent, so every point runs as
+// its own cell on the parallel experiment runner.
 func Fig4(pattern Pattern, rates []float64, p Params) []Fig4Series {
-	var out []Fig4Series
-	for _, kind := range topology.Kinds() {
-		s := Fig4Series{Kind: kind}
+	kinds := topology.Kinds()
+	cells := make([]runner.Cell, 0, len(kinds)*len(rates))
+	for _, kind := range kinds {
 		for _, rate := range rates {
-			n := buildNet(kind, pattern.workload(rate), qos.PVC, p.Seed)
-			n.WarmupAndMeasure(p.Warmup, p.Measure)
-			st := n.Stats()
+			cells = append(cells, p.cell(netConfig(kind, pattern.workload(rate), qos.PVC, p.Seed)))
+		}
+	}
+	res := runner.RunCells(cells, p.Workers)
+
+	out := make([]Fig4Series, 0, len(kinds))
+	for ki, kind := range kinds {
+		s := Fig4Series{Kind: kind, Points: make([]Fig4Point, 0, len(rates))}
+		for ri, rate := range rates {
+			r := res[ki*len(rates)+ri]
+			st := r.Stats
 			s.Points = append(s.Points, Fig4Point{
 				Rate:          rate,
 				MeanLatency:   st.MeanLatency(),
 				P99Latency:    float64(st.Latencies.Percentile(99)),
-				Accepted:      st.AcceptedFlitRate(n.Now()),
+				Accepted:      st.AcceptedFlitRate(r.End),
 				PreemptionPct: st.PreemptionPacketRate(),
 			})
 		}
@@ -118,16 +129,20 @@ type SaturationPreemption struct {
 }
 
 // SaturationPreemptions measures the packet discard rate of each topology
-// on saturating uniform-random traffic.
+// on saturating uniform-random traffic, one parallel cell per topology.
 func SaturationPreemptions(p Params) []SaturationPreemption {
-	var out []SaturationPreemption
-	for _, kind := range topology.Kinds() {
-		n := buildNet(kind, traffic.UniformRandom(topology.ColumnNodes, 0.15), qos.PVC, p.Seed)
-		n.WarmupAndMeasure(p.Warmup, p.Measure)
-		out = append(out, SaturationPreemption{
+	kinds := topology.Kinds()
+	cells := make([]runner.Cell, len(kinds))
+	for i, kind := range kinds {
+		cells[i] = p.cell(netConfig(kind, traffic.UniformRandom(topology.ColumnNodes, 0.15), qos.PVC, p.Seed))
+	}
+	res := runner.RunCells(cells, p.Workers)
+	out := make([]SaturationPreemption, len(kinds))
+	for i, kind := range kinds {
+		out[i] = SaturationPreemption{
 			Kind:          kind,
-			PreemptionPct: n.Stats().PreemptionPacketRate(),
-		})
+			PreemptionPct: res[i].Stats.PreemptionPacketRate(),
+		}
 	}
 	return out
 }

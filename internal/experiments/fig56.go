@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tanoq/internal/qos"
+	"tanoq/internal/runner"
 	"tanoq/internal/sim"
 	"tanoq/internal/stats"
 	"tanoq/internal/topology"
@@ -47,18 +48,23 @@ type Fig5Row struct {
 	HopsPct    float64
 }
 
-// Fig5 measures preemption incidence under an adversarial workload.
+// Fig5 measures preemption incidence under an adversarial workload, one
+// parallel cell per topology.
 func Fig5(a Adversarial, p Params) []Fig5Row {
-	var out []Fig5Row
-	for _, kind := range topology.Kinds() {
-		n := buildNet(kind, a.workload(0), qos.PVC, p.Seed)
-		n.WarmupAndMeasure(p.Warmup, p.Measure)
-		st := n.Stats()
-		out = append(out, Fig5Row{
+	kinds := topology.Kinds()
+	cells := make([]runner.Cell, len(kinds))
+	for i, kind := range kinds {
+		cells[i] = p.cell(netConfig(kind, a.workload(0), qos.PVC, p.Seed))
+	}
+	res := runner.RunCells(cells, p.Workers)
+	out := make([]Fig5Row, len(kinds))
+	for i, kind := range kinds {
+		st := res[i].Stats
+		out[i] = Fig5Row{
 			Kind:       kind,
 			PacketsPct: st.PreemptionPacketRate(),
 			HopsPct:    st.WastedHopRate(),
-		})
+		}
 	}
 	return out
 }
@@ -102,7 +108,16 @@ func fig6Run(kind topology.Kind, a Adversarial, mode qos.Mode, duration int, see
 	return completion, flitsAtStop
 }
 
-// Fig6 measures preemption slowdown and max-min fairness deviation.
+// fig6Result is one fig6Run outcome, collected through the runner.
+type fig6Result struct {
+	completion sim.Cycle
+	flits      []int64
+}
+
+// Fig6 measures preemption slowdown and max-min fairness deviation. Each
+// (topology, policy) run has a custom schedule (inject, snapshot, drain),
+// so the fan-out goes through runner.Map rather than plain cells; results
+// still come back in input order for every worker count.
 func Fig6(a Adversarial, p Params) []Fig6Row {
 	duration := p.Measure
 	w := a.workload(0)
@@ -110,10 +125,18 @@ func Fig6(a Adversarial, p Params) []Fig6Row {
 	// The contended resource is the hotspot terminal: 1 flit/cycle.
 	shares := stats.MaxMinShares(demands, 1.0)
 
+	kinds := topology.Kinds()
+	modes := []qos.Mode{qos.PVC, qos.PerFlowQueue}
+	runs := runner.Map(len(kinds)*len(modes), p.Workers, func(i int) fig6Result {
+		kind, mode := kinds[i/len(modes)], modes[i%len(modes)]
+		completion, flits := fig6Run(kind, a, mode, duration, p.Seed)
+		return fig6Result{completion: completion, flits: flits}
+	})
+
 	var out []Fig6Row
-	for _, kind := range topology.Kinds() {
-		pvcDone, flits := fig6Run(kind, a, qos.PVC, duration, p.Seed)
-		pfqDone, _ := fig6Run(kind, a, qos.PerFlowQueue, duration, p.Seed)
+	for ki, kind := range kinds {
+		pvcDone, flits := runs[ki*len(modes)].completion, runs[ki*len(modes)].flits
+		pfqDone := runs[ki*len(modes)+1].completion
 
 		var devs []float64
 		for f, share := range shares {

@@ -6,6 +6,7 @@ import (
 
 	"tanoq/internal/noc"
 	"tanoq/internal/qos"
+	"tanoq/internal/runner"
 	"tanoq/internal/stats"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
@@ -32,13 +33,17 @@ type MotivationRow struct {
 }
 
 // Motivation runs the saturating hotspot on the baseline mesh under
-// round-robin (no QoS) and under PVC.
+// round-robin (no QoS) and under PVC, both policies in parallel.
 func Motivation(kind topology.Kind, p Params) []MotivationRow {
+	modes := []qos.Mode{qos.NoQoS, qos.PVC}
+	cells := make([]runner.Cell, len(modes))
+	for i, mode := range modes {
+		cells[i] = p.cell(netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), mode, p.Seed))
+	}
+	res := runner.RunCells(cells, p.Workers)
 	var out []MotivationRow
-	for _, mode := range []qos.Mode{qos.NoQoS, qos.PVC} {
-		n := buildNet(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), mode, p.Seed)
-		n.WarmupAndMeasure(p.Warmup, p.Measure)
-		byFlow := n.Stats().FlitsByFlow()
+	for i, mode := range modes {
+		byFlow := res[i].Stats.FlitsByFlow()
 		row := MotivationRow{Mode: mode, FlitsByNode: make([]int64, topology.ColumnNodes)}
 		perFlow := make([]float64, 0, len(byFlow))
 		for f, v := range byFlow {

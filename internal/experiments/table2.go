@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tanoq/internal/qos"
+	"tanoq/internal/runner"
 	"tanoq/internal/stats"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
@@ -34,22 +35,27 @@ func Table2Params() Params {
 	return Params{Seed: 42, Warmup: 20_000, Measure: 268_288}
 }
 
-// Table2 runs the hotspot fairness experiment for every topology.
+// Table2 runs the hotspot fairness experiment for every topology, one
+// parallel cell per topology.
 func Table2(p Params) []Table2Row {
-	var out []Table2Row
-	for _, kind := range topology.Kinds() {
-		n := buildNet(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC, p.Seed)
-		n.WarmupAndMeasure(p.Warmup, p.Measure)
-		st := n.Stats()
+	kinds := topology.Kinds()
+	cells := make([]runner.Cell, len(kinds))
+	for i, kind := range kinds {
+		cells[i] = p.cell(netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC, p.Seed))
+	}
+	res := runner.RunCells(cells, p.Workers)
+	out := make([]Table2Row, len(kinds))
+	for i, kind := range kinds {
+		st := res[i].Stats
 		flits := make([]float64, 0, FlowPopulation)
 		for _, v := range st.FlitsByFlow() {
 			flits = append(flits, float64(v))
 		}
-		out = append(out, Table2Row{
+		out[i] = Table2Row{
 			Kind:          kind,
 			Summary:       stats.Summarize(flits),
 			PreemptionPct: st.PreemptionPacketRate(),
-		})
+		}
 	}
 	return out
 }

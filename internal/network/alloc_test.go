@@ -1,0 +1,72 @@
+package network
+
+import (
+	"testing"
+
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// TestStepAllocationFreeAtSteadyState pins the engine's allocation
+// behaviour: once the packet free list, event heap, arbitration scratch
+// buffers and source queues have grown to their working set, Step must not
+// allocate. The warmup run is long enough for the first ACKed packets to
+// seed the free list and for every amortized buffer to reach capacity;
+// the load sits below every topology's saturation point so source queues
+// stay bounded (an oversaturated queue grows forever by definition, which
+// is offered load, not an engine leak).
+func TestStepAllocationFreeAtSteadyState(t *testing.T) {
+	for _, kind := range topology.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			w := traffic.UniformRandom(topology.ColumnNodes, 0.04)
+			n := MustNew(Config{
+				Kind:     kind,
+				QoS:      qos.DefaultConfig(w.TotalFlows()),
+				Workload: w,
+				Seed:     3,
+			})
+			n.Run(30_000)
+			if avg := testing.AllocsPerRun(5_000, n.Step); avg > 0.01 {
+				t.Errorf("%v: %.3f allocs per Step at steady state, want 0", kind, avg)
+			}
+		})
+	}
+}
+
+// TestRecycledPacketsAreIndistinguishable runs the same simulation with
+// recycling enabled and disabled (hooks suppress the free list) and
+// requires identical measurements: reusing a wrapper must never leak
+// state from its previous life into the simulation.
+func TestRecycledPacketsAreIndistinguishable(t *testing.T) {
+	build := func(hooked bool) *Network {
+		w := traffic.Workload1(topology.ColumnNodes, 20_000)
+		cfg := qos.DefaultConfig(w.TotalFlows())
+		cfg.MarginClasses = 8 // preemption-heavy: exercises retransmission reuse
+		n := MustNew(Config{Kind: topology.MECS, QoS: cfg, Workload: w, Seed: 21})
+		if hooked {
+			n.preemptHook = func(*inBuf, *pkt) {} // disables the free list
+		}
+		return n
+	}
+	recycled, pristine := build(false), build(true)
+	recycled.RunUntilDrained(300_000)
+	pristine.RunUntilDrained(300_000)
+	if len(recycled.pktFree) == 0 {
+		t.Fatal("test expected the free list to be exercised")
+	}
+	if len(pristine.pktFree) != 0 {
+		t.Fatal("hooks should have suppressed recycling")
+	}
+	rs, ps := recycled.Stats(), pristine.Stats()
+	if rs.TotalDelivered != ps.TotalDelivered ||
+		rs.TotalLatency != ps.TotalLatency ||
+		rs.PreemptionEvents != ps.PreemptionEvents ||
+		rs.TotalHops != ps.TotalHops ||
+		rs.LastDelivery != ps.LastDelivery {
+		t.Errorf("recycling changed results: delivered %d/%d latency %d/%d preempt %d/%d hops %d/%d last %d/%d",
+			rs.TotalDelivered, ps.TotalDelivered, rs.TotalLatency, ps.TotalLatency,
+			rs.PreemptionEvents, ps.PreemptionEvents, rs.TotalHops, ps.TotalHops,
+			rs.LastDelivery, ps.LastDelivery)
+	}
+}

@@ -21,15 +21,17 @@ type outPort struct {
 	// maintaining one flit per cycle across the channel with the next
 	// allocation pipelined behind the current transfer.
 	nextArb sim.Cycle
-	// moving is the packet whose flits currently occupy the channel
-	// (valid while now < nextArb), and movingIntermediate records
-	// whether it was granted on a table-less mux hop.
-	moving             *pkt
-	movingIntermediate bool
 	// waiters are the registered candidates: head packets of upstream
 	// VCs routed through this port, plus offered source packets.
 	waiters []*pkt
 	rr      qos.RoundRobin
+}
+
+// bid is one arbitration candidate with its dynamic priority, resolved
+// once per allocation round.
+type bid struct {
+	w    *pkt
+	prio noc.Priority
 }
 
 // register adds a packet to the port's candidate list.
@@ -86,12 +88,11 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 
 	// Candidates bid with their dynamic priority: looked up in the
 	// port's flow table, except at DPS intermediate hops, which reuse
-	// the priority carried in the header.
-	type bid struct {
-		w    *pkt
-		prio noc.Priority
-	}
-	bids := make([]bid, 0, len(port.waiters))
+	// the priority carried in the header. The bid list lives in a
+	// network-owned scratch buffer: arbitration runs once per port per
+	// cycle on the engine's single thread, so the buffer is reused
+	// across every allocation round instead of reallocated.
+	bids := n.bidScratch[:0]
 	for _, w := range port.waiters {
 		leg := &w.legs[w.Hop()]
 		prio := w.Priority
@@ -105,6 +106,7 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 		}
 		bids = append(bids, bid{w, prio})
 	}
+	n.bidScratch = bids[:0]
 	// Serve in priority order until one candidate can be granted.
 	// Candidates that cannot obtain (or steal) a VC are skipped, as in
 	// hardware VA where only credit-holding requesters bid. Ties within
@@ -115,7 +117,7 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 	// tie bandwidth by how many candidates each input happens to
 	// present.
 	tried := 0
-	var failedBufs []*inBuf
+	failedBufs := n.failedScratch[:0]
 	for tried < len(bids) {
 		best := -1
 		for i := range bids {
@@ -170,6 +172,7 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 		}
 		if vcIdx < 0 {
 			failedBufs = append(failedBufs, buf)
+			n.failedScratch = failedBufs[:0] // keep the grown backing array
 			continue
 		}
 		n.grant(port, w, leg, buf, vcIdx, prio, now)
@@ -275,8 +278,6 @@ func (n *Network) grant(port *outPort, w *pkt, leg *topology.Leg, buf *inBuf, vc
 	tailArr := headArr + sim.Cycle(w.Size-1)
 	tailDep := headDep + sim.Cycle(w.Size-1)
 	port.nextArb = now + sim.Cycle(w.Size)
-	port.moving = w
-	port.movingIntermediate = leg.Intermediate
 
 	vc := buf.vcs[vcIdx]
 	vc.HeadArrival = headArr

@@ -1,8 +1,6 @@
 package network
 
 import (
-	"container/heap"
-
 	"tanoq/internal/qos"
 	"tanoq/internal/sim"
 	"tanoq/internal/topology"
@@ -30,13 +28,15 @@ const (
 )
 
 // event is one scheduled occurrence. Packet-borne events carry the attempt
-// (retransmission count) they were scheduled for; a preemption bumps the
-// packet's attempt, turning in-flight stale events into no-ops.
+// (retransmission count) and wrapper generation they were scheduled for; a
+// preemption bumps the packet's attempt and a recycle bumps the wrapper's
+// generation, turning in-flight stale events into no-ops.
 type event struct {
 	at      sim.Cycle
 	seq     uint64 // FIFO order among same-cycle events
 	kind    evKind
 	p       *pkt
+	pgen    uint32
 	attempt int
 	// Release target.
 	buf *inBuf
@@ -45,41 +45,81 @@ type event struct {
 }
 
 // eventHeap is a min-heap on (cycle, seq), giving deterministic,
-// insertion-ordered processing within a cycle.
+// insertion-ordered processing within a cycle. The sift operations are
+// written out against the typed slice rather than container/heap: the
+// standard interface converts every pushed event to an interface value,
+// which allocates, and scheduling is a per-packet-per-hop hot path.
 type eventHeap struct {
 	items []event
 	seq   uint64
 }
 
 func (h *eventHeap) Len() int { return len(h.items) }
-func (h *eventHeap) Less(i, j int) bool {
+
+func (h *eventHeap) less(i, j int) bool {
 	if h.items[i].at != h.items[j].at {
 		return h.items[i].at < h.items[j].at
 	}
 	return h.items[i].seq < h.items[j].seq
 }
-func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *eventHeap) Push(x any)    { h.items = append(h.items, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+
+func (h *eventHeap) push(ev event) {
+	h.items = append(h.items, ev)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
 }
 
-// schedule enqueues an event at the given cycle.
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = event{}
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		child := l
+		if r < last && h.less(r, l) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+	return top
+}
+
+// schedule enqueues an event at the given cycle, stamping the generation of
+// the packet it targets (if any) so the event dies with the packet.
 func (n *Network) schedule(ev event, at sim.Cycle) {
 	ev.at = at
 	ev.seq = n.events.seq
 	n.events.seq++
-	heap.Push(&n.events, ev)
+	if ev.p != nil {
+		ev.pgen = ev.p.gen
+	}
+	n.events.push(ev)
 }
 
 // processEvents fires every event due at or before now.
 func (n *Network) processEvents(now sim.Cycle) {
 	for n.events.Len() > 0 && n.events.items[0].at <= now {
-		ev := heap.Pop(&n.events).(event)
+		ev := n.events.pop()
+		if ev.p != nil && ev.p.gen != ev.pgen {
+			continue // the packet was recycled; its wrapper moved on
+		}
 		switch ev.kind {
 		case evRelease:
 			ev.buf.release(ev.vc, ev.gen)
@@ -89,6 +129,7 @@ func (n *Network) processEvents(now sim.Cycle) {
 			n.onDeliver(ev.p, ev.attempt, now)
 		case evAck:
 			ev.p.src.onAck(ev.p)
+			n.recycle(ev.p)
 		case evNack:
 			ev.p.src.onNack(ev.p)
 		}
@@ -122,13 +163,23 @@ func (n *Network) onDeliver(p *pkt, attempt int, now sim.Cycle) {
 	p.state = stDelivered
 	n.inFlight--
 	n.coll.Delivered(p.Flow, p.Size, int64(now-p.Created), now)
-	// The ejection VC's recycle was scheduled at grant time (the
-	// terminal's credit loop runs ahead of the tail's arrival).
+	// The ejection VC's release was scheduled at grant time (the
+	// terminal's credit loop runs ahead of the tail's arrival), at
+	// grant+Size+1 — and with every ejection RouterDelay >= 2, this
+	// deliver fires no earlier than that, with the release next in
+	// same-cycle seq order when they coincide. So the VC's ownership is
+	// always cleared before the earliest possible recycle of this
+	// wrapper (the ACK, scheduled just below with a later seq), and the
+	// preemption logic can never price a drained slot off a reused
+	// wrapper. Do NOT clear the ownership here instead: on MECS the
+	// release fires a cycle before this deliver and the VC may already
+	// belong to the next packet.
 	p.nxtBuf, p.nxtVC = nil, -1
 	if n.mode == qos.PVC {
 		dist := sim.Cycle(topology.Distance(p.Dst, p.Src))
 		n.schedule(event{kind: evAck, p: p}, now+dist+n.cfg.QoS.AckDelay)
 	} else {
 		p.src.onAck(p)
+		n.recycle(p)
 	}
 }

@@ -65,6 +65,12 @@ type pkt struct {
 	// enq is when the packet became an arbitration candidate at its
 	// current position.
 	enq sim.Cycle
+	// gen is the recycling generation of this wrapper. The engine reuses
+	// pkt+noc.Packet pairs through the network's free list once the
+	// logical packet is fully acknowledged; events carry the generation
+	// they were scheduled against, so an event that outlives its packet's
+	// lifetime becomes a no-op instead of acting on the reused wrapper.
+	gen uint32
 	// frameStamp is the PVC frame in which the carried priority was
 	// computed. Priorities are frame-relative: a stamp from an earlier
 	// frame reads as zero consumption, exactly like the flushed
@@ -97,6 +103,23 @@ type Network struct {
 	frameCount int
 	// margin is the preemption hysteresis in quantized classes.
 	margin noc.Priority
+
+	// active is the in-order subset of srcs that may still generate or
+	// offer work; Step scans it instead of the full injector population.
+	// Exhaustion is permanent (a stopped source with an empty queue and
+	// no outstanding window can never produce work again), so sources are
+	// swept out periodically, preserving relative order for determinism.
+	active []*source
+	sweep  int
+	// pktFree recycles pkt+noc.Packet pairs of fully-acknowledged
+	// packets, making steady-state injection allocation-free. Disabled
+	// while diagnostic hooks are installed, because hook observers may
+	// retain packet pointers past the packet's lifetime.
+	pktFree []*pkt
+	// bidScratch and failedScratch are reusable arbitration buffers
+	// (see arbitrate); valid only within one arbitrate call.
+	bidScratch    []bid
+	failedScratch []*inBuf
 
 	// preemptHook and grantHook, when non-nil, observe every preemption
 	// and grant (tests and diagnostics).
@@ -157,6 +180,8 @@ func New(cfg Config) (*Network, error) {
 	for _, spec := range cfg.Workload.Specs {
 		n.srcs = append(n.srcs, newSource(n, spec))
 	}
+	n.active = append([]*source(nil), n.srcs...)
+	n.compactSources(0)
 	return n, nil
 }
 
@@ -199,16 +224,41 @@ func (n *Network) Step() {
 		}
 		n.frameCount++
 	}
-	for _, s := range n.srcs {
+	for _, s := range n.active {
 		s.generate(now)
 	}
-	for _, s := range n.srcs {
+	for _, s := range n.active {
 		s.offer(now)
 	}
 	for _, p := range n.ports {
 		n.arbitrate(p, now)
 	}
+	if n.sweep--; n.sweep <= 0 {
+		n.compactSources(now)
+		n.sweep = sourceSweepInterval
+	}
 	n.clock.Tick()
+}
+
+// sourceSweepInterval is how often Step re-filters the active-source list.
+// Sweeping is O(sources), so it is amortized over many cycles; exhaustion
+// is permanent, so a late sweep only costs wasted scans, never correctness.
+const sourceSweepInterval = 1024
+
+// compactSources drops permanently-exhausted injectors from the active
+// list, preserving relative order (registration order feeds the NoQoS
+// round-robin arbiter, so it must be stable across sweeps).
+func (n *Network) compactSources(now sim.Cycle) {
+	live := n.active[:0]
+	for _, s := range n.active {
+		if !s.exhausted(now) {
+			live = append(live, s)
+		}
+	}
+	for i := len(live); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = live
 }
 
 // Run advances the simulation by the given number of cycles.
@@ -240,12 +290,14 @@ func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained 
 	return n.coll.LastDelivery, n.idle()
 }
 
-// idle reports whether no work remains anywhere in the network.
+// idle reports whether no work remains anywhere in the network. Sources
+// missing from the active list are permanently exhausted, so scanning the
+// active subset is sufficient.
 func (n *Network) idle() bool {
 	if n.inFlight > 0 || n.events.Len() > 0 {
 		return false
 	}
-	for _, s := range n.srcs {
+	for _, s := range n.active {
 		if !s.exhausted(n.clock.Now()) {
 			return false
 		}
@@ -253,21 +305,44 @@ func (n *Network) idle() bool {
 	return true
 }
 
-// newPacket mints a packet for a source.
+// newPacket mints a packet for a source, reusing a recycled pkt+noc.Packet
+// pair when one is available. Every field of both structs is rewritten, so
+// a recycled packet is indistinguishable from a fresh allocation and
+// recycling cannot perturb simulation results.
 func (n *Network) newPacket(s *source, class noc.Class, dst noc.NodeID, now sim.Cycle) *pkt {
 	n.nextPktID++
-	return &pkt{
-		Packet: &noc.Packet{
-			ID:      n.nextPktID,
-			Flow:    s.spec.Flow,
-			Src:     s.spec.Node,
-			Dst:     dst,
-			Class:   class,
-			Size:    class.Flits(),
-			Created: now,
-		},
-		src:   s,
-		curVC: -1,
-		nxtVC: -1,
+	var p *pkt
+	if k := len(n.pktFree); k > 0 {
+		p = n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		pk, gen := p.Packet, p.gen
+		*pk = noc.Packet{}
+		*p = pkt{Packet: pk, gen: gen}
+	} else {
+		p = &pkt{Packet: &noc.Packet{}}
 	}
+	p.Packet.ID = n.nextPktID
+	p.Packet.Flow = s.spec.Flow
+	p.Packet.Src = s.spec.Node
+	p.Packet.Dst = dst
+	p.Packet.Class = class
+	p.Packet.Size = class.Flits()
+	p.Packet.Created = now
+	p.src = s
+	p.curVC = -1
+	p.nxtVC = -1
+	return p
+}
+
+// recycle returns a fully-acknowledged packet's wrapper to the free list.
+// The generation bump turns any event still scheduled against this wrapper
+// into a no-op. Recycling is suppressed while diagnostic hooks are
+// installed: hooks hand out *pkt pointers that tests may retain.
+func (n *Network) recycle(p *pkt) {
+	if n.preemptHook != nil || n.grantHook != nil {
+		return
+	}
+	p.gen++
+	n.pktFree = append(n.pktFree, p)
 }

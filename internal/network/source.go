@@ -19,10 +19,10 @@ type source struct {
 	// queue holds freshly generated packets awaiting first injection
 	// (unbounded: offered load beyond acceptance shows up as source
 	// queueing delay, the classic latency-throughput hockey stick).
-	queue []*pkt
+	queue pktQueue
 	// retx holds preempted packets awaiting re-injection; they are
 	// replayed ahead of new traffic and already occupy window slots.
-	retx []*pkt
+	retx pktQueue
 	// offering is the packet currently registered as a first-leg
 	// arbitration candidate (the injection VC).
 	offering *pkt
@@ -42,14 +42,52 @@ func newSource(n *Network, spec traffic.Spec) *source {
 	return &source{net: n, spec: spec, rng: n.rng.Split()}
 }
 
+// pktQueue is an allocation-amortizing FIFO: pops advance a head index
+// instead of reslicing away the backing array's front capacity (the
+// `q = q[1:]` idiom makes every later append reallocate), the array is
+// rewound whenever the queue drains, and a long-lived saturated queue is
+// compacted in place once the dead prefix dominates.
+type pktQueue struct {
+	items []*pkt
+	head  int
+}
+
+func (q *pktQueue) len() int    { return len(q.items) - q.head }
+func (q *pktQueue) empty() bool { return q.head >= len(q.items) }
+func (q *pktQueue) first() *pkt { return q.items[q.head] }
+
+func (q *pktQueue) push(p *pkt) { q.items = append(q.items, p) }
+
+func (q *pktQueue) pop() *pkt {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head >= 64 && q.head*2 >= len(q.items):
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p
+}
+
 // active reports whether the injector still generates traffic at cycle t.
 func (s *source) active(t sim.Cycle) bool {
 	return s.spec.Rate > 0 && (s.spec.StopAt == 0 || t < s.spec.StopAt)
 }
 
 // exhausted reports whether the source will never produce work again.
+// Exhaustion is permanent: generation has stopped, nothing is queued or
+// offered, and with no outstanding window there is no NACK left that could
+// refill the retransmission queue.
 func (s *source) exhausted(t sim.Cycle) bool {
-	return !s.active(t) && len(s.queue) == 0 && len(s.retx) == 0 && s.offering == nil && s.window == 0
+	return !s.active(t) && s.queue.empty() && s.retx.empty() && s.offering == nil && s.window == 0
 }
 
 // generate samples the Bernoulli packet process: the flit rate divided by
@@ -68,7 +106,7 @@ func (s *source) generate(t sim.Cycle) {
 		class = noc.ClassRequest
 	}
 	p := s.net.newPacket(s, class, s.spec.Dest(s.rng), t)
-	s.queue = append(s.queue, p)
+	s.queue.push(p)
 	s.generated++
 }
 
@@ -81,13 +119,13 @@ func (s *source) offer(t sim.Cycle) {
 	}
 	var p *pkt
 	switch {
-	case len(s.retx) > 0:
-		p = s.retx[0]
-	case len(s.queue) > 0:
+	case !s.retx.empty():
+		p = s.retx.first()
+	case !s.queue.empty():
 		if s.net.mode == qos.PVC && s.window >= s.net.cfg.QoS.WindowPackets {
 			return
 		}
-		p = s.queue[0]
+		p = s.queue.first()
 	default:
 		return
 	}
@@ -114,10 +152,10 @@ func (s *source) onInjected(p *pkt, tailDeparture sim.Cycle, now sim.Cycle) {
 		panic("network: injected packet was not the offered one")
 	}
 	s.offering = nil
-	if len(s.retx) > 0 && s.retx[0] == p {
-		s.retx = s.retx[1:]
+	if !s.retx.empty() && s.retx.first() == p {
+		s.retx.pop()
 	} else {
-		s.queue = s.queue[1:]
+		s.queue.pop()
 		s.window++
 		s.net.inFlight++
 	}
@@ -139,5 +177,5 @@ func (s *source) onAck(p *pkt) {
 // its window slot — it is still unacknowledged.
 func (s *source) onNack(p *pkt) {
 	p.state = stAtSource
-	s.retx = append(s.retx, p)
+	s.retx.push(p)
 }

@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tanoq/internal/network"
+	"tanoq/internal/sim"
+	"tanoq/internal/stats"
+)
+
+// Cell is one independent simulation: a network configuration plus its
+// warmup/measurement schedule. Each cell builds and owns a private
+// Network, so cells never share mutable state.
+type Cell struct {
+	Config network.Config
+	// Warmup cycles run with measurement paused; Measure cycles follow
+	// with the collector live (Network.WarmupAndMeasure).
+	Warmup  int
+	Measure int
+}
+
+// Result is the outcome of one cell.
+type Result struct {
+	// Stats is the cell's measurement collector, owned by the caller
+	// once RunCells returns.
+	Stats *stats.Collector
+	// End is the simulation cycle at the end of the measurement window
+	// (the `now` argument of rate metrics such as AcceptedFlitRate).
+	End sim.Cycle
+}
+
+// Workers resolves a requested worker count: n <= 0 selects one worker
+// per CPU (GOMAXPROCS), anything else is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do executes fn(i) for every i in [0, jobs) across a pool of workers.
+// Jobs are claimed from a shared atomic counter, so long and short cells
+// interleave without static partitioning imbalance. fn must not touch
+// state shared with other jobs. A panic in any job is re-raised on the
+// calling goroutine after all workers have stopped.
+func Do(jobs, workers int, fn func(job int)) {
+	if jobs <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[panicValue]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for panicked.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				runJob(i, fn, &panicked)
+			}
+		}()
+	}
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.v)
+	}
+}
+
+// panicValue boxes a recovered panic so it can travel through an atomic
+// pointer back to the calling goroutine.
+type panicValue struct{ v any }
+
+// runJob runs one job, converting a panic into a recorded first-panic so
+// the pool can drain instead of crashing the process from a worker.
+func runJob(i int, fn func(int), panicked *atomic.Pointer[panicValue]) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked.CompareAndSwap(nil, &panicValue{v: r})
+		}
+	}()
+	fn(i)
+}
+
+// Map runs fn over [0, jobs) like Do and collects the results in input
+// order: element i of the returned slice is fn(i), regardless of worker
+// count or completion order.
+func Map[T any](jobs, workers int, fn func(job int) T) []T {
+	out := make([]T, jobs)
+	Do(jobs, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// RunCells executes every cell across the worker pool and returns the
+// results in input order. Each cell builds its own Network from its
+// configuration (panicking on an invalid configuration, like
+// network.MustNew), runs the warmup/measure schedule, and yields its
+// collector. Because each cell's randomness derives entirely from its
+// own Config.Seed, the results are bit-identical for every worker count.
+func RunCells(cells []Cell, workers int) []Result {
+	return Map(len(cells), workers, func(i int) Result {
+		n := network.MustNew(cells[i].Config)
+		n.WarmupAndMeasure(cells[i].Warmup, cells[i].Measure)
+		return Result{Stats: n.Stats(), End: n.Now()}
+	})
+}

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"tanoq/internal/network"
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Fatal("Workers(0) must resolve to at least one worker")
+	}
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if Workers(-1) < 1 {
+		t.Fatal("negative requests must still resolve to a usable pool")
+	}
+}
+
+func TestDoRunsEveryJobExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const jobs = 57
+		var counts [jobs]atomic.Int32
+		Do(jobs, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	got := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d holds %d: results out of input order", i, v)
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	Do(0, 8, func(int) { t.Fatal("fn called for zero jobs") })
+	if out := Map(0, 8, func(int) int { return 1 }); len(out) != 0 {
+		t.Fatalf("Map(0) returned %d results", len(out))
+	}
+}
+
+func TestPanicPropagatesToCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			Do(8, workers, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// cells builds a small mixed grid: two topologies at two rates.
+func cells(seed uint64) []Cell {
+	var out []Cell
+	for _, kind := range []topology.Kind{topology.MeshX1, topology.MECS} {
+		for _, rate := range []float64{0.03, 0.08} {
+			w := traffic.UniformRandom(topology.ColumnNodes, rate)
+			out = append(out, Cell{
+				Config: network.Config{
+					Kind:     kind,
+					QoS:      qos.DefaultConfig(w.TotalFlows()),
+					Workload: w,
+					Seed:     seed,
+				},
+				Warmup:  1_000,
+				Measure: 4_000,
+			})
+		}
+	}
+	return out
+}
+
+// TestRunCellsDeterministicAcrossWorkerCounts is the runner's central
+// contract: parallel execution returns results bit-identical to
+// sequential execution, field for field.
+func TestRunCellsDeterministicAcrossWorkerCounts(t *testing.T) {
+	seq := RunCells(cells(11), 1)
+	for _, workers := range []int{2, 8} {
+		par := RunCells(cells(11), workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].End != seq[i].End {
+				t.Errorf("workers=%d cell %d: end cycle %d != %d", workers, i, par[i].End, seq[i].End)
+			}
+			if !reflect.DeepEqual(par[i].Stats, seq[i].Stats) {
+				t.Errorf("workers=%d cell %d: collectors differ", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunCellsProducesLiveResults(t *testing.T) {
+	res := RunCells(cells(5), 0)
+	for i, r := range res {
+		if r.Stats.TotalDelivered == 0 {
+			t.Errorf("cell %d delivered nothing", i)
+		}
+		if r.End == 0 {
+			t.Errorf("cell %d reports no end cycle", i)
+		}
+	}
+}
