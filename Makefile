@@ -1,0 +1,21 @@
+# Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+.PHONY: build test vet bench bench-json
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# bench runs the repository benchmark suite once through `go test`.
+bench:
+	go test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+# bench-json writes the machine-readable perf snapshot BENCH_<date>.json
+# (engine step cost, quick Fig4 grid wall-clock, low-load cell speedups).
+bench-json:
+	go run ./cmd/noctool bench

@@ -155,15 +155,15 @@ func BenchmarkChipCost(b *testing.B) {
 	b.ReportMetric(100*saved, "saved-%")
 }
 
-// benchFig4 regenerates a reduced Figure 4(a) grid through the experiment
-// runner with the given worker-pool size.
-func benchFig4(b *testing.B, workers int) {
-	rates := []float64{0.02, 0.05, 0.08, 0.11, 0.14}
+// benchFig4 regenerates the quick Figure 4(a) grid through the experiment
+// runner with the given worker-pool size and idle-skip setting.
+func benchFig4(b *testing.B, workers int, skip bool) {
 	p := experiments.QuickParams()
 	p.Workers = workers
+	p.DisableIdleSkip = !skip
 	var lat float64
 	for i := 0; i < b.N; i++ {
-		series := experiments.Fig4(experiments.Uniform, rates, p)
+		series := experiments.Fig4(experiments.Uniform, experiments.QuickFig4Rates(), p)
 		lat = series[0].Points[0].MeanLatency
 	}
 	b.ReportMetric(lat, "meshx1-latency-cycles")
@@ -171,28 +171,68 @@ func benchFig4(b *testing.B, workers int) {
 
 // BenchmarkFig4Sequential is the sequential half of the runner speedup
 // pair: the same cell grid as BenchmarkFig4Parallel on one worker.
-func BenchmarkFig4Sequential(b *testing.B) { benchFig4(b, 1) }
+func BenchmarkFig4Sequential(b *testing.B) { benchFig4(b, 1, true) }
 
 // BenchmarkFig4Parallel fans the grid across one worker per CPU. The
 // ns/op ratio against BenchmarkFig4Sequential is the runner's wall-clock
 // speedup; results are asserted bit-identical in the experiments tests.
-func BenchmarkFig4Parallel(b *testing.B) { benchFig4(b, 0) }
+func BenchmarkFig4Parallel(b *testing.B) { benchFig4(b, 0, true) }
 
-// BenchmarkEngineCycles measures raw simulator speed: cycles simulated per
-// second for each topology under moderate uniform load.
+// BenchmarkFig4SequentialTicked is the same sequential grid with idle
+// skipping force-disabled — the tick-driven engine. Its ns/op ratio
+// against BenchmarkFig4Sequential is the grid-level cost of ticking
+// through idle cycles (results are bit-identical either way, asserted in
+// the experiments tests).
+func BenchmarkFig4SequentialTicked(b *testing.B) { benchFig4(b, 1, false) }
+
+// BenchmarkEngineCycles measures raw simulator speed: cycles simulated
+// per second for each topology at steady state, below every topology's
+// saturation point so the working set stabilizes. The warmup lets the
+// packet free list, event ring, source queues and scratch buffers reach
+// capacity — after it, Step must be allocation-free (the CI benchmark
+// smoke step fails on a nonzero allocs/op here, guarding the invariant).
 func BenchmarkEngineCycles(b *testing.B) {
 	for _, kind := range topology.Kinds() {
 		b.Run(kind.String(), func(b *testing.B) {
-			w := traffic.UniformRandom(topology.ColumnNodes, 0.08)
+			w := traffic.UniformRandom(topology.ColumnNodes, 0.04)
 			n := network.MustNew(network.Config{
 				Kind:     kind,
 				QoS:      qos.DefaultConfig(w.TotalFlows()),
 				Workload: w,
 				Seed:     5,
+				// Step is the tick path; skipping lives in Run and
+				// would make "cycles per second" unbounded.
+				DisableIdleSkip: true,
 			})
+			n.Run(30_000)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkLowLoadCell times one near-idle quick Fig4 cell per engine
+// mode — the regime the event-driven redesign targets (ISSUE 2): skipping
+// on versus the tick-driven reference.
+func BenchmarkLowLoadCell(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"skip", false}, {"tick", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			w := traffic.UniformRandom(topology.ColumnNodes, 0.01)
+			for i := 0; i < b.N; i++ {
+				n := network.MustNew(network.Config{
+					Kind:            topology.MeshX1,
+					QoS:             qos.DefaultConfig(w.TotalFlows()),
+					Workload:        w,
+					Seed:            42,
+					DisableIdleSkip: mode.disable,
+				})
+				n.WarmupAndMeasure(3_000, 15_000)
 			}
 		})
 	}

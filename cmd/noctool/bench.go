@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tanoq/internal/experiments"
+	"tanoq/internal/network"
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// benchReport is the machine-readable performance snapshot `noctool bench`
+// writes to BENCH_<date>.json, tracking the engine's perf trajectory
+// PR over PR: raw per-cycle engine cost, wall-clock for the quick Figure 4
+// grid (sequential vs parallel, idle skipping on vs off), and the
+// low-load cells where the event-driven engine's O(work) behaviour shows.
+type benchReport struct {
+	Date          string      `json:"date"`
+	GoVersion     string      `json:"go_version"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Seed          uint64      `json:"seed"`
+	Note          string      `json:"note,omitempty"`
+	EngineStep    []stepBench `json:"engine_step"`
+	QuickFig4Grid []gridBench `json:"quick_fig4_grid"`
+	LowLoadCells  []cellBench `json:"low_load_cells"`
+	// IdleHorizon times a fixed 200K-cycle horizon over a workload that
+	// stops injecting at cycle 2K — the drain-tail / stopped-workload
+	// pattern of Figure 6 and the run-to-drain tests. This is where
+	// clock fast-forwarding itself pays: the tick engine executes every
+	// idle cycle, the skipping engine only the occupied ones.
+	IdleHorizon []cellBench `json:"idle_horizon"`
+}
+
+// stepBench is the per-topology cost of one tick-driven Step at steady
+// state (the engine's inner loop, with idle skipping out of the picture).
+type stepBench struct {
+	Topology      string  `json:"topology"`
+	Rate          float64 `json:"rate"`
+	NsPerCycle    float64 `json:"ns_per_cycle"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+}
+
+// gridBench is one full quick-Figure-4-grid regeneration.
+type gridBench struct {
+	Workers  int     `json:"workers"` // 0 = one per CPU
+	SkipIdle bool    `json:"skip_idle"`
+	WallMs   float64 `json:"wall_ms"`
+}
+
+// cellBench is one low-load simulation cell, timed with idle skipping on
+// (skip) and off (tick); TickOverSkip is the skipping speedup.
+type cellBench struct {
+	Topology     string  `json:"topology"`
+	Rate         float64 `json:"rate"`
+	SkipWallMs   float64 `json:"skip_wall_ms"`
+	TickWallMs   float64 `json:"tick_wall_ms"`
+	TickOverSkip float64 `json:"tick_over_skip"`
+}
+
+// runBench measures and writes the report. Wall-clock samples are
+// best-of-three to shave scheduler noise; simulation results themselves
+// are deterministic so repetition only stabilizes timing.
+func runBench(p experiments.Params, outPath, note string) error {
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	rep := benchReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       p.Seed,
+		Note:       note,
+	}
+
+	fmt.Println("bench: engine Step cost per topology (steady state, uniform 4%)")
+	for _, kind := range topology.Kinds() {
+		rep.EngineStep = append(rep.EngineStep, benchStep(kind, p.Seed))
+	}
+
+	fmt.Println("bench: quick Fig4 grid wall-clock (workers x idle skip)")
+	quick := experiments.QuickParams()
+	quick.Seed = p.Seed
+	for _, workers := range []int{1, 0} {
+		for _, skip := range []bool{true, false} {
+			g := quick
+			g.Workers = workers
+			g.DisableIdleSkip = !skip
+			rep.QuickFig4Grid = append(rep.QuickFig4Grid, gridBench{
+				Workers:  workers,
+				SkipIdle: skip,
+				WallMs: bestOf(3, func() {
+					experiments.Fig4(experiments.Uniform, experiments.QuickFig4Rates(), g)
+				}),
+			})
+		}
+	}
+
+	fmt.Println("bench: low-load cells, idle skipping on vs off")
+	for _, kind := range topology.Kinds() {
+		for _, rate := range []float64{0.01, 0.02} {
+			rep.LowLoadCells = append(rep.LowLoadCells, benchCell(kind, rate, p.Seed))
+		}
+	}
+
+	fmt.Println("bench: idle horizon (fixed 200K-cycle run, injection stops at 2K)")
+	for _, kind := range topology.Kinds() {
+		rep.IdleHorizon = append(rep.IdleHorizon, benchIdleHorizon(kind, p.Seed))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s\n", outPath)
+	for _, c := range rep.LowLoadCells {
+		fmt.Printf("  low-load %-8s rate %.2f: skip %.2fms  tick %.2fms  (%.2fx)\n",
+			c.Topology, c.Rate, c.SkipWallMs, c.TickWallMs, c.TickOverSkip)
+	}
+	for _, c := range rep.IdleHorizon {
+		fmt.Printf("  idle-horizon %-8s: skip %.2fms  tick %.2fms  (%.2fx)\n",
+			c.Topology, c.SkipWallMs, c.TickWallMs, c.TickOverSkip)
+	}
+	return nil
+}
+
+// benchStep times the raw tick path: a steady-state network advanced one
+// Step at a time, with allocations counted across the timed window.
+func benchStep(kind topology.Kind, seed uint64) stepBench {
+	const rate, warm, steps = 0.04, 30_000, 100_000
+	w := traffic.UniformRandom(topology.ColumnNodes, rate)
+	n := network.MustNew(network.Config{
+		Kind:     kind,
+		QoS:      qos.DefaultConfig(w.TotalFlows()),
+		Workload: w,
+		Seed:     seed,
+		// The tick path is what is being timed; skipping lives in Run.
+		DisableIdleSkip: true,
+	})
+	n.Run(warm)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		n.Step()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return stepBench{
+		Topology:      kind.String(),
+		Rate:          rate,
+		NsPerCycle:    float64(wall.Nanoseconds()) / steps,
+		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / steps,
+	}
+}
+
+// benchCell times one warmup+measure quick cell with skipping on and off.
+func benchCell(kind topology.Kind, rate float64, seed uint64) cellBench {
+	run := func(disable bool) float64 {
+		w := traffic.UniformRandom(topology.ColumnNodes, rate)
+		return bestOf(3, func() {
+			n := network.MustNew(network.Config{
+				Kind:            kind,
+				QoS:             qos.DefaultConfig(w.TotalFlows()),
+				Workload:        w,
+				Seed:            seed,
+				DisableIdleSkip: disable,
+			})
+			n.WarmupAndMeasure(experiments.QuickParams().Warmup, experiments.QuickParams().Measure)
+		})
+	}
+	skip, tick := run(false), run(true)
+	return cellBench{
+		Topology:     kind.String(),
+		Rate:         rate,
+		SkipWallMs:   skip,
+		TickWallMs:   tick,
+		TickOverSkip: tick / skip,
+	}
+}
+
+// benchIdleHorizon times a fixed horizon dominated by post-drain idle
+// cycles, with skipping on and off.
+func benchIdleHorizon(kind topology.Kind, seed uint64) cellBench {
+	const rate, stop, horizon = 0.03, 2_000, 200_000
+	run := func(disable bool) float64 {
+		w := traffic.UniformRandom(topology.ColumnNodes, rate).WithStop(stop)
+		return bestOf(3, func() {
+			n := network.MustNew(network.Config{
+				Kind:            kind,
+				QoS:             qos.DefaultConfig(w.TotalFlows()),
+				Workload:        w,
+				Seed:            seed,
+				DisableIdleSkip: disable,
+			})
+			n.Run(horizon)
+		})
+	}
+	skip, tick := run(false), run(true)
+	return cellBench{
+		Topology:     kind.String(),
+		Rate:         rate,
+		SkipWallMs:   skip,
+		TickWallMs:   tick,
+		TickOverSkip: tick / skip,
+	}
+}
+
+// bestOf runs fn reps times and returns the fastest wall-clock in
+// milliseconds.
+func bestOf(reps int, fn func()) float64 {
+	best := time.Duration(1 << 62)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e6
+}

@@ -19,7 +19,8 @@
 //	chip        chip-level QoS hardware savings of the topology-aware design
 //	motivation  Section 1's starvation demonstration (no-QoS vs PVC)
 //	ablate      PVC design-parameter sweeps (beyond the paper)
-//	all         everything above, in paper order
+//	bench       machine-readable engine benchmarks -> BENCH_<date>.json
+//	all         everything above (except bench), in paper order
 //
 // Flags:
 //
@@ -29,8 +30,13 @@
 //	-parallel  worker goroutines for independent simulation cells
 //	           (default 0 = one per CPU; 1 = sequential; results are
 //	           bit-identical for every value)
+//	-skip      fast-forward the engine clock over provably idle cycle
+//	           windows (default true; results are bit-identical either
+//	           way — disable only to benchmark the tick-driven engine)
 //	-quick     scale runs down ~6x for a fast smoke pass
 //	-csv       emit CSV rows instead of formatted tables
+//	-out       output path for bench's JSON (default BENCH_<date>.json)
+//	-note      free-form annotation stored in bench's JSON
 package main
 
 import (
@@ -48,8 +54,11 @@ func main() {
 	warmup := flag.Int("warmup", 20_000, "warmup cycles before measurement")
 	measure := flag.Int("measure", 100_000, "measurement window in cycles")
 	parallel := flag.Int("parallel", 0, "simulation workers (0 = one per CPU, 1 = sequential; results identical)")
+	skip := flag.Bool("skip", true, "fast-forward over idle cycle windows (results identical either way)")
 	quick := flag.Bool("quick", false, "scale runs down for a fast smoke pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	out := flag.String("out", "", "output path for bench's JSON (default BENCH_<date>.json)")
+	note := flag.String("note", "", "free-form annotation stored in bench's JSON")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -59,6 +68,7 @@ func main() {
 		p.Seed = *seed
 	}
 	p.Workers = *parallel
+	p.DisableIdleSkip = !*skip
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -66,7 +76,13 @@ func main() {
 		os.Exit(2)
 	}
 	for _, arg := range args {
-		if err := run(strings.ToLower(arg), p, *quick, *csv); err != nil {
+		var err error
+		if strings.ToLower(arg) == "bench" {
+			err = runBench(p, *out, *note)
+		} else {
+			err = run(strings.ToLower(arg), p, *quick, *csv)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "noctool: %v\n", err)
 			os.Exit(1)
 		}
@@ -76,7 +92,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>...
 
-experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate all
+experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate bench all
 flags:
 `)
 	flag.PrintDefaults()
@@ -98,7 +114,7 @@ func run(name string, p experiments.Params, quick, csv bool) error {
 		}
 		rates := experiments.DefaultFig4Rates()
 		if quick {
-			rates = []float64{0.02, 0.05, 0.08, 0.11, 0.14}
+			rates = experiments.QuickFig4Rates()
 		}
 		series := experiments.Fig4(pattern, rates, p)
 		if csv {

@@ -27,10 +27,21 @@
 //     its seeded RNG, results return in input order, and experiment
 //     output is bit-identical for every worker count (noctool -parallel).
 //
-// The simulation hot path is allocation-free at steady state: delivered
-// packets are recycled through a free list, arbitration uses reusable
-// scratch buffers, the event queue is a hand-rolled typed heap, and Step
-// scans only the still-active injectors.
+// The engine is hybrid tick/event-driven, O(work) instead of O(cycles x
+// machine size): injection is sampled by geometric inter-arrival gaps
+// (one RNG draw per packet, statistically identical to the modeled
+// per-cycle Bernoulli process), sources sit on an arrival heap and an
+// offerable list so a cycle touches only the injectors acting in it,
+// arbitration visits only ports holding candidates, events live in an
+// O(1) calendar-ring queue, and Run fast-forwards the clock across
+// provably idle windows to the next event, arrival, injection-VC free or
+// PVC frame boundary. Skipping is mechanical: with it disabled the
+// engine ticks through every cycle and produces bit-identical results
+// (asserted across all topologies and QoS modes). The hot path is also
+// allocation-free at steady state: delivered packets are recycled
+// through a free list and arbitration uses reusable scratch buffers —
+// `noctool bench` writes a BENCH_<date>.json snapshot tracking all of
+// this PR over PR.
 //
 // The root package exists to host repository-level benchmarks
 // (bench_test.go); the programmable surface lives in the internal packages

@@ -43,7 +43,7 @@ type AblationRow struct {
 // hotspotCell builds one hotspot-workload cell with a customized QoS
 // configuration — the unit every ablation sweep fans out over.
 func hotspotCell(kind topology.Kind, mut func(*qos.Config), p Params) runner.Cell {
-	cfg := netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC, p.Seed)
+	cfg := p.netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC)
 	mut(&cfg.QoS)
 	return p.cell(cfg)
 }
@@ -138,6 +138,7 @@ func AblateWindow(kind topology.Kind, windows []int, p Params) []AblationRow {
 		cells[i] = p.cell(network.Config{
 			Kind: kind, Nodes: topology.ColumnNodes,
 			QoS: cfg, Workload: w, Seed: p.Seed,
+			DisableIdleSkip: p.DisableIdleSkip,
 		})
 	}
 	res := runner.RunCells(cells, p.Workers)
@@ -180,7 +181,7 @@ func AblateMargin(kind topology.Kind, margins []int, p Params) []MarginAblationR
 	for _, m := range margins {
 		margin := m
 		mut := func(c *qos.Config) { c.MarginClasses = margin }
-		adv := netConfig(kind, traffic.Workload1(topology.ColumnNodes, 0), qos.PVC, p.Seed)
+		adv := p.netConfig(kind, traffic.Workload1(topology.ColumnNodes, 0), qos.PVC)
 		mut(&adv.QoS)
 		cells = append(cells, p.cell(adv), hotspotCell(kind, mut, p))
 	}

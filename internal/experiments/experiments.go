@@ -29,6 +29,15 @@ type Params struct {
 	// bit-identical for every value — each simulation cell owns its
 	// seeded RNG, and the runner returns results in input order.
 	Workers int
+	// DisableIdleSkip forces every cell's engine to tick through each
+	// cycle instead of fast-forwarding over provably idle windows
+	// (network.Config.DisableIdleSkip, passed through verbatim).
+	// Skipping is mechanical — results are bit-identical either way —
+	// so this knob exists only for that proof, for debugging, and for
+	// benchmarking the tick-driven engine. Like the network field, the
+	// zero value selects the fast path, so plain Params literals cannot
+	// silently lose it.
+	DisableIdleSkip bool
 }
 
 // DefaultParams reproduces the paper-scale runs: a warmup transient plus
@@ -41,6 +50,13 @@ func DefaultParams() Params {
 // keeping every qualitative shape.
 func QuickParams() Params {
 	return Params{Seed: 42, Warmup: 3_000, Measure: 15_000}
+}
+
+// QuickFig4Rates is the reduced Figure 4 rate grid used by -quick runs and
+// the repository benchmarks. The 1 % row is the near-idle regime the
+// event-driven engine targets: its cells cost O(packets), not O(cycles).
+func QuickFig4Rates() []float64 {
+	return []float64{0.01, 0.02, 0.05, 0.08, 0.11, 0.14}
 }
 
 // FlowPopulation is the QoS flow population of the 8-node shared column:
@@ -58,21 +74,23 @@ func defaultQoS(mode qos.Mode) qos.Config {
 }
 
 // netConfig assembles one shared-column network configuration — the unit
-// the parallel experiment runner fans out over.
-func netConfig(kind topology.Kind, w traffic.Workload, mode qos.Mode, seed uint64) network.Config {
+// the parallel experiment runner fans out over — carrying p's seed and
+// idle-skip setting.
+func (p Params) netConfig(kind topology.Kind, w traffic.Workload, mode qos.Mode) network.Config {
 	return network.Config{
-		Kind:     kind,
-		Nodes:    topology.ColumnNodes,
-		QoS:      defaultQoS(mode),
-		Workload: w,
-		Seed:     seed,
+		Kind:            kind,
+		Nodes:           topology.ColumnNodes,
+		QoS:             defaultQoS(mode),
+		Workload:        w,
+		Seed:            p.Seed,
+		DisableIdleSkip: p.DisableIdleSkip,
 	}
 }
 
 // buildNet assembles one shared-column network (single-simulation paths;
 // grid experiments go through runner.RunCells instead).
-func buildNet(kind topology.Kind, w traffic.Workload, mode qos.Mode, seed uint64) *network.Network {
-	return network.MustNew(netConfig(kind, w, mode, seed))
+func (p Params) buildNet(kind topology.Kind, w traffic.Workload, mode qos.Mode) *network.Network {
+	return network.MustNew(p.netConfig(kind, w, mode))
 }
 
 // cell pairs a network configuration with p's warmup/measure schedule.

@@ -74,7 +74,7 @@ func Fig4(pattern Pattern, rates []float64, p Params) []Fig4Series {
 	cells := make([]runner.Cell, 0, len(kinds)*len(rates))
 	for _, kind := range kinds {
 		for _, rate := range rates {
-			cells = append(cells, p.cell(netConfig(kind, pattern.workload(rate), qos.PVC, p.Seed)))
+			cells = append(cells, p.cell(p.netConfig(kind, pattern.workload(rate), qos.PVC)))
 		}
 	}
 	res := runner.RunCells(cells, p.Workers)
@@ -134,7 +134,7 @@ func SaturationPreemptions(p Params) []SaturationPreemption {
 	kinds := topology.Kinds()
 	cells := make([]runner.Cell, len(kinds))
 	for i, kind := range kinds {
-		cells[i] = p.cell(netConfig(kind, traffic.UniformRandom(topology.ColumnNodes, 0.15), qos.PVC, p.Seed))
+		cells[i] = p.cell(p.netConfig(kind, traffic.UniformRandom(topology.ColumnNodes, 0.15), qos.PVC))
 	}
 	res := runner.RunCells(cells, p.Workers)
 	out := make([]SaturationPreemption, len(kinds))

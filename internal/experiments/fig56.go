@@ -54,7 +54,7 @@ func Fig5(a Adversarial, p Params) []Fig5Row {
 	kinds := topology.Kinds()
 	cells := make([]runner.Cell, len(kinds))
 	for i, kind := range kinds {
-		cells[i] = p.cell(netConfig(kind, a.workload(0), qos.PVC, p.Seed))
+		cells[i] = p.cell(p.netConfig(kind, a.workload(0), qos.PVC))
 	}
 	res := runner.RunCells(cells, p.Workers)
 	out := make([]Fig5Row, len(kinds))
@@ -100,8 +100,8 @@ type Fig6Row struct {
 // fig6Run injects the finite workload for `duration` cycles, snapshots
 // per-flow throughput at injection stop (the contended interval), then
 // drains and returns the completion time.
-func fig6Run(kind topology.Kind, a Adversarial, mode qos.Mode, duration int, seed uint64) (completion sim.Cycle, flitsAtStop []int64) {
-	n := buildNet(kind, a.workload(sim.Cycle(duration)), mode, seed)
+func fig6Run(kind topology.Kind, a Adversarial, mode qos.Mode, duration int, p Params) (completion sim.Cycle, flitsAtStop []int64) {
+	n := p.buildNet(kind, a.workload(sim.Cycle(duration)), mode)
 	n.Run(duration)
 	flitsAtStop = n.Stats().FlitsByFlow()
 	completion, _ = n.RunUntilDrained(8 * duration)
@@ -129,7 +129,7 @@ func Fig6(a Adversarial, p Params) []Fig6Row {
 	modes := []qos.Mode{qos.PVC, qos.PerFlowQueue}
 	runs := runner.Map(len(kinds)*len(modes), p.Workers, func(i int) fig6Result {
 		kind, mode := kinds[i/len(modes)], modes[i%len(modes)]
-		completion, flits := fig6Run(kind, a, mode, duration, p.Seed)
+		completion, flits := fig6Run(kind, a, mode, duration, p)
 		return fig6Result{completion: completion, flits: flits}
 	})
 

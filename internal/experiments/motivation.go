@@ -38,7 +38,7 @@ func Motivation(kind topology.Kind, p Params) []MotivationRow {
 	modes := []qos.Mode{qos.NoQoS, qos.PVC}
 	cells := make([]runner.Cell, len(modes))
 	for i, mode := range modes {
-		cells[i] = p.cell(netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), mode, p.Seed))
+		cells[i] = p.cell(p.netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), mode))
 	}
 	res := runner.RunCells(cells, p.Workers)
 	var out []MotivationRow

@@ -41,7 +41,7 @@ func Table2(p Params) []Table2Row {
 	kinds := topology.Kinds()
 	cells := make([]runner.Cell, len(kinds))
 	for i, kind := range kinds {
-		cells[i] = p.cell(netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC, p.Seed))
+		cells[i] = p.cell(p.netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC))
 	}
 	res := runner.RunCells(cells, p.Workers)
 	out := make([]Table2Row, len(kinds))

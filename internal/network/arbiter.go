@@ -25,6 +25,10 @@ type outPort struct {
 	// VCs routed through this port, plus offered source packets.
 	waiters []*pkt
 	rr      qos.RoundRobin
+	// inActive marks membership in the network's active-ports list (ports
+	// holding candidates), which Step arbitrates instead of scanning
+	// every port.
+	inActive bool
 }
 
 // bid is one arbitration candidate with its dynamic priority, resolved
@@ -34,10 +38,23 @@ type bid struct {
 	prio noc.Priority
 }
 
-// register adds a packet to the port's candidate list.
-func (p *outPort) register(w *pkt) {
+// register adds a packet to a port's candidate list, activating the port
+// if this is its first candidate. The active-ports list is kept sorted by
+// port ID so that per-cycle arbitration visits ports in the same canonical
+// order as the historical all-ports scan, independent of activation
+// history — which is also what makes idle skipping mechanical (stale list
+// entries can never reorder arbitration).
+func (n *Network) register(p *outPort, w *pkt) {
 	w.state = stateForRegistration(w)
 	p.waiters = append(p.waiters, w)
+	n.waiterCount++
+	if !p.inActive {
+		p.inActive = true
+		n.activePorts = append(n.activePorts, p)
+		for i := len(n.activePorts) - 1; i > 0 && n.activePorts[i-1].id > p.id; i-- {
+			n.activePorts[i], n.activePorts[i-1] = n.activePorts[i-1], n.activePorts[i]
+		}
+	}
 }
 
 func stateForRegistration(w *pkt) pktState {
@@ -47,11 +64,14 @@ func stateForRegistration(w *pkt) pktState {
 	return stWaiting
 }
 
-// unregister removes a packet from the candidate list.
-func (p *outPort) unregister(w *pkt) {
+// unregister removes a packet from a port's candidate list. The port stays
+// on the active list until the next arbitration pass drops it (lazy
+// deactivation keeps removal O(1) here).
+func (n *Network) unregister(p *outPort, w *pkt) {
 	for i, c := range p.waiters {
 		if c == w {
 			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			n.waiterCount--
 			return
 		}
 	}
@@ -284,30 +304,30 @@ func (n *Network) grant(port *outPort, w *pkt, leg *topology.Leg, buf *inBuf, vc
 	vc.TailArrival = tailArr
 	w.nxtBuf, w.nxtVC = buf, vcIdx
 
-	port.unregister(w)
+	n.unregister(port, w)
 	if w.curBuf == nil {
 		w.src.onInjected(w, tailDep, now)
 	} else {
 		// The upstream VC frees once the tail departs and the credit
 		// crosses back to its allocator.
 		rel := tailDep + sim.Cycle(w.creditDelay)
-		n.schedule(event{kind: evRelease, buf: w.curBuf, vc: w.curVC, gen: w.curBuf.gen(w.curVC)}, rel)
+		n.schedule(event{kind: evRelease, buf: w.curBuf, vc: int16(w.curVC), gen: w.curBuf.gen(w.curVC)}, rel)
 		w.curBuf, w.curVC = nil, -1
 	}
 	w.state = stMoving
 
 	if leg.Final {
-		n.schedule(event{kind: evDeliver, p: w, attempt: w.Retransmits}, tailArr)
+		n.schedule(event{kind: evDeliver, p: w, attempt: int32(w.Retransmits)}, tailArr)
 		// The terminal consumes the ejection buffer at link rate, so
 		// its credit loop is local to the destination router: the VC
 		// recycles one cycle behind the port cadence, letting the two
 		// ejection VCs sustain a full flit per cycle even for streams
 		// of single-flit packets (the paper's saturated hotspot runs
 		// the terminal port at ~100%).
-		n.schedule(event{kind: evRelease, buf: buf, vc: vcIdx, gen: buf.gen(vcIdx)},
+		n.schedule(event{kind: evRelease, buf: buf, vc: int16(vcIdx), gen: buf.gen(vcIdx)},
 			now+sim.Cycle(w.Size)+1)
 	} else {
-		n.schedule(event{kind: evHead, p: w, attempt: w.Retransmits}, headArr)
+		n.schedule(event{kind: evHead, p: w, attempt: int32(w.Retransmits)}, headArr)
 	}
 }
 
@@ -335,7 +355,7 @@ func (n *Network) preemptPacket(victim *pkt, siteNode int, now sim.Cycle) {
 	// itself; generation bumps turn the scheduled releases into no-ops.
 	if victim.state == stWaiting {
 		// Registered at its next leg's port: withdraw the bid.
-		n.ports[victim.legs[victim.Hop()].Out].unregister(victim)
+		n.unregister(n.ports[victim.legs[victim.Hop()].Out], victim)
 	}
 	if victim.curBuf != nil {
 		victim.curBuf.release(victim.curVC, victim.curBuf.gen(victim.curVC))

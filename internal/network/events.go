@@ -1,6 +1,8 @@
 package network
 
 import (
+	"math/bits"
+
 	"tanoq/internal/qos"
 	"tanoq/internal/sim"
 	"tanoq/internal/topology"
@@ -30,75 +32,150 @@ const (
 // event is one scheduled occurrence. Packet-borne events carry the attempt
 // (retransmission count) and wrapper generation they were scheduled for; a
 // preemption bumps the packet's attempt and a recycle bumps the wrapper's
-// generation, turning in-flight stale events into no-ops.
+// generation, turning in-flight stale events into no-ops. Fields are
+// ordered and sized to pack the struct into 48 bytes: events are copied on
+// every schedule and fire, so their footprint is event-loop bandwidth.
 type event struct {
-	at      sim.Cycle
-	seq     uint64 // FIFO order among same-cycle events
-	kind    evKind
-	p       *pkt
-	pgen    uint32
-	attempt int
+	at  sim.Cycle
+	seq uint64 // FIFO order among same-cycle events
+	p   *pkt
 	// Release target.
-	buf *inBuf
-	vc  int
-	gen uint32
+	buf     *inBuf
+	attempt int32
+	pgen    uint32
+	gen     uint32
+	vc      int16
+	kind    evKind
 }
 
-// eventHeap is a min-heap on (cycle, seq), giving deterministic,
-// insertion-ordered processing within a cycle. The sift operations are
-// written out against the typed slice rather than container/heap: the
-// standard interface converts every pushed event to an interface value,
-// which allocates, and scheduling is a per-packet-per-hop hot path.
-type eventHeap struct {
-	items []event
-	seq   uint64
+// The event queue is a calendar ring: every occurrence the engine
+// schedules lands a small bounded distance ahead (router and wire
+// pipeline delays, tail serialization, credit loops, ACK-network trips),
+// so events live in per-cycle FIFO buckets indexed by cycle modulo
+// ringSize, with a fixed occupancy bitmap locating the next non-empty
+// bucket in a handful of word scans. Scheduling and firing are O(1) —
+// the binary heap this replaces spent most of the low-load engine's time
+// sifting — and determinism is untouched: bucket order is append order,
+// which is exactly the (cycle, seq) order the heap produced.
+//
+// Two spillways keep the ring exact rather than merely fast:
+//
+//   - far holds the rare event scheduled >= ringSize cycles out (e.g. an
+//     oversized configured AckDelay) in a min-heap, drained into the ring
+//     as the clock approaches (drainFar inserts by seq, preserving FIFO
+//     order among same-cycle events);
+//   - late holds events scheduled at or before the current cycle (an
+//     ACK/NACK with zero hop distance and zero configured delay, or one
+//     scheduled from the arbitration phase after processEvents already
+//     ran). The heap fired such an event on the next processEvents pass,
+//     before anything of a later cycle; the late list reproduces that.
+const (
+	ringBits  = 8
+	ringSize  = 1 << ringBits
+	ringMask  = ringSize - 1
+	ringWords = ringSize / 64
+)
+
+type eventRing struct {
+	buckets [ringSize][]event
+	words   [ringWords]uint64 // bucket-occupancy bitmap
+	late    []event
+	far     eventHeap
+	count   int    // pending events across buckets, late and far
+	seq     uint64 // next schedule order stamp
 }
 
-func (h *eventHeap) Len() int { return len(h.items) }
+// Len returns the number of pending events.
+func (r *eventRing) Len() int { return r.count }
 
-func (h *eventHeap) less(i, j int) bool {
-	if h.items[i].at != h.items[j].at {
-		return h.items[i].at < h.items[j].at
+// add files an event relative to the current cycle.
+func (r *eventRing) add(ev event, now sim.Cycle) {
+	r.count++
+	delta := ev.at - now
+	switch {
+	case delta <= 0:
+		r.late = append(r.late, ev)
+	case delta < ringSize:
+		idx := int(uint64(ev.at) & ringMask)
+		if len(r.buckets[idx]) == 0 {
+			r.words[idx>>6] |= 1 << uint(idx&63)
+		}
+		r.buckets[idx] = append(r.buckets[idx], ev)
+	default:
+		r.far.push(ev)
 	}
-	return h.items[i].seq < h.items[j].seq
 }
 
-func (h *eventHeap) push(ev event) {
-	h.items = append(h.items, ev)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
+// dueNow reports in O(1) whether an event is due at or before now — the
+// fast-fail for idle-wake attempts on busy cycles.
+func (r *eventRing) dueNow(now sim.Cycle) bool {
+	return len(r.late) > 0 || len(r.buckets[int(uint64(now)&ringMask)]) > 0
+}
+
+// nextAt reports the cycle of the earliest pending event. late events
+// (at <= now) sort before everything; ring events all precede far events
+// by construction (far holds only occurrences >= ringSize cycles out).
+func (r *eventRing) nextAt(now sim.Cycle) (sim.Cycle, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	if len(r.late) > 0 {
+		return r.late[0].at, true
+	}
+	if at, ok := r.ringNext(now); ok {
+		return at, true
+	}
+	if r.far.Len() > 0 {
+		return r.far.items[0].at, true
+	}
+	return 0, false
+}
+
+// ringNext scans the occupancy bitmap for the first non-empty bucket at or
+// after now, wrapping once around the ring.
+func (r *eventRing) ringNext(now sim.Cycle) (sim.Cycle, bool) {
+	start := int(uint64(now) & ringMask)
+	// The partial word holding start covers deltas up to its top bit.
+	if w := r.words[start>>6] >> uint(start&63); w != 0 {
+		return now + sim.Cycle(bits.TrailingZeros64(w)), true
+	}
+	// Whole words after it, wrapping. On the full revolution back to the
+	// start word, any set bit must lie below start (the bits at or above
+	// it were just checked), i.e. at deltas approaching ringSize.
+	for k := 1; k <= ringWords; k++ {
+		wi := (start>>6 + k) & (ringWords - 1)
+		if w := r.words[wi]; w != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(w)
+			return now + sim.Cycle((idx-start)&ringMask), true
 		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
+	}
+	return 0, false
+}
+
+// drainFar moves far-future events whose cycle has come within the ring
+// horizon into their buckets, inserting by seq so that same-cycle FIFO
+// order is preserved.
+func (r *eventRing) drainFar(now sim.Cycle) {
+	for r.far.Len() > 0 && r.far.items[0].at-now < ringSize {
+		ev := r.far.pop()
+		idx := int(uint64(ev.at) & ringMask)
+		b := append(r.buckets[idx], ev)
+		for i := len(b) - 1; i > 0 && b[i-1].seq > ev.seq; i-- {
+			b[i], b[i-1] = b[i-1], b[i]
+		}
+		r.buckets[idx] = b
+		r.words[idx>>6] |= 1 << uint(idx&63)
 	}
 }
 
-func (h *eventHeap) pop() event {
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items[last] = event{}
-	h.items = h.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		if l >= last {
-			break
-		}
-		child := l
-		if r < last && h.less(r, l) {
-			child = r
-		}
-		if !h.less(child, i) {
-			break
-		}
-		h.items[i], h.items[child] = h.items[child], h.items[i]
-		i = child
-	}
-	return top
+// popLate removes and returns the oldest late event.
+func (r *eventRing) popLate() event {
+	ev := r.late[0]
+	copy(r.late, r.late[1:])
+	r.late[len(r.late)-1] = event{}
+	r.late = r.late[:len(r.late)-1]
+	r.count--
+	return ev
 }
 
 // schedule enqueues an event at the given cycle, stamping the generation of
@@ -110,30 +187,76 @@ func (n *Network) schedule(ev event, at sim.Cycle) {
 	if ev.p != nil {
 		ev.pgen = ev.p.gen
 	}
-	n.events.push(ev)
+	n.events.add(ev, n.clock.Now())
 }
 
-// processEvents fires every event due at or before now.
+// processEvents fires every event due at or before now: carried-over late
+// events first (their cycle already passed), then the current cycle's
+// bucket in schedule order — picking up same-cycle events scheduled while
+// firing — then anything a fired handler scheduled for this very cycle.
 func (n *Network) processEvents(now sim.Cycle) {
-	for n.events.Len() > 0 && n.events.items[0].at <= now {
-		ev := n.events.pop()
-		if ev.p != nil && ev.p.gen != ev.pgen {
-			continue // the packet was recycled; its wrapper moved on
-		}
-		switch ev.kind {
-		case evRelease:
-			ev.buf.release(ev.vc, ev.gen)
-		case evHead:
-			n.onHeadArrival(ev.p, ev.attempt, now)
-		case evDeliver:
-			n.onDeliver(ev.p, ev.attempt, now)
-		case evAck:
-			ev.p.src.onAck(ev.p)
-			n.recycle(ev.p)
-		case evNack:
-			ev.p.src.onNack(ev.p)
-		}
+	r := &n.events
+	if r.count == 0 {
+		return
 	}
+	if r.far.Len() > 0 {
+		r.drainFar(now)
+	}
+	for len(r.late) > 0 {
+		n.dispatch(r.popLate(), now)
+	}
+	idx := int(uint64(now) & ringMask)
+	if b := r.buckets[idx]; len(b) > 0 {
+		// The bucket cannot grow while being processed: a same-cycle
+		// schedule has delta <= 0 and lands in late, and any other delta
+		// maps to a different bucket (or to far), so iterating the
+		// hoisted slice is safe.
+		for i := 0; i < len(b); i++ {
+			r.count--
+			n.dispatch(b[i], now)
+		}
+		for i := range b {
+			b[i] = event{}
+		}
+		r.buckets[idx] = b[:0]
+		r.words[idx>>6] &^= 1 << uint(idx&63)
+	}
+	for len(r.late) > 0 {
+		n.dispatch(r.popLate(), now)
+	}
+}
+
+// dispatch fires one event, unless the packet it targets has been
+// recycled since it was scheduled.
+func (n *Network) dispatch(ev event, now sim.Cycle) {
+	if ev.p != nil && ev.p.gen != ev.pgen {
+		return // the packet was recycled; its wrapper moved on
+	}
+	switch ev.kind {
+	case evRelease:
+		ev.buf.release(int(ev.vc), ev.gen)
+	case evHead:
+		n.onHeadArrival(ev.p, int(ev.attempt), now)
+	case evDeliver:
+		n.onDeliver(ev.p, int(ev.attempt), now)
+	case evAck:
+		ev.p.src.onAck(ev.p)
+		n.recycle(ev.p)
+	case evNack:
+		ev.p.src.onNack(ev.p)
+	}
+}
+
+// eventHeap orders the calendar ring's far-future spillway on
+// (cycle, seq).
+type eventHeap = minHeap[event]
+
+// lessThan orders events by cycle, then schedule order.
+func (e event) lessThan(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
 }
 
 // onHeadArrival moves a packet into the buffer its head flit just reached
@@ -151,7 +274,7 @@ func (n *Network) onHeadArrival(p *pkt, attempt int, now sim.Cycle) {
 	p.AdvanceHop()
 	p.state = stWaiting
 	p.enq = now
-	n.ports[p.legs[p.Hop()].Out].register(p)
+	n.register(n.ports[p.legs[p.Hop()].Out], p)
 }
 
 // onDeliver completes a delivery: statistics, the ejection VC's drain, and

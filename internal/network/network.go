@@ -1,14 +1,42 @@
-// Package network is the cycle-driven simulator of the QoS-enabled shared
-// region: eight column routers of one of five topologies, virtual
-// cut-through flow control, PVC preemptive quality-of-service with its ACK
-// network and source retransmission windows, and the two reference
-// policies (idealized per-flow queueing and no-QoS round-robin).
+// Package network is the simulator of the QoS-enabled shared region:
+// eight column routers of one of five topologies, virtual cut-through
+// flow control, PVC preemptive quality-of-service with its ACK network
+// and source retransmission windows, and the two reference policies
+// (idealized per-flow queueing and no-QoS round-robin).
 //
 // The engine is packet-granular with exact flit timing: a transfer
 // occupies its output port for one cycle per flit, and head/tail arrival
 // cycles are tracked per hop, which under virtual cut-through (no flit
 // interleaving within a VC) is equivalent to flit-level simulation for
 // every metric the paper reports.
+//
+// # Hybrid tick/event-driven execution
+//
+// Step is tick-driven — arbitration, preemption and frame logic are
+// expressed per cycle, exactly as the hardware clocks them — but the cost
+// of a cycle is proportional to the work in it, not to the machine size:
+//
+//   - Injection is sampled by inter-arrival time, not per cycle. Each
+//     source carries a precomputed next-arrival cycle whose gaps are drawn
+//     geometrically via inverse CDF (sim.RNG.Geometric) with the Bernoulli
+//     process's per-cycle packet probability, which reproduces that
+//     process exactly (memorylessness: every post-arrival cycle is an
+//     independent trial) at one RNG draw per packet instead of one per
+//     source per cycle.
+//   - Arbitration visits only ports holding candidates: an ID-sorted
+//     active-ports list maintained by candidate registration, replacing
+//     the all-ports scan while preserving the canonical port order.
+//
+// On top of that, Run and RunUntilDrained are event-driven across idle
+// stretches: when no port holds a candidate, nothing can happen until the
+// earliest of (next scheduled event, next PVC frame boundary, and per
+// live source, its injection VC freeing or its next arrival), so the
+// clock fast-forwards there directly. Skipped cycles would have executed
+// no state change, making the fast-forward provably mechanical: with
+// Config.DisableIdleSkip the engine ticks through every cycle and
+// produces bit-identical results (TestIdleSkipMechanicallyEquivalent).
+// Low-load cells of the paper's latency-load sweeps thus cost O(packets),
+// not O(cycles).
 package network
 
 import (
@@ -31,6 +59,12 @@ type Config struct {
 	// workload's full flow population (active or not).
 	Workload traffic.Workload
 	Seed     uint64
+	// DisableIdleSkip forces Run/RunUntilDrained to tick through every
+	// cycle instead of fast-forwarding the clock over provably idle
+	// windows. Skipping is mechanical — results are bit-identical either
+	// way (TestIdleSkipMechanicallyEquivalent) — so the knob exists only
+	// for that proof and for debugging.
+	DisableIdleSkip bool
 }
 
 // pktState tracks where a packet is in its lifecycle.
@@ -95,7 +129,7 @@ type Network struct {
 	srcs   []*source
 	quota  *qos.ReservedQuota
 	frame  *qos.FrameTimer
-	events eventHeap
+	events eventRing
 	coll   *stats.Collector
 
 	nextPktID  uint64
@@ -104,13 +138,26 @@ type Network struct {
 	// margin is the preemption hysteresis in quantized classes.
 	margin noc.Priority
 
-	// active is the in-order subset of srcs that may still generate or
-	// offer work; Step scans it instead of the full injector population.
-	// Exhaustion is permanent (a stopped source with an empty queue and
-	// no outstanding window can never produce work again), so sources are
-	// swept out periodically, preserving relative order for determinism.
-	active []*source
-	sweep  int
+	// arrivals schedules packet generation: a min-heap of sources on
+	// (nextArrival, idx). Step pops only the sources whose arrival cycle
+	// has come, so generation costs O(packets), not O(sources x cycles).
+	// A source leaves the heap for good once its next arrival would land
+	// at or past its StopAt deadline (see scheduleArrival).
+	arrivals srcHeap
+	// offerSrcs is the subset of sources holding an injectable packet
+	// (queued or awaiting retransmission) but not yet offering one, kept
+	// sorted by source index. Membership is exact: markOfferable admits
+	// only sources with real pending work, and the offer pass drops a
+	// source the moment its packet is offered. Step's offer scan and the
+	// drain test touch only this list.
+	offerSrcs []*source
+	// activePorts is the subset of ports holding arbitration candidates,
+	// kept sorted by port ID (see register); Step arbitrates it instead
+	// of scanning every port. waiterCount is the total candidate
+	// population across all ports — zero means no arbitration work can
+	// happen this cycle, the precondition for idle fast-forwarding.
+	activePorts []*outPort
+	waiterCount int
 	// pktFree recycles pkt+noc.Packet pairs of fully-acknowledged
 	// packets, making steady-state injection allocation-free. Disabled
 	// while diagnostic hooks are installed, because hook observers may
@@ -177,12 +224,45 @@ func New(cfg Config) (*Network, error) {
 		}
 		n.frame = qos.NewFrameTimer(cfg.QoS.FrameCycles)
 	}
-	for _, spec := range cfg.Workload.Specs {
-		n.srcs = append(n.srcs, newSource(n, spec))
+	for i, spec := range cfg.Workload.Specs {
+		s := newSource(n, spec)
+		s.idx = i
+		n.srcs = append(n.srcs, s)
+		n.scheduleArrival(s)
 	}
-	n.active = append([]*source(nil), n.srcs...)
-	n.compactSources(0)
 	return n, nil
+}
+
+// scheduleArrival (re-)enters a source into the arrival heap, unless its
+// next arrival would land at or past the injector's StopAt deadline — the
+// Bernoulli process it models would never emit that packet, so the source
+// is permanently done generating and leaves the schedule for good.
+func (n *Network) scheduleArrival(s *source) {
+	if s.pktProb <= 0 {
+		return
+	}
+	if s.spec.StopAt > 0 && s.nextArrival >= s.spec.StopAt {
+		return
+	}
+	n.arrivals.push(s)
+}
+
+// markOfferable puts a source on the offerable list if it actually has an
+// injectable packet and is not already offering or listed. The sorted
+// insert keeps the list in source-index order, matching the historical
+// all-sources offer scan.
+func (n *Network) markOfferable(s *source) {
+	if s.inOffer || s.offering != nil {
+		return
+	}
+	if s.retx.empty() && s.queue.empty() {
+		return
+	}
+	s.inOffer = true
+	n.offerSrcs = append(n.offerSrcs, s)
+	for i := len(n.offerSrcs) - 1; i > 0 && n.offerSrcs[i-1].idx > s.idx; i-- {
+		n.offerSrcs[i], n.offerSrcs[i-1] = n.offerSrcs[i-1], n.offerSrcs[i]
+	}
 }
 
 // MustNew is New that panics on configuration errors, for tests and
@@ -211,6 +291,10 @@ func (n *Network) Mode() qos.Mode { return n.mode }
 // (or awaiting retransmission).
 func (n *Network) InFlight() int { return n.inFlight }
 
+// Frames returns how many PVC frame boundaries (counter flushes and quota
+// refills) have fired. Zero outside PVC mode.
+func (n *Network) Frames() int { return n.frameCount }
+
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
 	now := n.clock.Now()
@@ -224,48 +308,118 @@ func (n *Network) Step() {
 		}
 		n.frameCount++
 	}
-	for _, s := range n.active {
+	// Pop exactly the sources whose arrival cycle has come (ties in
+	// source-index order, like the historical all-sources scan) and
+	// reschedule each for its next draw.
+	for n.arrivals.Len() > 0 && n.arrivals.items[0].nextArrival <= now {
+		s := n.arrivals.pop()
 		s.generate(now)
+		n.scheduleArrival(s)
 	}
-	for _, s := range n.active {
+	// Offer pass over the sources actually holding injectable packets, in
+	// source-index order. A source whose packet just went on offer (or
+	// that somehow lost its backlog) leaves the list; it re-enters
+	// through markOfferable when new work appears.
+	liveSrcs := n.offerSrcs[:0]
+	for _, s := range n.offerSrcs {
 		s.offer(now)
+		if s.offering == nil && (!s.retx.empty() || !s.queue.empty()) {
+			liveSrcs = append(liveSrcs, s)
+		} else {
+			s.inOffer = false
+		}
 	}
-	for _, p := range n.ports {
-		n.arbitrate(p, now)
+	for i := len(liveSrcs); i < len(n.offerSrcs); i++ {
+		n.offerSrcs[i] = nil
 	}
-	if n.sweep--; n.sweep <= 0 {
-		n.compactSources(now)
-		n.sweep = sourceSweepInterval
+	n.offerSrcs = liveSrcs
+	// Arbitrate only the ports holding candidates, dropping the ones that
+	// have gone empty as they are reached. Ports emptied behind the scan
+	// (an inversion preemption at a later port can withdraw a waiter from
+	// an earlier, already-visited one) linger until the next pass, which
+	// is harmless: the list is ID-sorted, so stale entries cost one length
+	// check and can never perturb arbitration order.
+	live := n.activePorts[:0]
+	for _, p := range n.activePorts {
+		if len(p.waiters) > 0 {
+			n.arbitrate(p, now)
+		}
+		if len(p.waiters) > 0 {
+			live = append(live, p)
+		} else {
+			p.inActive = false
+		}
 	}
+	for i := len(live); i < len(n.activePorts); i++ {
+		n.activePorts[i] = nil
+	}
+	n.activePorts = live
 	n.clock.Tick()
 }
 
-// sourceSweepInterval is how often Step re-filters the active-source list.
-// Sweeping is O(sources), so it is amortized over many cycles; exhaustion
-// is permanent, so a late sweep only costs wasted scans, never correctness.
-const sourceSweepInterval = 1024
-
-// compactSources drops permanently-exhausted injectors from the active
-// list, preserving relative order (registration order feeds the NoQoS
-// round-robin arbiter, so it must be stable across sweeps).
-func (n *Network) compactSources(now sim.Cycle) {
-	live := n.active[:0]
-	for _, s := range n.active {
-		if !s.exhausted(now) {
-			live = append(live, s)
-		}
-	}
-	for i := len(live); i < len(n.active); i++ {
-		n.active[i] = nil
-	}
-	n.active = live
-}
-
-// Run advances the simulation by the given number of cycles.
+// Run advances the simulation by the given number of cycles, fast-
+// forwarding over provably idle windows unless Config.DisableIdleSkip is
+// set. The clock lands on exactly the same final cycle either way.
 func (n *Network) Run(cycles int) {
-	for i := 0; i < cycles; i++ {
+	end := n.clock.Now() + sim.Cycle(cycles)
+	for now := n.clock.Now(); now < end; now = n.clock.Now() {
+		if !n.cfg.DisableIdleSkip {
+			if wake, ok := n.nextWake(now); ok {
+				if wake > end {
+					wake = end
+				}
+				n.clock.Advance(wake - now)
+				continue
+			}
+		}
 		n.Step()
 	}
+}
+
+// neverCycle is effectively +infinity for next-wake computations.
+const neverCycle = sim.Cycle(1) << 62
+
+// nextWake reports the earliest future cycle at which the engine could
+// have work, or ok=false when the current cycle itself may have work and
+// must be stepped. The fast-forward is provably mechanical: a cycle is
+// skippable only when no port holds an arbitration candidate (so neither
+// allocation nor inversion preemption can fire), and the wake cycle is the
+// minimum over everything that is scheduled to change that — the event
+// heap (head arrivals, deliveries, VC releases, ACKs/NACKs), the next PVC
+// frame boundary (counter flush + quota refill), and each live source's
+// next act (injection-VC free at busyUntil, or the precomputed geometric
+// arrival). Cycles in between execute no state change at all, so skipping
+// them is bit-identical to ticking through them.
+func (n *Network) nextWake(now sim.Cycle) (wake sim.Cycle, ok bool) {
+	if n.waiterCount > 0 || n.events.dueNow(now) {
+		return 0, false
+	}
+	wake = neverCycle
+	if at, evOk := n.events.nextAt(now); evOk {
+		if at <= now {
+			return 0, false
+		}
+		wake = at
+	}
+	if n.frame != nil {
+		if next := n.frame.Next(); next < wake {
+			wake = next
+		}
+	}
+	if n.arrivals.Len() > 0 {
+		if a := n.arrivals.items[0].nextArrival; a < wake {
+			wake = a
+		}
+	}
+	for _, s := range n.offerSrcs {
+		if w := s.nextOffer(); w < wake {
+			wake = w
+		}
+	}
+	if wake <= now {
+		return 0, false
+	}
+	return wake, true
 }
 
 // WarmupAndMeasure runs warmup cycles with measurement paused, resets the
@@ -277,11 +431,32 @@ func (n *Network) WarmupAndMeasure(warmup, measure int) {
 	n.Run(measure)
 }
 
-// RunUntilDrained steps until every injector is exhausted and no packet
+// RunUntilDrained advances until every injector is exhausted and no packet
 // remains in flight, or maxCycles elapse. It returns the cycle of the last
-// delivery and whether the network fully drained.
+// delivery and whether the network fully drained. Idle windows are
+// fast-forwarded like Run's unless Config.DisableIdleSkip is set.
 func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained bool) {
-	for i := 0; i < maxCycles; i++ {
+	end := n.clock.Now() + sim.Cycle(maxCycles)
+	for now := n.clock.Now(); now < end; now = n.clock.Now() {
+		if !n.cfg.DisableIdleSkip {
+			if n.idle() {
+				// Only reachable on the first iteration (a Step that
+				// empties the network returns below; a fast-forward
+				// never changes state). Mirror the tick engine, which
+				// always executes one no-op Step before its idle check,
+				// so the final clock — and a frame flush, if that step
+				// sits on a boundary — stay bit-identical.
+				n.Step()
+				return n.coll.LastDelivery, true
+			}
+			if wake, ok := n.nextWake(now); ok {
+				if wake > end {
+					wake = end
+				}
+				n.clock.Advance(wake - now)
+				continue
+			}
+		}
 		n.Step()
 		if n.idle() {
 			return n.coll.LastDelivery, true
@@ -290,19 +465,16 @@ func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained 
 	return n.coll.LastDelivery, n.idle()
 }
 
-// idle reports whether no work remains anywhere in the network. Sources
-// missing from the active list are permanently exhausted, so scanning the
-// active subset is sufficient.
+// idle reports whether no work remains anywhere in the network, in O(1):
+// nothing in flight, no scheduled event, no arbitration candidate, no
+// future arrival (sources leave the arrival heap permanently once their
+// next draw lands past StopAt), and no source holding an injectable
+// backlog. A source with outstanding window slots always has a pending
+// ACK/NACK somewhere in the event chain, so the event check covers
+// retransmission obligations too.
 func (n *Network) idle() bool {
-	if n.inFlight > 0 || n.events.Len() > 0 {
-		return false
-	}
-	for _, s := range n.active {
-		if !s.exhausted(n.clock.Now()) {
-			return false
-		}
-	}
-	return true
+	return n.inFlight == 0 && n.events.Len() == 0 && n.waiterCount == 0 &&
+		n.arrivals.Len() == 0 && len(n.offerSrcs) == 0
 }
 
 // newPacket mints a packet for a source, reusing a recycled pkt+noc.Packet

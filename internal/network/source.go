@@ -11,10 +11,22 @@ import (
 // column node. It owns the single injection VC (packets enter the network
 // one at a time), the PVC retransmission window (unACKed packets stay
 // buffered for replay) and the retransmission queue fed by NACKs.
+//
+// Sources are not scanned per cycle. Generation is driven by the
+// network's arrival heap (a source is touched only on its precomputed
+// arrival cycles), and offering by the offerable list (a source is
+// touched only while it actually holds an injectable packet).
 type source struct {
 	net  *Network
 	spec traffic.Spec
 	rng  *sim.RNG
+	// idx is the source's position in the workload spec order; it breaks
+	// same-cycle ties in the arrival heap and orders the offerable list,
+	// keeping both deterministic and identical to the historical
+	// all-sources scan order.
+	idx int
+	// inOffer marks membership in the network's offerable list.
+	inOffer bool
 
 	// queue holds freshly generated packets awaiting first injection
 	// (unbounded: offered load beyond acceptance shows up as source
@@ -34,12 +46,28 @@ type source struct {
 	// replica round-robins packets across replicated mesh channels.
 	replica int
 
+	// pktProb is the per-cycle packet probability of the modeled
+	// Bernoulli process (flit rate over mean packet size), and
+	// nextArrival the precomputed cycle of the next packet: inter-arrival
+	// gaps are drawn geometrically (sim.RNG.Geometric), which reproduces
+	// the Bernoulli process exactly with one draw per packet instead of
+	// one per cycle, and hands the engine the source's wake-up time.
+	pktProb     float64
+	nextArrival sim.Cycle
+
 	generated int64
 	injected  int64
 }
 
 func newSource(n *Network, spec traffic.Spec) *source {
-	return &source{net: n, spec: spec, rng: n.rng.Split()}
+	s := &source{net: n, spec: spec, rng: n.rng.Split()}
+	if spec.Rate > 0 {
+		s.pktProb = spec.Rate / spec.MeanFlitsPerPacket()
+		// The first arrival lands at gap-1 so that cycle 0 succeeds with
+		// probability pktProb, exactly like the first Bernoulli trial.
+		s.nextArrival = sim.Cycle(s.rng.Geometric(s.pktProb)) - 1
+	}
+	return s
 }
 
 // pktQueue is an allocation-amortizing FIFO: pops advance a head index
@@ -77,30 +105,14 @@ func (q *pktQueue) pop() *pkt {
 	return p
 }
 
-// active reports whether the injector still generates traffic at cycle t.
-func (s *source) active(t sim.Cycle) bool {
-	return s.spec.Rate > 0 && (s.spec.StopAt == 0 || t < s.spec.StopAt)
-}
-
-// exhausted reports whether the source will never produce work again.
-// Exhaustion is permanent: generation has stopped, nothing is queued or
-// offered, and with no outstanding window there is no NACK left that could
-// refill the retransmission queue.
-func (s *source) exhausted(t sim.Cycle) bool {
-	return !s.active(t) && s.queue.empty() && s.retx.empty() && s.offering == nil && s.window == 0
-}
-
-// generate samples the Bernoulli packet process: the flit rate divided by
-// the mean packet size gives the per-cycle packet probability for the
-// stochastic 1-/4-flit mix.
+// generate emits the precomputed arrival — the engine's arrival heap only
+// pops a source on exactly its arrival cycle — then draws the next
+// inter-arrival gap. The gap is geometric with the Bernoulli process's
+// per-cycle packet probability (the flit rate divided by the mean packet
+// size of the stochastic 1-/4-flit mix), so the emitted packet stream is
+// statistically identical to per-cycle Bernoulli sampling at one RNG draw
+// per packet, and off-arrival cycles never touch the source at all.
 func (s *source) generate(t sim.Cycle) {
-	if !s.active(t) {
-		return
-	}
-	pktProb := s.spec.Rate / s.spec.MeanFlitsPerPacket()
-	if !s.rng.Bernoulli(pktProb) {
-		return
-	}
 	class := noc.ClassReply
 	if s.rng.Bernoulli(s.spec.RequestFraction) {
 		class = noc.ClassRequest
@@ -108,6 +120,10 @@ func (s *source) generate(t sim.Cycle) {
 	p := s.net.newPacket(s, class, s.spec.Dest(s.rng), t)
 	s.queue.push(p)
 	s.generated++
+	s.net.markOfferable(s)
+	// Gaps are >= 1, so arrivals never bunch within a cycle and
+	// nextArrival strictly advances.
+	s.nextArrival = t + sim.Cycle(s.rng.Geometric(s.pktProb))
 }
 
 // offer registers the next injectable packet as a first-leg arbitration
@@ -142,7 +158,7 @@ func (s *source) offer(t sim.Cycle) {
 	p.state = stAtSource
 	p.enq = t
 	s.offering = p
-	s.net.ports[p.legs[0].Out].register(p)
+	s.net.register(s.net.ports[p.legs[0].Out], p)
 }
 
 // onInjected is called when the offered packet wins first-leg arbitration:
@@ -163,14 +179,19 @@ func (s *source) onInjected(p *pkt, tailDeparture sim.Cycle, now sim.Cycle) {
 	s.injected++
 	p.Injected = now
 	s.net.coll.Injected(p.Size)
+	// Any remaining backlog goes back on the offerable list, to be
+	// offered once the injection VC frees at busyUntil.
+	s.net.markOfferable(s)
 }
 
-// onAck frees the window slot of a delivered packet.
+// onAck frees the window slot of a delivered packet. A window-capped
+// source with a backlog becomes offerable again here.
 func (s *source) onAck(p *pkt) {
 	s.window--
 	if s.window < 0 {
 		panic("network: ACK without outstanding packet")
 	}
+	s.net.markOfferable(s)
 }
 
 // onNack queues a preempted packet for retransmission. The packet keeps
@@ -178,4 +199,37 @@ func (s *source) onAck(p *pkt) {
 func (s *source) onNack(p *pkt) {
 	p.state = stAtSource
 	s.retx.push(p)
+	s.net.markOfferable(s)
+}
+
+// nextOffer returns the earliest cycle at which this offerable source
+// could inject, for the engine's idle fast-forward: the injection VC
+// frees at busyUntil. A window-capped source returns neverCycle — the
+// unblocking ACK/NACK is an event the heap already covers.
+func (s *source) nextOffer() sim.Cycle {
+	if s.offering != nil {
+		return neverCycle
+	}
+	if s.retx.empty() {
+		if s.queue.empty() {
+			return neverCycle
+		}
+		if s.net.mode == qos.PVC && s.window >= s.net.cfg.QoS.WindowPackets {
+			return neverCycle
+		}
+	}
+	return s.busyUntil
+}
+
+// srcHeap orders the engine's arrival schedule on (nextArrival, idx).
+// Tie-breaking on the source index makes same-cycle generation order
+// identical to the historical all-sources scan.
+type srcHeap = minHeap[*source]
+
+// lessThan orders sources by next arrival cycle, then spec order.
+func (s *source) lessThan(o *source) bool {
+	if s.nextArrival != o.nextArrival {
+		return s.nextArrival < o.nextArrival
+	}
+	return s.idx < o.idx
 }

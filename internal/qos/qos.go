@@ -332,3 +332,8 @@ func (t *FrameTimer) Expired(now sim.Cycle) bool {
 
 // Frames returns how many frame boundaries have fired.
 func (t *FrameTimer) Frames() int { return t.count }
+
+// Next returns the cycle of the next frame boundary. The event-driven
+// engine folds it into its next-wake computation so that idle fast-forwards
+// never jump over a counter flush or quota refill.
+func (t *FrameTimer) Next() sim.Cycle { return t.next }

@@ -208,6 +208,24 @@ func TestFrameTimer(t *testing.T) {
 	}
 }
 
+func TestFrameTimerNext(t *testing.T) {
+	ft := NewFrameTimer(50)
+	if ft.Next() != 50 {
+		t.Fatalf("fresh timer Next() = %d, want 50", ft.Next())
+	}
+	if !ft.Expired(50) {
+		t.Fatal("boundary did not fire")
+	}
+	// Next always reports the upcoming boundary — the cycle an idle
+	// fast-forward must not jump past.
+	if ft.Next() != 100 {
+		t.Fatalf("after one boundary Next() = %d, want 100", ft.Next())
+	}
+	if ft.Expired(99) {
+		t.Fatal("fired before the boundary")
+	}
+}
+
 func TestFrameTimerPanicsOnZero(t *testing.T) {
 	defer func() {
 		if recover() == nil {

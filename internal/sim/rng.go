@@ -114,3 +114,31 @@ func (r *RNG) Exponential(mean float64) float64 {
 	// Guard against log(0); Float64 never returns 1.0 so 1-u is never 0.
 	return -mean * math.Log(1-u)
 }
+
+// maxGeometric caps Geometric's result so that the float intermediate can
+// never overflow int64 (possible for sub-denormal success probabilities).
+// 1<<62 cycles is beyond any simulable horizon, so the cap is unobservable.
+const maxGeometric = int64(1) << 62
+
+// Geometric returns the number of Bernoulli(p) trials up to and including
+// the first success — support {1, 2, ...}, mean 1/p — via the inverse CDF:
+// G = floor(log(1-U)/log(1-p)) + 1. Drawing inter-arrival gaps from this
+// distribution reproduces a per-cycle Bernoulli(p) arrival process exactly
+// (each cycle after an arrival succeeds independently with probability p),
+// while consuming one uniform draw per arrival instead of one per cycle —
+// the sampling half of the engine's O(work) redesign. log1p keeps the
+// quantile accurate for tiny p, where log(1-p) would lose all precision.
+func (r *RNG) Geometric(p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("sim: Geometric with non-positive success probability")
+	}
+	u := r.Float64()
+	g := math.Floor(math.Log1p(-u)/math.Log1p(-p)) + 1
+	if !(g < float64(maxGeometric)) { // also catches +Inf and NaN
+		return maxGeometric
+	}
+	return int64(g)
+}

@@ -158,6 +158,90 @@ func TestExponentialMean(t *testing.T) {
 	}
 }
 
+func TestGeometricEdgeCases(t *testing.T) {
+	r := NewRNG(29)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(1); g != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", g)
+		}
+		if g := r.Geometric(1.5); g != 1 {
+			t.Fatalf("Geometric(1.5) = %d, want 1", g)
+		}
+	}
+	// Tiny p must neither overflow nor return nonsense: results stay in
+	// [1, maxGeometric] even at sub-denormal success probabilities.
+	for _, p := range []float64{1e-9, 1e-18, 1e-300, 5e-324} {
+		for i := 0; i < 100; i++ {
+			g := r.Geometric(p)
+			if g < 1 || g > maxGeometric {
+				t.Fatalf("Geometric(%g) = %d out of [1, 2^62]", p, g)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	// Inverse-CDF correctness: the sample mean must track 1/p across the
+	// rate range the traffic generators use.
+	r := NewRNG(31)
+	for _, p := range []float64{0.5, 0.1, 0.004, 1e-4} {
+		const draws = 200_000
+		var sum float64
+		for i := 0; i < draws; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		got, want := sum/draws, 1/p
+		// Standard error of the mean is ~(1/p)/sqrt(draws); 4 sigma.
+		if tol := 4 * want / math.Sqrt(draws); math.Abs(got-want) > tol {
+			t.Errorf("Geometric(%v) mean = %v, want %v +/- %v", p, got, want, tol)
+		}
+	}
+}
+
+func TestGeometricReproducesBernoulliProcess(t *testing.T) {
+	// The engine's contract: counting arrivals in a window of W cycles,
+	// where arrival k+1 lands Geometric(p) cycles after arrival k, must
+	// reproduce the per-cycle Bernoulli(p) process — a Binomial(W, p)
+	// count with mean Wp and variance Wp(1-p).
+	const p, window, trials = 0.02, 2_000, 5_000
+	r := NewRNG(37)
+	counts := make([]float64, trials)
+	for tr := range counts {
+		next := r.Geometric(p) - 1 // first trial succeeds with probability p
+		n := 0.0
+		for next < window {
+			n++
+			next += r.Geometric(p)
+		}
+		counts[tr] = n
+	}
+	var sum, sq float64
+	for _, c := range counts {
+		sum += c
+	}
+	mean := sum / trials
+	for _, c := range counts {
+		sq += (c - mean) * (c - mean)
+	}
+	variance := sq / (trials - 1)
+
+	wantMean := float64(window) * p
+	wantVar := float64(window) * p * (1 - p)
+	// Mean within 4 standard errors; variance within 10%.
+	if tol := 4 * math.Sqrt(wantVar/trials); math.Abs(mean-wantMean) > tol {
+		t.Errorf("arrival count mean %v, want %v +/- %v", mean, wantMean, tol)
+	}
+	if math.Abs(variance-wantVar) > 0.1*wantVar {
+		t.Errorf("arrival count variance %v, want ~%v", variance, wantVar)
+	}
+}
+
 func TestMul64AgainstStdlib(t *testing.T) {
 	check := func(a, b uint64) bool {
 		hi, lo := mul64(a, b)
