@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
 
-.PHONY: build test vet bench bench-json
+.PHONY: build test vet lint race determinism sweep-smoke bench bench-json
 
 build:
 	go build ./...
@@ -11,11 +11,40 @@ vet:
 test:
 	go test ./...
 
+# lint mirrors CI's static-analysis job: vet always, staticcheck when the
+# tool is installed (go install honnef.co/go/tools/cmd/staticcheck@latest).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# race runs the full test suite under the race detector (CI's test step).
+race:
+	go test -race ./...
+
+# determinism is CI's named gate for the engine's core contract: the
+# idle-skip equivalence and worker-count/skip determinism suites, run
+# twice (the pattern covers ...Equivalent..., ...Determinism and
+# ...Deterministic... test names across network/runner/experiments/
+# scenario/sim).
+determinism:
+	go test -run 'Equivalen|Determin' -count=2 ./...
+
+# sweep-smoke exercises the declarative scenario path end to end: the
+# quick Figure 4 grid from a JSON file and the permutation-pattern grid
+# from a TOML file (CI's sweep step).
+sweep-smoke:
+	go run ./cmd/noctool -quick sweep examples/sweep/fig4-quick.json
+	go run ./cmd/noctool sweep examples/sweep/patterns.toml
+
 # bench runs the repository benchmark suite once through `go test`.
 bench:
 	go test -run '^$$' -bench . -benchtime 1x -benchmem .
 
 # bench-json writes the machine-readable perf snapshot BENCH_<date>.json
-# (engine step cost, quick Fig4 grid wall-clock, low-load cell speedups).
+# (engine step cost, quick Fig4 grid wall-clock, low-load cell speedups);
+# commit it to refresh CI's bench-regression baseline.
 bench-json:
 	go run ./cmd/noctool bench

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"tanoq/internal/experiments"
@@ -62,10 +63,26 @@ type cellBench struct {
 	TickOverSkip float64 `json:"tick_over_skip"`
 }
 
+// benchOpts carries the bench subcommand's CLI state.
+type benchOpts struct {
+	outPath string
+	note    string
+	// baseline, when set, names a committed BENCH_*.json to compare the
+	// fresh engine-step measurements against; a per-topology ns/cycle
+	// regression beyond maxRegress (fractional) fails the run, as does
+	// any steady-state allocation. This is CI's perf gate.
+	baseline   string
+	maxRegress float64
+	// engineOnly skips the wall-clock grid sections, leaving just the
+	// per-topology engine step cost the baseline comparison reads.
+	engineOnly bool
+}
+
 // runBench measures and writes the report. Wall-clock samples are
 // best-of-three to shave scheduler noise; simulation results themselves
 // are deterministic so repetition only stabilizes timing.
-func runBench(p experiments.Params, outPath, note string) error {
+func runBench(p experiments.Params, o benchOpts) error {
+	outPath := o.outPath
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
 	}
@@ -74,7 +91,7 @@ func runBench(p experiments.Params, outPath, note string) error {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       p.Seed,
-		Note:       note,
+		Note:       o.note,
 	}
 
 	fmt.Println("bench: engine Step cost per topology (steady state, uniform 4%)")
@@ -82,34 +99,36 @@ func runBench(p experiments.Params, outPath, note string) error {
 		rep.EngineStep = append(rep.EngineStep, benchStep(kind, p.Seed))
 	}
 
-	fmt.Println("bench: quick Fig4 grid wall-clock (workers x idle skip)")
-	quick := experiments.QuickParams()
-	quick.Seed = p.Seed
-	for _, workers := range []int{1, 0} {
-		for _, skip := range []bool{true, false} {
-			g := quick
-			g.Workers = workers
-			g.DisableIdleSkip = !skip
-			rep.QuickFig4Grid = append(rep.QuickFig4Grid, gridBench{
-				Workers:  workers,
-				SkipIdle: skip,
-				WallMs: bestOf(3, func() {
-					experiments.Fig4(experiments.Uniform, experiments.QuickFig4Rates(), g)
-				}),
-			})
+	if !o.engineOnly {
+		fmt.Println("bench: quick Fig4 grid wall-clock (workers x idle skip)")
+		quick := experiments.QuickParams()
+		quick.Seed = p.Seed
+		for _, workers := range []int{1, 0} {
+			for _, skip := range []bool{true, false} {
+				g := quick
+				g.Workers = workers
+				g.DisableIdleSkip = !skip
+				rep.QuickFig4Grid = append(rep.QuickFig4Grid, gridBench{
+					Workers:  workers,
+					SkipIdle: skip,
+					WallMs: bestOf(3, func() {
+						experiments.Fig4(experiments.Uniform, experiments.QuickFig4Rates(), g)
+					}),
+				})
+			}
 		}
-	}
 
-	fmt.Println("bench: low-load cells, idle skipping on vs off")
-	for _, kind := range topology.Kinds() {
-		for _, rate := range []float64{0.01, 0.02} {
-			rep.LowLoadCells = append(rep.LowLoadCells, benchCell(kind, rate, p.Seed))
+		fmt.Println("bench: low-load cells, idle skipping on vs off")
+		for _, kind := range topology.Kinds() {
+			for _, rate := range []float64{0.01, 0.02} {
+				rep.LowLoadCells = append(rep.LowLoadCells, benchCell(kind, rate, p.Seed))
+			}
 		}
-	}
 
-	fmt.Println("bench: idle horizon (fixed 200K-cycle run, injection stops at 2K)")
-	for _, kind := range topology.Kinds() {
-		rep.IdleHorizon = append(rep.IdleHorizon, benchIdleHorizon(kind, p.Seed))
+		fmt.Println("bench: idle horizon (fixed 200K-cycle run, injection stops at 2K)")
+		for _, kind := range topology.Kinds() {
+			rep.IdleHorizon = append(rep.IdleHorizon, benchIdleHorizon(kind, p.Seed))
+		}
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -129,6 +148,55 @@ func runBench(p experiments.Params, outPath, note string) error {
 		fmt.Printf("  idle-horizon %-8s: skip %.2fms  tick %.2fms  (%.2fx)\n",
 			c.Topology, c.SkipWallMs, c.TickWallMs, c.TickOverSkip)
 	}
+	if o.baseline != "" {
+		return compareBaseline(rep, o.baseline, o.maxRegress)
+	}
+	return nil
+}
+
+// compareBaseline fails when any topology's steady-state engine cost
+// regressed more than maxRegress (fractional) against the committed
+// baseline's ns/cycle, or when the fresh run allocated on the hot path.
+// Topologies present in only one report are reported but tolerated, so
+// adding a topology does not wedge CI.
+func compareBaseline(rep benchReport, baselinePath string, maxRegress float64) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", baselinePath, err)
+	}
+	baseNs := map[string]float64{}
+	for _, s := range base.EngineStep {
+		baseNs[s.Topology] = s.NsPerCycle
+	}
+	fmt.Printf("bench: comparing engine ns/cycle against %s (max regression %.0f%%)\n",
+		baselinePath, maxRegress*100)
+	var failures []string
+	for _, s := range rep.EngineStep {
+		if s.AllocsPerStep > 0.01 {
+			failures = append(failures, fmt.Sprintf("%s allocates %.3f/step at steady state (want 0)",
+				s.Topology, s.AllocsPerStep))
+		}
+		old, ok := baseNs[s.Topology]
+		if !ok || old <= 0 {
+			fmt.Printf("  %-9s %8.1f ns/cycle (no baseline entry)\n", s.Topology, s.NsPerCycle)
+			continue
+		}
+		delta := (s.NsPerCycle - old) / old
+		fmt.Printf("  %-9s %8.1f ns/cycle vs %8.1f baseline (%+.1f%%)\n",
+			s.Topology, s.NsPerCycle, old, delta*100)
+		if delta > maxRegress {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f ns/cycle)",
+				s.Topology, delta*100, old, s.NsPerCycle))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("bench: regression gate passed")
 	return nil
 }
 

@@ -20,7 +20,13 @@
 //	motivation  Section 1's starvation demonstration (no-QoS vs PVC)
 //	ablate      PVC design-parameter sweeps (beyond the paper)
 //	bench       machine-readable engine benchmarks -> BENCH_<date>.json
-//	all         everything above (except bench), in paper order
+//	all         everything above (except bench and sweep), in paper order
+//
+//	sweep <scenario>
+//	            expand and run a declarative scenario file (.json/.toml,
+//	            see internal/scenario) or built-in scenario name; the
+//	            explicitly-set -seed/-warmup/-measure flags override the
+//	            file's values, and -out writes machine-readable JSON
 //
 // Flags:
 //
@@ -35,8 +41,15 @@
 //	           way — disable only to benchmark the tick-driven engine)
 //	-quick     scale runs down ~6x for a fast smoke pass
 //	-csv       emit CSV rows instead of formatted tables
-//	-out       output path for bench's JSON (default BENCH_<date>.json)
+//	-out       output path for bench's/sweep's JSON
 //	-note      free-form annotation stored in bench's JSON
+//	-baseline  bench only: committed BENCH_*.json to compare engine
+//	           ns/cycle against, failing the run on regression
+//	-maxregress  bench only: tolerated fractional ns/cycle regression
+//	           against -baseline (default 0.25)
+//	-engine-only  bench only: measure just the per-topology engine step
+//	           cost (the section -baseline compares), skipping the
+//	           wall-clock grids
 package main
 
 import (
@@ -57,15 +70,29 @@ func main() {
 	skip := flag.Bool("skip", true, "fast-forward over idle cycle windows (results identical either way)")
 	quick := flag.Bool("quick", false, "scale runs down for a fast smoke pass")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	out := flag.String("out", "", "output path for bench's JSON (default BENCH_<date>.json)")
+	out := flag.String("out", "", "output path for bench's/sweep's JSON")
 	note := flag.String("note", "", "free-form annotation stored in bench's JSON")
+	baseline := flag.String("baseline", "", "bench: BENCH_*.json baseline to compare engine ns/cycle against")
+	maxRegress := flag.Float64("maxregress", 0.25, "bench: tolerated fractional ns/cycle regression vs -baseline")
+	engineOnly := flag.Bool("engine-only", false, "bench: measure only the per-topology engine step cost")
 	flag.Usage = usage
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	p := experiments.Params{Seed: *seed, Warmup: *warmup, Measure: *measure}
 	if *quick {
 		p = experiments.QuickParams()
 		p.Seed = *seed
+		// An explicitly-set schedule flag beats -quick's defaults, so
+		// `-quick -warmup 500` means quick scale with a 500-cycle warmup.
+		if explicit["warmup"] {
+			p.Warmup = *warmup
+		}
+		if explicit["measure"] {
+			p.Measure = *measure
+		}
 	}
 	p.Workers = *parallel
 	p.DisableIdleSkip = !*skip
@@ -75,12 +102,25 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	for _, arg := range args {
+	for i := 0; i < len(args); i++ {
 		var err error
-		if strings.ToLower(arg) == "bench" {
-			err = runBench(p, *out, *note)
-		} else {
-			err = run(strings.ToLower(arg), p, *quick, *csv)
+		switch arg := strings.ToLower(args[i]); arg {
+		case "bench":
+			err = runBench(p, benchOpts{
+				outPath: *out, note: *note,
+				baseline: *baseline, maxRegress: *maxRegress, engineOnly: *engineOnly,
+			})
+		case "sweep":
+			if i+1 >= len(args) {
+				err = fmt.Errorf("sweep needs a scenario file or built-in name")
+			} else {
+				i++
+				err = runSweep(args[i], sweepOpts{
+					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
+				})
+			}
+		default:
+			err = run(arg, p, *quick, *csv)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "noctool: %v\n", err)
@@ -90,9 +130,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario>
 
 experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate bench all
+sweep runs a declarative scenario file (.json/.toml) or built-in scenario
 flags:
 `)
 	flag.PrintDefaults()

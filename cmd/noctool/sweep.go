@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tanoq/internal/experiments"
+	"tanoq/internal/scenario"
+)
+
+// sweepOpts carries the CLI state the sweep subcommand layers over a
+// scenario file: runtime knobs (workers, idle skip, output format) plus
+// the subset of flags the user set explicitly, which override the file's
+// values — the same precedence order as a layered config system (file
+// below flags).
+type sweepOpts struct {
+	params experiments.Params
+	// explicit marks flags the user passed on the command line (by flag
+	// name); only those override the scenario file.
+	explicit map[string]bool
+	quick    bool
+	csv      bool
+	outPath  string
+}
+
+// runSweep loads a scenario file (or built-in scenario name), applies the
+// CLI layer, expands the sweep grid, runs it on the parallel runner and
+// emits a table or CSV to stdout (plus JSON to -out when given).
+func runSweep(pathOrName string, o sweepOpts) error {
+	sc, err := scenario.Load(pathOrName)
+	if err != nil {
+		return err
+	}
+	if o.quick {
+		q := experiments.QuickParams()
+		sc.Warmup, sc.Measure = q.Warmup, q.Measure
+	}
+	if o.explicit["seed"] {
+		sc.Seeds = []uint64{o.params.Seed}
+	}
+	if o.explicit["warmup"] {
+		sc.Warmup = o.params.Warmup
+	}
+	if o.explicit["measure"] {
+		sc.Measure = o.params.Measure
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	grid, err := sc.Grid()
+	if err != nil {
+		return err
+	}
+	results := grid.Run(scenario.RunOpts{
+		Workers:         o.params.Workers,
+		DisableIdleSkip: o.params.DisableIdleSkip,
+	})
+	if o.csv {
+		fmt.Print(scenario.CSV(sc.Name, results))
+	} else {
+		fmt.Println(scenario.Render(sc.Name, results))
+	}
+	if o.outPath != "" {
+		blob, err := scenario.JSONReport(sc.Name, results)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", o.outPath)
+	}
+	return nil
+}

@@ -12,8 +12,16 @@
 //     source retransmission windows (internal/qos, internal/network),
 //   - five shared-region topologies: mesh x1/x2/x4, MECS and Destination
 //     Partitioned Subnets (internal/topology),
-//   - synthetic traffic generators including the paper's adversarial
-//     preemption workloads (internal/traffic),
+//   - a synthetic traffic pattern library — uniform random, tornado, the
+//     bit-permutation canon (transpose, bit-complement, bit-reversal,
+//     shuffle), weighted hotspots and MMPP-style bursty on/off sources —
+//     plus the paper's adversarial preemption workloads
+//     (internal/traffic),
+//   - a declarative scenario subsystem: JSON/TOML files describing
+//     pattern × topology × QoS × rate × seed sweep grids, validated and
+//     expanded onto the parallel runner, with the paper's own evaluation
+//     grids available as built-in scenarios (internal/scenario,
+//     noctool sweep),
 //   - Orion/CACTI-style analytical area and energy models at 32 nm
 //     (internal/physical),
 //   - the chip-level topology-aware architecture: a 256-tile CMP with 4-way

@@ -146,9 +146,9 @@ func (s *System) BuildSharedRegion(mode qos.Mode, loads []MemoryLoad) (*network.
 				Rate:            perNode,
 				RequestFraction: traffic.DefaultRequestFraction,
 				// Address-interleaved across the column's MCs.
-				Dest: func(r *sim.RNG) noc.NodeID {
+				Dest: traffic.DestFunc(func(r *sim.RNG) noc.NodeID {
 					return noc.NodeID(r.Intn(nodes))
-				},
+				}),
 			})
 		}
 	}

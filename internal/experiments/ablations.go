@@ -129,7 +129,7 @@ func AblateWindow(kind topology.Kind, windows []int, p Params) []AblationRow {
 		Node:            far,
 		Rate:            0.9,
 		RequestFraction: traffic.DefaultRequestFraction,
-		Dest:            func(*sim.RNG) noc.NodeID { return traffic.HotspotNode },
+		Dest:            traffic.FixedDest(traffic.HotspotNode),
 	})
 	cells := make([]runner.Cell, len(windows))
 	for i, wnd := range windows {

@@ -266,7 +266,7 @@ func TestAckDelayAffectsWindowTurnaround(t *testing.T) {
 		w := traffic.Workload{Nodes: topology.ColumnNodes, Specs: []traffic.Spec{{
 			Flow: traffic.FlowOf(7, 0), Node: 7, Rate: 0.9,
 			RequestFraction: 0.5,
-			Dest:            func(*sim.RNG) noc.NodeID { return 0 },
+			Dest:            traffic.FixedDest(0),
 		}}}
 		cfg := qos.DefaultConfig(w.TotalFlows())
 		cfg.WindowPackets = 1

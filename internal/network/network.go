@@ -190,11 +190,8 @@ func New(cfg Config) (*Network, error) {
 		if int(s.Node) < 0 || int(s.Node) >= cfg.Nodes {
 			return nil, fmt.Errorf("network: injector flow %d at node %d outside column of %d", s.Flow, s.Node, cfg.Nodes)
 		}
-		if s.Rate < 0 || s.Rate > 1 {
-			return nil, fmt.Errorf("network: injector flow %d rate %v outside [0,1]", s.Flow, s.Rate)
-		}
-		if s.RequestFraction < 0 || s.RequestFraction > 1 {
-			return nil, fmt.Errorf("network: injector flow %d request fraction %v outside [0,1]", s.Flow, s.RequestFraction)
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("network: %w", err)
 		}
 	}
 
@@ -238,7 +235,7 @@ func New(cfg Config) (*Network, error) {
 // Bernoulli process it models would never emit that packet, so the source
 // is permanently done generating and leaves the schedule for good.
 func (n *Network) scheduleArrival(s *source) {
-	if s.pktProb <= 0 {
+	if !s.arr.Active() {
 		return
 	}
 	if s.spec.StopAt > 0 && s.nextArrival >= s.spec.StopAt {

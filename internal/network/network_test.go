@@ -5,7 +5,6 @@ import (
 
 	"tanoq/internal/noc"
 	"tanoq/internal/qos"
-	"tanoq/internal/sim"
 	"tanoq/internal/stats"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
@@ -22,7 +21,7 @@ func singlePacketWorkload(src, dst noc.NodeID) traffic.Workload {
 			Node:            src,
 			Rate:            1.0,
 			RequestFraction: 1.0, // all 1-flit requests
-			Dest:            func(*sim.RNG) noc.NodeID { return dst },
+			Dest:            traffic.FixedDest(dst),
 			StopAt:          1,
 		}},
 	}
@@ -47,14 +46,14 @@ func TestConfigValidation(t *testing.T) {
 	}
 	outside := traffic.Workload{Nodes: 8, Specs: []traffic.Spec{{
 		Flow: 0, Node: 9, Rate: 0.1,
-		Dest: func(*sim.RNG) noc.NodeID { return 0 },
+		Dest: traffic.FixedDest(0),
 	}}}
 	if _, err := New(Config{Kind: topology.MeshX1, QoS: qos.DefaultConfig(64), Workload: outside}); err == nil {
 		t.Fatal("out-of-column injector accepted")
 	}
 	overRate := traffic.Workload{Nodes: 8, Specs: []traffic.Spec{{
 		Flow: 0, Node: 0, Rate: 1.5,
-		Dest: func(*sim.RNG) noc.NodeID { return 1 },
+		Dest: traffic.FixedDest(1),
 	}}}
 	if _, err := New(Config{Kind: topology.MeshX1, QoS: qos.DefaultConfig(64), Workload: overRate}); err == nil {
 		t.Fatal("rate > 1 accepted")

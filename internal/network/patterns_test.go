@@ -1,0 +1,117 @@
+package network
+
+import (
+	"testing"
+
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// These tests pin the engine-facing contracts of the synthetic pattern
+// library: every pattern drives every topology under every QoS mode, the
+// bursty (MMPP on/off) arrival sampler is covered by the same mechanical
+// idle-skip equivalence as smooth injection, and neither patterns nor
+// bursts reintroduce allocations on the steady-state hot path.
+
+// newPatterns are the destination permutations and weighted hotspot added
+// on top of the paper's uniform/tornado/hotspot trio.
+func newPatterns() []traffic.Pattern {
+	return []traffic.Pattern{
+		traffic.TransposeTraffic(),
+		traffic.BitComplementTraffic(),
+		traffic.BitReversalTraffic(),
+		traffic.ShuffleTraffic(),
+		traffic.HotspotTraffic([]float64{4, 0, 1, 1, 0, 1, 0, 1}),
+	}
+}
+
+func TestNewPatternsRunOnAllTopologiesAndModes(t *testing.T) {
+	for _, pat := range newPatterns() {
+		w, err := traffic.Synthetic(pat, topology.ColumnNodes, 0.03, traffic.Burst{})
+		if err != nil {
+			t.Fatalf("%s: %v", pat.Name(), err)
+		}
+		for _, kind := range topology.Kinds() {
+			for _, mode := range []qos.Mode{qos.PVC, qos.PerFlowQueue, qos.NoQoS} {
+				t.Run(pat.Name()+"/"+kind.String()+"/"+mode.String(), func(t *testing.T) {
+					cfg := qos.DefaultConfig(w.TotalFlows())
+					cfg.Mode = mode
+					n := MustNew(Config{Kind: kind, QoS: cfg, Workload: w, Seed: 11})
+					n.WarmupAndMeasure(1_000, 5_000)
+					if n.Stats().TotalDelivered == 0 {
+						t.Fatal("no packets delivered")
+					}
+				})
+			}
+		}
+	}
+}
+
+// burstyWorkload builds a mixed workload exercising both bursty and
+// smooth sources over a permutation pattern.
+func burstyWorkload(t *testing.T) traffic.Workload {
+	t.Helper()
+	w, err := traffic.Synthetic(traffic.BitReversalTraffic(), topology.ColumnNodes, 0.04,
+		traffic.Burst{MeanOn: 120, MeanOff: 360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave half the injectors smooth so both sampler paths interleave.
+	for i := range w.Specs {
+		if i%2 == 0 {
+			w.Specs[i].Burst = traffic.Burst{}
+		}
+	}
+	return w
+}
+
+func TestIdleSkipEquivalentWithBurstySources(t *testing.T) {
+	for _, kind := range []topology.Kind{topology.MeshX1, topology.MECS, topology.DPS} {
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func(disable bool) skipFingerprint {
+				w := burstyWorkload(t).WithStop(9_000)
+				cfg := qos.DefaultConfig(w.TotalFlows())
+				n := MustNew(Config{
+					Kind: kind, QoS: cfg, Workload: w, Seed: 123,
+					DisableIdleSkip: disable,
+				})
+				n.WarmupAndMeasure(2_000, 4_000)
+				if _, drained := n.RunUntilDrained(200_000); !drained {
+					t.Fatalf("did not drain (in flight %d)", n.InFlight())
+				}
+				fp := fingerprint(n)
+				fp.flitsByFlow = n.Stats().FlitsByFlow()
+				return fp
+			}
+			ticked, skipped := run(true), run(false)
+			if ticked.delivered == 0 {
+				t.Fatal("bursty workload delivered nothing")
+			}
+			if !equalFingerprints(ticked, skipped) {
+				t.Errorf("skipping changed bursty results:\nticked:  %+v\nskipped: %+v", ticked, skipped)
+			}
+		})
+	}
+}
+
+func TestStepAllocationFreeWithPatternsAndBursts(t *testing.T) {
+	w := burstyWorkload(t)
+	// Add a weighted-hotspot stream so the Float64-draw picker is on the
+	// measured path too.
+	hs, err := traffic.HotspotTraffic([]float64{2, 1, 1, 1, 1, 1, 1, 1}).DestFor(3, topology.ColumnNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Specs[3*topology.InjectorsPerNode].Dest = hs
+	n := MustNew(Config{
+		Kind:     topology.MECS,
+		QoS:      qos.DefaultConfig(w.TotalFlows()),
+		Workload: w,
+		Seed:     3,
+	})
+	n.Run(30_000)
+	if avg := testing.AllocsPerRun(5_000, n.Step); avg > 0.01 {
+		t.Errorf("%.3f allocs per Step with patterns+bursts at steady state, want 0", avg)
+	}
+}

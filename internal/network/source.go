@@ -46,13 +46,12 @@ type source struct {
 	// replica round-robins packets across replicated mesh channels.
 	replica int
 
-	// pktProb is the per-cycle packet probability of the modeled
-	// Bernoulli process (flit rate over mean packet size), and
-	// nextArrival the precomputed cycle of the next packet: inter-arrival
-	// gaps are drawn geometrically (sim.RNG.Geometric), which reproduces
-	// the Bernoulli process exactly with one draw per packet instead of
-	// one per cycle, and hands the engine the source's wake-up time.
-	pktProb     float64
+	// arr draws packet inter-arrival gaps (traffic.ArrivalSampler): one
+	// geometric draw per packet for smooth specs, reproducing the modeled
+	// per-cycle Bernoulli process exactly, plus on/off window walking for
+	// bursty MMPP-style specs. nextArrival is the precomputed cycle of
+	// the next packet — the source's wake-up time in the arrival heap.
+	arr         traffic.ArrivalSampler
 	nextArrival sim.Cycle
 
 	generated int64
@@ -61,11 +60,12 @@ type source struct {
 
 func newSource(n *Network, spec traffic.Spec) *source {
 	s := &source{net: n, spec: spec, rng: n.rng.Split()}
-	if spec.Rate > 0 {
-		s.pktProb = spec.Rate / spec.MeanFlitsPerPacket()
+	s.arr = spec.NewArrivalSampler(s.rng)
+	if s.arr.Active() {
 		// The first arrival lands at gap-1 so that cycle 0 succeeds with
-		// probability pktProb, exactly like the first Bernoulli trial.
-		s.nextArrival = sim.Cycle(s.rng.Geometric(s.pktProb)) - 1
+		// the per-cycle packet probability, exactly like the first
+		// Bernoulli trial.
+		s.nextArrival = s.arr.NextGap(s.rng) - 1
 	}
 	return s
 }
@@ -107,23 +107,24 @@ func (q *pktQueue) pop() *pkt {
 
 // generate emits the precomputed arrival — the engine's arrival heap only
 // pops a source on exactly its arrival cycle — then draws the next
-// inter-arrival gap. The gap is geometric with the Bernoulli process's
-// per-cycle packet probability (the flit rate divided by the mean packet
-// size of the stochastic 1-/4-flit mix), so the emitted packet stream is
-// statistically identical to per-cycle Bernoulli sampling at one RNG draw
-// per packet, and off-arrival cycles never touch the source at all.
+// inter-arrival gap from the spec's arrival sampler (geometric for smooth
+// specs, on/off-window modulated for bursty ones), so the emitted packet
+// stream is statistically identical to per-cycle sampling of the modeled
+// process at ~one RNG draw per packet, and off-arrival cycles never touch
+// the source at all. Destination selection delegates to the spec's Dest
+// pattern; both calls are allocation-free.
 func (s *source) generate(t sim.Cycle) {
 	class := noc.ClassReply
 	if s.rng.Bernoulli(s.spec.RequestFraction) {
 		class = noc.ClassRequest
 	}
-	p := s.net.newPacket(s, class, s.spec.Dest(s.rng), t)
+	p := s.net.newPacket(s, class, s.spec.Dest.Pick(s.rng), t)
 	s.queue.push(p)
 	s.generated++
 	s.net.markOfferable(s)
 	// Gaps are >= 1, so arrivals never bunch within a cycle and
 	// nextArrival strictly advances.
-	s.nextArrival = t + sim.Cycle(s.rng.Geometric(s.pktProb))
+	s.nextArrival = t + s.arr.NextGap(s.rng)
 }
 
 // offer registers the next injectable packet as a first-leg arbitration

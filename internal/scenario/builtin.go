@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// The built-in registry re-expresses the paper's own experiment workloads
+// as scenarios, proving the declarative layer carries them: the Figure 4
+// load-latency sweeps map to pattern×rate grids, and the Section 5.3
+// adversarial workloads map to explicit flow lists. Each entry returns a
+// fresh value — callers may mutate the result (CLI overrides do).
+var builtins = map[string]func() *Scenario{
+	// Figure 4(a)/(b) at paper scale: every topology, PVC, 1–15 % rates.
+	"fig4a": func() *Scenario { return fig4("fig4a", "uniform", fig4Rates(), 20_000, 100_000) },
+	"fig4b": func() *Scenario { return fig4("fig4b", "tornado", fig4Rates(), 20_000, 100_000) },
+	// The -quick grids used by tests and benchmarks. The rate list and
+	// schedule mirror experiments.QuickFig4Rates/QuickParams; the
+	// scenario tests assert they stay in lockstep.
+	"fig4a-quick": func() *Scenario { return fig4("fig4a-quick", "uniform", quickRates(), 3_000, 15_000) },
+	"fig4b-quick": func() *Scenario { return fig4("fig4b-quick", "tornado", quickRates(), 3_000, 15_000) },
+	// Section 5.3's adversarial preemption workloads (Figures 5 and 6):
+	// explicit injector lists streaming at the hotspot.
+	"workload1": func() *Scenario {
+		sc := adversarial("workload1")
+		for n, rate := range traffic.Workload1Rates {
+			sc.Flows = append(sc.Flows, FlowSpec{Node: n, Injector: 0, Rate: rate, Dest: int(traffic.HotspotNode)})
+		}
+		return sc
+	},
+	"workload2": func() *Scenario {
+		sc := adversarial("workload2")
+		far := topology.ColumnNodes - 1
+		for i, rate := range traffic.Workload2NodeRates {
+			sc.Flows = append(sc.Flows, FlowSpec{Node: far, Injector: i, Rate: rate, Dest: int(traffic.HotspotNode)})
+		}
+		sc.Flows = append(sc.Flows, FlowSpec{Node: far - 1, Injector: 0, Rate: traffic.Workload2ExtraRate, Dest: int(traffic.HotspotNode)})
+		return sc
+	},
+}
+
+func fig4(name, pattern string, rates []float64, warmup, measure int) *Scenario {
+	return &Scenario{
+		Name:            name,
+		Patterns:        []string{pattern},
+		Topologies:      topology.Kinds(),
+		Rates:           rates,
+		Nodes:           topology.ColumnNodes,
+		Warmup:          warmup,
+		Measure:         measure,
+		RequestFraction: traffic.DefaultRequestFraction,
+	}
+}
+
+func adversarial(name string) *Scenario {
+	return &Scenario{
+		Name:            name,
+		Topologies:      topology.Kinds(),
+		Nodes:           topology.ColumnNodes,
+		Warmup:          20_000,
+		Measure:         100_000,
+		RequestFraction: traffic.DefaultRequestFraction,
+	}
+}
+
+// fig4Rates is Figure 4's X axis: injection rates 1–15 %.
+func fig4Rates() []float64 {
+	var rates []float64
+	for r := 1; r <= 15; r++ {
+		rates = append(rates, float64(r)/100)
+	}
+	return rates
+}
+
+// quickRates mirrors experiments.QuickFig4Rates (pinned by test).
+func quickRates() []float64 {
+	return []float64{0.01, 0.02, 0.05, 0.08, 0.11, 0.14}
+}
+
+// Builtin returns a fresh copy of a built-in scenario by name, validated
+// and defaulted like a loaded file.
+func Builtin(name string) (*Scenario, error) {
+	f, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: no file and no built-in named %q (built-ins: %v)", name, BuiltinNames())
+	}
+	sc := f()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// BuiltinNames lists the built-in scenario names in sorted order.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// decoder pulls typed fields out of the map[string]any both file formats
+// decode into, recording the first error instead of forcing a check at
+// every call site. Sweep-axis accessors accept a scalar or a list under
+// either the singular or plural key.
+type decoder struct {
+	raw map[string]any
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// pick returns the value under whichever of the two keys is present
+// (empty key names are skipped); setting both is an error.
+func (d *decoder) pick(keyA, keyB string) (any, string, bool) {
+	va, oka := d.raw[keyA]
+	var vb any
+	okb := false
+	if keyB != "" {
+		vb, okb = d.raw[keyB]
+	}
+	switch {
+	case oka && okb:
+		d.fail("set either %q or %q, not both", keyA, keyB)
+		return nil, "", false
+	case oka:
+		return va, keyA, true
+	case okb:
+		return vb, keyB, true
+	}
+	return nil, "", false
+}
+
+func (d *decoder) str(key, def string) string {
+	v, ok := d.raw[key]
+	if !ok {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail("%s must be a string, got %T", key, v)
+		return def
+	}
+	return s
+}
+
+func (d *decoder) float(key string, def float64) float64 {
+	v, ok := d.raw[key]
+	if !ok {
+		return def
+	}
+	f, ok := v.(float64)
+	if !ok {
+		d.fail("%s must be a number, got %T", key, v)
+		return def
+	}
+	return f
+}
+
+func (d *decoder) int(key string, def int) int {
+	v, ok := d.raw[key]
+	if !ok {
+		return def
+	}
+	f, ok := v.(float64)
+	if !ok || f != math.Trunc(f) {
+		d.fail("%s must be an integer, got %v", key, v)
+		return def
+	}
+	return int(f)
+}
+
+// asList normalizes a scalar-or-list value to a list.
+func asList(v any) []any {
+	if l, ok := v.([]any); ok {
+		return l
+	}
+	return []any{v}
+}
+
+func (d *decoder) strList(keyA, keyB string) []string {
+	v, key, ok := d.pick(keyA, keyB)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, el := range asList(v) {
+		s, ok := el.(string)
+		if !ok {
+			d.fail("%s must hold strings, got %T", key, el)
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (d *decoder) floatList(keyA, keyB string) []float64 {
+	v, key, ok := d.pick(keyA, keyB)
+	if !ok {
+		return nil
+	}
+	var out []float64
+	for _, el := range asList(v) {
+		f, ok := el.(float64)
+		if !ok {
+			d.fail("%s must hold numbers, got %T", key, el)
+			return nil
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func (d *decoder) intList(keyA, keyB string) []int64 {
+	v, key, ok := d.pick(keyA, keyB)
+	if !ok {
+		return nil
+	}
+	var out []int64
+	for _, el := range asList(v) {
+		f, ok := el.(float64)
+		if !ok || f != math.Trunc(f) {
+			d.fail("%s must hold integers, got %v", key, el)
+			return nil
+		}
+		out = append(out, int64(f))
+	}
+	return out
+}
+
+// allowOnly rejects keys outside the given set (nested tables have their
+// own key budget, unlike the top level's scenarioKeys map).
+func (d *decoder) allowOnly(keys ...string) {
+	allowed := map[string]bool{}
+	for _, k := range keys {
+		allowed[k] = true
+	}
+	for k := range d.raw {
+		if !allowed[k] {
+			d.fail("unknown key %q", k)
+			return
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package scenario is the declarative workload layer: it parses JSON or
+// TOML scenario files into validated, defaulted sweep grids over the
+// simulator's full configuration space — synthetic traffic pattern,
+// topology, QoS mode, injection rate, seed — and runs them through the
+// parallel experiment runner. What previously required a hand-written Go
+// driver per workload (internal/experiments' figure drivers) is now a
+// small text file; the paper's own evaluation grids are re-expressed as
+// built-in scenarios (Builtin) and pinned bit-identical to the original
+// drivers by tests.
+//
+// # File format
+//
+// A scenario is one JSON object or TOML document. Every list-valued
+// field is a sweep axis; the run grid is the cross product, expanded in
+// the order pattern × topology × qos × seed × rate. Fields (singular and
+// plural spellings both accepted on the axes):
+//
+//	name              label for output rows (default: file base name)
+//	pattern(s)        uniform | tornado | transpose | bit-complement |
+//	                  bit-reversal | shuffle | hotspot   (default uniform)
+//	topology(ies)     mesh_x1 | mesh_x2 | mesh_x4 | mecs | dps | all
+//	                  (default all)
+//	qos               pvc | per-flow-queue | no-qos | all  (default pvc)
+//	rate(s)           per-injector offered load in flits/cycle, (0,1]
+//	seed(s)           RNG seeds (default 42)
+//	nodes             column height (default 8; bit-permutation patterns
+//	                  need a power of two)
+//	warmup, measure   per-cell schedule in cycles (default 20000/100000)
+//	stop_at           cycle at which injection halts (0 = never)
+//	request_fraction  1-flit-request share of packets (default 0.5)
+//	hotspot_weights   per-node destination weights for pattern "hotspot"
+//	burst             { mean_on, mean_off }: MMPP-style on/off windows in
+//	                  cycles; rate stays the long-run mean
+//	flows             explicit injector list replacing pattern × rates:
+//	                  each { node, injector, rate, dest, stop_at } with
+//	                  dest a node index or "hotspot"
+//	frame_cycles, window_packets, quantum_flits, margin_classes
+//	                  QoS parameter overrides (defaults from package qos)
+//
+// Unknown keys are rejected, so typos fail loudly instead of silently
+// dropping an axis. See examples/sweep/ for runnable files and
+// cmd/noctool's sweep subcommand for the CLI entry point, which layers
+// explicitly-set -seed/-warmup/-measure flags over the file's values.
+//
+// # Determinism
+//
+// A grid cell's randomness derives entirely from its (workload, seed)
+// pair, so results are bit-identical for every worker count and with
+// idle skipping on or off — the same contract the built-in experiment
+// drivers carry, enforced for scenarios by this package's tests.
+package scenario

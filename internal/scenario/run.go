@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"tanoq/internal/network"
+	"tanoq/internal/qos"
+	"tanoq/internal/runner"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// Point labels one cell of an expanded sweep grid.
+type Point struct {
+	// Pattern is the synthetic pattern name, or "flows" for explicit
+	// injector lists.
+	Pattern  string
+	Topology topology.Kind
+	Mode     qos.Mode
+	Seed     uint64
+	// Rate is the per-injector offered load of the point; explicit-flows
+	// scenarios report their aggregate offered load instead.
+	Rate float64
+}
+
+// Grid is a fully-expanded scenario: the cross product of the sweep axes
+// (pattern × topology × qos × seed × rate), one independent simulation
+// cell per point, in that nesting order — the same cell layout the
+// built-in experiment drivers use, which is what makes a scenario file
+// reproduce them bit-identically.
+type Grid struct {
+	Scenario *Scenario
+	Points   []Point
+	cells    []runner.Cell
+}
+
+// Grid expands the scenario into its run grid.
+func (sc *Scenario) Grid() (*Grid, error) {
+	g := &Grid{Scenario: sc}
+	add := func(p Point, cfg network.Config) {
+		g.Points = append(g.Points, p)
+		g.cells = append(g.cells, runner.Cell{Config: cfg, Warmup: sc.Warmup, Measure: sc.Measure})
+	}
+	if len(sc.Flows) > 0 {
+		w := sc.flowWorkload()
+		for _, kind := range sc.Topologies {
+			for _, mode := range sc.Modes {
+				for _, seed := range sc.Seeds {
+					add(Point{Pattern: "flows", Topology: kind, Mode: mode, Seed: seed, Rate: w.OfferedLoad()},
+						network.Config{
+							Kind: kind, Nodes: sc.Nodes,
+							QoS:      sc.qosConfig(mode, w.TotalFlows()),
+							Workload: w, Seed: seed,
+						})
+				}
+			}
+		}
+		return g, nil
+	}
+	for _, pat := range sc.Patterns {
+		// Workloads depend only on (pattern, rate); Dest pickers are
+		// stateless and safe to share across the cells of the
+		// topology × mode × seed fan-out.
+		ws := make([]traffic.Workload, len(sc.Rates))
+		for ri, rate := range sc.Rates {
+			w, err := sc.workload(pat, rate)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			ws[ri] = w
+		}
+		for _, kind := range sc.Topologies {
+			for _, mode := range sc.Modes {
+				for _, seed := range sc.Seeds {
+					for ri, rate := range sc.Rates {
+						add(Point{Pattern: pat, Topology: kind, Mode: mode, Seed: seed, Rate: rate},
+							network.Config{
+								Kind: kind, Nodes: sc.Nodes,
+								QoS:      sc.qosConfig(mode, ws[ri].TotalFlows()),
+								Workload: ws[ri], Seed: seed,
+							})
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Size returns the number of grid cells.
+func (g *Grid) Size() int { return len(g.cells) }
+
+// RunOpts carries the runtime knobs that never change results: worker
+// count (bit-identical for every value) and the idle-skip proof toggle.
+type RunOpts struct {
+	Workers         int
+	DisableIdleSkip bool
+}
+
+// Result is the measured outcome of one grid point.
+type Result struct {
+	Point
+	// MeanLatency and P99Latency are delivered-packet latencies in
+	// cycles, measured from generation (saturation shows as source
+	// queueing, the hockey stick).
+	MeanLatency float64
+	P99Latency  float64
+	// Accepted is delivered flits per cycle network-wide.
+	Accepted float64
+	// PreemptionPct is the preemption event rate over delivered packets.
+	PreemptionPct float64
+	// Delivered counts delivered packets in the measurement window.
+	Delivered int64
+	// End is the cycle at the end of the measurement window.
+	End sim.Cycle
+}
+
+// Run executes every cell across the parallel runner and collects the
+// results in grid order — deterministic and bit-identical for any worker
+// count, with or without idle skipping.
+func (g *Grid) Run(opts RunOpts) []Result {
+	cells := make([]runner.Cell, len(g.cells))
+	copy(cells, g.cells)
+	for i := range cells {
+		cells[i].Config.DisableIdleSkip = opts.DisableIdleSkip
+	}
+	res := runner.RunCells(cells, opts.Workers)
+	out := make([]Result, len(res))
+	for i, r := range res {
+		st := r.Stats
+		out[i] = Result{
+			Point:         g.Points[i],
+			MeanLatency:   st.MeanLatency(),
+			P99Latency:    float64(st.Latencies.Percentile(99)),
+			Accepted:      st.AcceptedFlitRate(r.End),
+			PreemptionPct: st.PreemptionPacketRate(),
+			Delivered:     st.TotalDelivered,
+			End:           r.End,
+		}
+	}
+	return out
+}
+
+// CSV renders results as one row per grid point.
+func CSV(name string, results []Result) string {
+	var b strings.Builder
+	b.WriteString("scenario,pattern,topology,qos,seed,rate,mean_latency_cycles,p99_latency_cycles,accepted_flits_per_cycle,preemption_pct,delivered_packets\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%.4f,%.3f,%.0f,%.4f,%.4f,%d\n",
+			csvEscape(name), csvEscape(r.Pattern), csvEscape(r.Topology.String()), csvEscape(r.Mode.String()),
+			r.Seed, r.Rate, r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct, r.Delivered)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// resultJSON is the machine-readable per-point record of JSONReport.
+type resultJSON struct {
+	Pattern       string  `json:"pattern"`
+	Topology      string  `json:"topology"`
+	QoS           string  `json:"qos"`
+	Seed          uint64  `json:"seed"`
+	Rate          float64 `json:"rate"`
+	MeanLatency   float64 `json:"mean_latency_cycles"`
+	P99Latency    float64 `json:"p99_latency_cycles"`
+	Accepted      float64 `json:"accepted_flits_per_cycle"`
+	PreemptionPct float64 `json:"preemption_pct"`
+	Delivered     int64   `json:"delivered_packets"`
+}
+
+// JSONReport marshals a sweep's results.
+func JSONReport(name string, results []Result) ([]byte, error) {
+	rows := make([]resultJSON, len(results))
+	for i, r := range results {
+		rows[i] = resultJSON{
+			Pattern: r.Pattern, Topology: r.Topology.String(), QoS: r.Mode.String(),
+			Seed: r.Seed, Rate: r.Rate,
+			MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
+			Accepted: r.Accepted, PreemptionPct: r.PreemptionPct, Delivered: r.Delivered,
+		}
+	}
+	blob, err := json.MarshalIndent(struct {
+		Scenario string       `json:"scenario"`
+		Results  []resultJSON `json:"results"`
+	}{Scenario: name, Results: rows}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// Render prints results as an aligned table, one row per point.
+func Render(name string, results []Result) string {
+	var b strings.Builder
+	title := fmt.Sprintf("Sweep: %s (%d cells)", name, len(results))
+	b.WriteString(title + "\n" + strings.Repeat("-", len(title)) + "\n")
+	fmt.Fprintf(&b, "%-14s %-9s %-14s %10s %7s %10s %9s %9s %9s\n",
+		"pattern", "topology", "qos", "seed", "rate", "latency", "p99", "accepted", "preempt")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s %-9s %-14s %10d %6.2f%% %10.1f %9.0f %9.3f %8.2f%%\n",
+			r.Pattern, r.Topology, r.Mode, r.Seed, r.Rate*100,
+			r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct)
+	}
+	return b.String()
+}

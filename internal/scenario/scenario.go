@@ -1,0 +1,425 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// Scenario is one declarative workload description, decoded from a JSON
+// or TOML file (see the package documentation for the file format). The
+// list-valued fields are sweep axes: the expanded grid is their cross
+// product, one independent simulation cell per point.
+type Scenario struct {
+	// Name labels output rows; defaults to the file's base name.
+	Name string
+	// Patterns are synthetic-pattern sweep values (traffic.PatternNames).
+	// Mutually exclusive with Flows.
+	Patterns []string
+	// Topologies and Modes are the topology × QoS sweep axes.
+	Topologies []topology.Kind
+	Modes      []qos.Mode
+	// Rates is the per-injector offered-load axis (flits/cycle).
+	Rates []float64
+	// Seeds is the RNG-seed axis.
+	Seeds []uint64
+	// Nodes is the column height (default topology.ColumnNodes).
+	Nodes int
+	// Warmup and Measure are the per-cell schedule in cycles.
+	Warmup  int
+	Measure int
+	// StopAt, when positive, halts injection at that cycle (a finite
+	// horizon inside the measurement window).
+	StopAt sim.Cycle
+	// RequestFraction is the 1-flit-request share of generated packets.
+	RequestFraction float64
+	// Burst, when enabled, applies MMPP-style on/off modulation to every
+	// injector (traffic.Burst).
+	Burst traffic.Burst
+	// HotspotWeights configures the "hotspot" pattern's per-node
+	// destination weights (nil = all load on node 0).
+	HotspotWeights []float64
+	// Flows, when non-empty, replaces the pattern×rate product with an
+	// explicit injector list (the adversarial-workload shape).
+	Flows []FlowSpec
+
+	// QoS parameter overrides; zero values keep the defaults.
+	FrameCycles   sim.Cycle
+	WindowPackets int
+	QuantumFlits  int
+	MarginClasses int
+}
+
+// FlowSpec is one explicitly-declared injector.
+type FlowSpec struct {
+	// Node hosts the injector; Injector is its position (0 = terminal
+	// port, 1..7 the MECS row inputs).
+	Node     int
+	Injector int
+	// Rate is the injector's offered load in flits/cycle.
+	Rate float64
+	// Dest is the fixed destination node (default traffic.HotspotNode).
+	Dest int
+	// StopAt optionally overrides the scenario-level injection stop.
+	StopAt sim.Cycle
+}
+
+// Load reads a scenario from a .json or .toml file, or — when the
+// argument names no existing file — from the built-in scenario registry
+// (see Builtin). The result is validated and defaulted.
+func Load(pathOrName string) (*Scenario, error) {
+	blob, err := os.ReadFile(pathOrName)
+	if err != nil {
+		if os.IsNotExist(err) && !strings.ContainsAny(pathOrName, "/\\.") {
+			return Builtin(pathOrName)
+		}
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := Parse(blob, strings.ToLower(filepath.Ext(pathOrName)))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", pathOrName, err)
+	}
+	if sc.Name == "" {
+		sc.Name = strings.TrimSuffix(filepath.Base(pathOrName), filepath.Ext(pathOrName))
+	}
+	return sc, nil
+}
+
+// Parse decodes scenario bytes in the given format (".json" or ".toml")
+// and validates the result.
+func Parse(blob []byte, ext string) (*Scenario, error) {
+	var raw map[string]any
+	switch ext {
+	case ".json":
+		if err := json.Unmarshal(blob, &raw); err != nil {
+			return nil, err
+		}
+	case ".toml":
+		var err error
+		if raw, err = parseTOML(string(blob)); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unsupported scenario format %q (want .json or .toml)", ext)
+	}
+	sc, err := fromRaw(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// scenarioKeys lists every accepted top-level key (singular/plural pairs
+// both work for the sweep axes); unknown keys are rejected so a typo
+// cannot silently drop an axis.
+var scenarioKeys = map[string]bool{
+	"name": true, "pattern": true, "patterns": true,
+	"topology": true, "topologies": true, "qos": true,
+	"rate": true, "rates": true, "seed": true, "seeds": true,
+	"nodes": true, "warmup": true, "measure": true, "stop_at": true,
+	"request_fraction": true, "burst": true, "hotspot_weights": true,
+	"flows": true, "frame_cycles": true, "window_packets": true,
+	"quantum_flits": true, "margin_classes": true,
+}
+
+func fromRaw(raw map[string]any) (*Scenario, error) {
+	for k := range raw {
+		if !scenarioKeys[k] {
+			return nil, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	d := decoder{raw: raw}
+	sc := &Scenario{
+		Name:            d.str("name", ""),
+		Patterns:        d.strList("pattern", "patterns"),
+		Rates:           d.floatList("rate", "rates"),
+		Nodes:           d.int("nodes", topology.ColumnNodes),
+		Warmup:          d.int("warmup", 20_000),
+		Measure:         d.int("measure", 100_000),
+		StopAt:          sim.Cycle(d.int("stop_at", 0)),
+		RequestFraction: d.float("request_fraction", traffic.DefaultRequestFraction),
+		HotspotWeights:  d.floatList("hotspot_weights", ""),
+		FrameCycles:     sim.Cycle(d.int("frame_cycles", 0)),
+		WindowPackets:   d.int("window_packets", 0),
+		QuantumFlits:    d.int("quantum_flits", 0),
+		MarginClasses:   d.int("margin_classes", 0),
+	}
+	for _, s := range d.intList("seed", "seeds") {
+		sc.Seeds = append(sc.Seeds, uint64(s))
+	}
+	if b, ok := raw["burst"]; ok {
+		bm, ok := b.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("burst must be a table/object")
+		}
+		bd := decoder{raw: bm}
+		sc.Burst = traffic.Burst{MeanOn: bd.float("mean_on", 0), MeanOff: bd.float("mean_off", 0)}
+		bd.allowOnly("mean_on", "mean_off")
+		if bd.err != nil {
+			return nil, bd.err
+		}
+	}
+	for _, name := range d.strList("topology", "topologies") {
+		kinds, err := topologyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sc.Topologies = append(sc.Topologies, kinds...)
+	}
+	for _, name := range d.strList("qos", "") {
+		modes, err := modeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sc.Modes = append(sc.Modes, modes...)
+	}
+	if fl, ok := raw["flows"]; ok {
+		list, ok := fl.([]any)
+		if !ok {
+			return nil, fmt.Errorf("flows must be a list")
+		}
+		for i, el := range list {
+			fm, ok := el.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("flows[%d] must be a table/object", i)
+			}
+			fd := decoder{raw: fm}
+			f := FlowSpec{
+				Node:     fd.int("node", 0),
+				Injector: fd.int("injector", 0),
+				Rate:     fd.float("rate", 0),
+				StopAt:   sim.Cycle(fd.int("stop_at", 0)),
+			}
+			switch dv := fm["dest"].(type) {
+			case nil:
+				f.Dest = int(traffic.HotspotNode)
+			case string:
+				if dv != "hotspot" {
+					return nil, fmt.Errorf("flows[%d]: dest %q (want a node index or \"hotspot\")", i, dv)
+				}
+				f.Dest = int(traffic.HotspotNode)
+			default:
+				f.Dest = fd.int("dest", 0)
+			}
+			fd.allowOnly("node", "injector", "rate", "dest", "stop_at")
+			if fd.err != nil {
+				return nil, fmt.Errorf("flows[%d]: %w", i, fd.err)
+			}
+			sc.Flows = append(sc.Flows, f)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return sc, nil
+}
+
+// Validate checks cross-field consistency and applies defaults for the
+// axes left unset (all topologies, PVC, seed 42).
+func (sc *Scenario) Validate() error {
+	if len(sc.Topologies) == 0 {
+		sc.Topologies = topology.Kinds()
+	}
+	if len(sc.Modes) == 0 {
+		sc.Modes = []qos.Mode{qos.PVC}
+	}
+	if len(sc.Seeds) == 0 {
+		sc.Seeds = []uint64{42}
+	}
+	if sc.Nodes < 2 {
+		return fmt.Errorf("scenario %s: need at least 2 nodes, got %d", sc.Name, sc.Nodes)
+	}
+	if sc.Warmup < 0 || sc.Measure <= 0 {
+		return fmt.Errorf("scenario %s: schedule warmup %d / measure %d invalid", sc.Name, sc.Warmup, sc.Measure)
+	}
+	if sc.RequestFraction < 0 || sc.RequestFraction > 1 {
+		return fmt.Errorf("scenario %s: request_fraction %v outside [0,1]", sc.Name, sc.RequestFraction)
+	}
+	if err := sc.Burst.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if len(sc.Flows) > 0 {
+		if len(sc.Patterns) > 0 || len(sc.Rates) > 0 {
+			return fmt.Errorf("scenario %s: flows and pattern/rates are mutually exclusive", sc.Name)
+		}
+		for i, f := range sc.Flows {
+			if f.Node < 0 || f.Node >= sc.Nodes {
+				return fmt.Errorf("scenario %s: flows[%d] node %d outside column of %d", sc.Name, i, f.Node, sc.Nodes)
+			}
+			if f.Injector < 0 || f.Injector >= topology.InjectorsPerNode {
+				return fmt.Errorf("scenario %s: flows[%d] injector %d outside [0,%d)", sc.Name, i, f.Injector, topology.InjectorsPerNode)
+			}
+			if f.Dest < 0 || f.Dest >= sc.Nodes {
+				return fmt.Errorf("scenario %s: flows[%d] dest %d outside column of %d", sc.Name, i, f.Dest, sc.Nodes)
+			}
+			if f.Rate <= 0 || f.Rate > 1 {
+				return fmt.Errorf("scenario %s: flows[%d] rate %v outside (0,1]", sc.Name, i, f.Rate)
+			}
+		}
+	} else {
+		if len(sc.Patterns) == 0 {
+			sc.Patterns = []string{"uniform"}
+		}
+		if len(sc.Rates) == 0 {
+			return fmt.Errorf("scenario %s: empty sweep — no rates and no flows", sc.Name)
+		}
+		for _, r := range sc.Rates {
+			if r <= 0 || r > 1 {
+				return fmt.Errorf("scenario %s: rate %v outside (0,1]", sc.Name, r)
+			}
+		}
+		for _, name := range sc.Patterns {
+			if _, err := sc.pattern(name); err != nil {
+				return fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			// Surface population incompatibilities (non-power-of-two
+			// columns under bit permutations, weight-vector mismatches)
+			// at load time rather than mid-grid.
+			if _, err := sc.workload(name, sc.Rates[0]); err != nil {
+				return fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+		}
+	}
+	for _, s := range specsOf(sc) {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+	return nil
+}
+
+// specsOf samples one representative spec set for validation: the first
+// pattern at the highest rate (peak burst demand scales with rate), or
+// the explicit flows.
+func specsOf(sc *Scenario) []traffic.Spec {
+	if len(sc.Flows) > 0 {
+		return sc.flowWorkload().Specs
+	}
+	maxRate := 0.0
+	for _, r := range sc.Rates {
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	w, err := sc.workload(sc.Patterns[0], maxRate)
+	if err != nil {
+		return nil // already reported by Validate's pattern probe
+	}
+	return w.Specs
+}
+
+// pattern resolves a pattern name, threading the scenario's hotspot
+// weights into the hotspot pattern.
+func (sc *Scenario) pattern(name string) (traffic.Pattern, error) {
+	if name == "hotspot" && sc.HotspotWeights != nil {
+		return traffic.HotspotTraffic(sc.HotspotWeights), nil
+	}
+	return traffic.PatternByName(name)
+}
+
+// workload builds the synthetic workload of one (pattern, rate) point.
+func (sc *Scenario) workload(patternName string, rate float64) (traffic.Workload, error) {
+	p, err := sc.pattern(patternName)
+	if err != nil {
+		return traffic.Workload{}, err
+	}
+	w, err := traffic.Synthetic(p, sc.Nodes, rate, sc.Burst)
+	if err != nil {
+		return traffic.Workload{}, err
+	}
+	if sc.RequestFraction != traffic.DefaultRequestFraction {
+		for i := range w.Specs {
+			w.Specs[i].RequestFraction = sc.RequestFraction
+		}
+	}
+	if sc.StopAt > 0 {
+		w = w.WithStop(sc.StopAt)
+	}
+	return w, nil
+}
+
+// flowWorkload builds the workload of an explicit-flows scenario.
+func (sc *Scenario) flowWorkload() traffic.Workload {
+	w := traffic.Workload{Name: sc.Name, Nodes: sc.Nodes}
+	for _, f := range sc.Flows {
+		stop := f.StopAt
+		if stop == 0 {
+			stop = sc.StopAt
+		}
+		w.Specs = append(w.Specs, traffic.Spec{
+			Flow:            traffic.FlowOf(noc.NodeID(f.Node), f.Injector),
+			Node:            noc.NodeID(f.Node),
+			Rate:            f.Rate,
+			RequestFraction: sc.RequestFraction,
+			Dest:            traffic.FixedDest(noc.NodeID(f.Dest)),
+			Burst:           sc.Burst,
+			StopAt:          stop,
+		})
+	}
+	return w
+}
+
+// qosConfig assembles the QoS configuration of one grid point.
+func (sc *Scenario) qosConfig(mode qos.Mode, flows int) qos.Config {
+	cfg := qos.DefaultConfig(flows)
+	cfg.Mode = mode
+	if sc.FrameCycles > 0 {
+		cfg.FrameCycles = sc.FrameCycles
+	}
+	if sc.WindowPackets > 0 {
+		cfg.WindowPackets = sc.WindowPackets
+	}
+	if sc.QuantumFlits > 0 {
+		cfg.QuantumFlits = sc.QuantumFlits
+	}
+	if sc.MarginClasses > 0 {
+		cfg.MarginClasses = sc.MarginClasses
+	}
+	return cfg
+}
+
+// topologyByName maps a scenario topology name ("all" fans out).
+func topologyByName(name string) ([]topology.Kind, error) {
+	if name == "all" {
+		return topology.Kinds(), nil
+	}
+	for _, k := range topology.Kinds() {
+		if k.String() == name {
+			return []topology.Kind{k}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q (want all, %s)", name, kindNames())
+}
+
+func kindNames() string {
+	var names []string
+	for _, k := range topology.Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// modeByName maps a scenario QoS name ("all" fans out).
+func modeByName(name string) ([]qos.Mode, error) {
+	all := []qos.Mode{qos.PVC, qos.PerFlowQueue, qos.NoQoS}
+	if name == "all" {
+		return all, nil
+	}
+	for _, m := range all {
+		if m.String() == name {
+			return []qos.Mode{m}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown qos mode %q (want all, pvc, per-flow-queue, no-qos)", name)
+}

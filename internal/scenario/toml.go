@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseTOML parses the TOML subset scenario files use into the same
+// map[string]any shape encoding/json produces, so one decoder serves both
+// formats. Supported: `key = value` pairs, `[table]` headers, `[[array]]`
+// array-of-tables headers, `#` comments, and values that are basic
+// strings ("..."), integers, floats, booleans, or single-line arrays of
+// those. Unsupported TOML (dotted keys, multi-line strings, dates, inline
+// tables, nested arrays of tables) is rejected with a line-numbered
+// error rather than misread. Numbers decode to float64, like JSON.
+func parseTOML(src string) (map[string]any, error) {
+	root := map[string]any{}
+	cur := root
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "[["):
+			name, ok := strings.CutSuffix(strings.TrimPrefix(line, "[["), "]]")
+			name = strings.TrimSpace(name)
+			if !ok || !validKey(name) {
+				return nil, tomlErr(ln, "malformed array-of-tables header %q", line)
+			}
+			t := map[string]any{}
+			arr, _ := root[name].([]any)
+			if _, exists := root[name]; exists && arr == nil {
+				return nil, tomlErr(ln, "key %q redefined as array of tables", name)
+			}
+			root[name] = append(arr, any(t))
+			cur = t
+		case strings.HasPrefix(line, "["):
+			name, ok := strings.CutSuffix(strings.TrimPrefix(line, "["), "]")
+			name = strings.TrimSpace(name)
+			if !ok || !validKey(name) {
+				return nil, tomlErr(ln, "malformed table header %q", line)
+			}
+			if _, exists := root[name]; exists {
+				return nil, tomlErr(ln, "table %q redefined", name)
+			}
+			t := map[string]any{}
+			root[name] = t
+			cur = t
+		default:
+			key, rest, ok := strings.Cut(line, "=")
+			key = strings.TrimSpace(key)
+			if !ok || !validKey(key) {
+				return nil, tomlErr(ln, "expected `key = value`, got %q", line)
+			}
+			if _, exists := cur[key]; exists {
+				return nil, tomlErr(ln, "key %q redefined", key)
+			}
+			v, err := parseTOMLValue(strings.TrimSpace(rest), ln)
+			if err != nil {
+				return nil, err
+			}
+			cur[key] = v
+		}
+	}
+	return root, nil
+}
+
+func tomlErr(line int, format string, args ...any) error {
+	return fmt.Errorf("toml line %d: %s", line+1, fmt.Sprintf(format, args...))
+}
+
+// stripComment removes a trailing # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inStr || i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// validKey accepts TOML bare keys: letters, digits, dashes, underscores.
+func validKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for _, c := range k {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseTOMLValue(s string, ln int) (any, error) {
+	switch {
+	case s == "":
+		return nil, tomlErr(ln, "missing value")
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case strings.HasPrefix(s, `"`):
+		body, ok := strings.CutSuffix(strings.TrimPrefix(s, `"`), `"`)
+		if !ok || len(s) < 2 {
+			return nil, tomlErr(ln, "malformed string %s", s)
+		}
+		// Quotes inside the body must be backslash-escaped, and a lone
+		// trailing backslash would have escaped the closing quote.
+		for i := 0; i < len(body); i++ {
+			switch body[i] {
+			case '\\':
+				if i++; i == len(body) {
+					return nil, tomlErr(ln, "unterminated string %s", s)
+				}
+			case '"':
+				return nil, tomlErr(ln, "malformed string %s", s)
+			}
+		}
+		return strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n", `\t`, "\t").Replace(body), nil
+	case strings.HasPrefix(s, "["):
+		body, ok := strings.CutSuffix(strings.TrimPrefix(s, "["), "]")
+		if !ok {
+			return nil, tomlErr(ln, "unterminated array %q (arrays must be single-line)", s)
+		}
+		var out []any
+		for _, el := range splitArray(body) {
+			el = strings.TrimSpace(el)
+			if el == "" {
+				continue
+			}
+			v, err := parseTOMLValue(el, ln)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		// TOML permits underscore digit separators in numbers.
+		f, err := strconv.ParseFloat(strings.ReplaceAll(s, "_", ""), 64)
+		if err != nil {
+			return nil, tomlErr(ln, "unsupported value %q", s)
+		}
+		return f, nil
+	}
+}
+
+// splitArray splits a single-line array body on top-level commas,
+// respecting quoted strings (nested arrays are not supported and will
+// fail element parsing downstream).
+func splitArray(body string) []string {
+	var parts []string
+	start, inStr := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if !inStr || body[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ',':
+			if !inStr {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, body[start:])
+}

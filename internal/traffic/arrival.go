@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"fmt"
+
+	"tanoq/internal/sim"
+)
+
+// Burst turns an injector into an MMPP-style on/off source: the
+// underlying Bernoulli packet process is gated by a two-state Markov
+// chain that alternates ON windows (mean MeanOn cycles) and OFF windows
+// (mean MeanOff cycles), both geometrically distributed. The spec's Rate
+// stays the long-run offered load — during ON windows the source injects
+// at Rate divided by the duty cycle, and during OFF windows not at all —
+// so a bursty workload stresses queues and preemption with the same mean
+// demand as its smooth counterpart. The zero value disables modulation.
+type Burst struct {
+	// MeanOn is the mean ON-window length in cycles (>= 1 when enabled).
+	MeanOn float64
+	// MeanOff is the mean OFF-window length in cycles (>= 1 when enabled).
+	MeanOff float64
+}
+
+// Enabled reports whether the burst modulation is in effect.
+func (b Burst) Enabled() bool { return b.MeanOn != 0 || b.MeanOff != 0 }
+
+// Duty returns the long-run fraction of cycles the source spends ON.
+func (b Burst) Duty() float64 { return b.MeanOn / (b.MeanOn + b.MeanOff) }
+
+// Validate checks the window means of an enabled burst.
+func (b Burst) Validate() error {
+	if !b.Enabled() {
+		return nil
+	}
+	if b.MeanOn < 1 || b.MeanOff < 1 {
+		return fmt.Errorf("traffic: burst windows need mean >= 1 cycle, got on %v / off %v", b.MeanOn, b.MeanOff)
+	}
+	return nil
+}
+
+// ArrivalSampler draws the packet inter-arrival gaps of one injector.
+// For a smooth spec every cycle is an independent Bernoulli(pktProb)
+// trial, so gaps are geometric and NextGap is a single draw — exactly the
+// engine's O(work) injection sampling. For a bursty spec only ON cycles
+// are trials: NextGap draws the number of ON cycles to the next arrival
+// (geometric again, by memorylessness) and walks it across the on/off
+// window sequence, adding the OFF cycles it jumps over. Window lengths
+// are themselves geometric draws, which makes the ON/OFF alternation the
+// two-state Markov chain of the MMPP model.
+type ArrivalSampler struct {
+	// pktProb is the per-trial packet probability: the flit rate over the
+	// mean packet size, divided by the duty cycle when bursty (so the
+	// long-run rate stays the spec's Rate).
+	pktProb float64
+	// onExit / offExit are the per-cycle window-termination probabilities
+	// (1/mean), zero for smooth specs.
+	onExit, offExit float64
+	// onLeft counts the ON cycles remaining in the current window.
+	onLeft int64
+	bursty bool
+}
+
+// NewArrivalSampler builds the sampler for a spec. For bursty specs it
+// draws the initial ON-window length from r (the source starts at the
+// beginning of an ON window); smooth specs consume no randomness here, so
+// pre-existing seeded runs are untouched. Call Spec.Validate first: a
+// spec whose burst-peak rate exceeds one packet per cycle is rejected
+// there, not here.
+func (s Spec) NewArrivalSampler(r *sim.RNG) ArrivalSampler {
+	a := ArrivalSampler{}
+	if s.Rate <= 0 {
+		return a
+	}
+	a.pktProb = s.Rate / s.MeanFlitsPerPacket()
+	if s.Burst.Enabled() {
+		a.bursty = true
+		a.pktProb /= s.Burst.Duty()
+		a.onExit = 1 / s.Burst.MeanOn
+		a.offExit = 1 / s.Burst.MeanOff
+		a.onLeft = r.Geometric(a.onExit)
+	}
+	return a
+}
+
+// Active reports whether the sampler will ever emit an arrival.
+func (a *ArrivalSampler) Active() bool { return a.pktProb > 0 }
+
+// PeakProb returns the per-cycle packet probability while the source is
+// injecting (the Bernoulli parameter of its ON state).
+func (a *ArrivalSampler) PeakProb() float64 { return a.pktProb }
+
+// maxWalkWindows bounds NextGap's window walk per arrival. A draw that
+// crosses this many ON windows has already pushed the arrival at least
+// maxWalkWindows*(1 + MeanOff-ish) cycles into the future — an injector
+// that inactive contributes nothing observable to any simulable horizon
+// — so the remaining trials are taken as contiguous ON time instead of
+// walking window-by-window. This keeps construction and generation O(1)
+// in practice even for absurdly small (but valid) rates, where the
+// unbounded walk would spin for billions of iterations.
+const maxWalkWindows = 1 << 16
+
+// NextGap returns the number of cycles until the next packet arrival,
+// always >= 1. Smooth sources cost one geometric draw per packet; bursty
+// sources add one draw per window boundary crossed, which the window
+// means keep far below one per packet.
+func (a *ArrivalSampler) NextGap(r *sim.RNG) sim.Cycle {
+	g := r.Geometric(a.pktProb)
+	if !a.bursty {
+		return sim.Cycle(g)
+	}
+	gap := int64(0)
+	for walked := 0; g > a.onLeft; walked++ {
+		if walked == maxWalkWindows {
+			a.onLeft = g
+			break
+		}
+		g -= a.onLeft
+		gap += a.onLeft
+		gap += r.Geometric(a.offExit)
+		a.onLeft = r.Geometric(a.onExit)
+	}
+	a.onLeft -= g
+	return sim.Cycle(gap + g)
+}

@@ -1,0 +1,263 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/sim"
+)
+
+// Dest picks the destination node of a freshly generated packet. The
+// engine calls Pick once per generated packet on its hot path, so
+// implementations must be allocation-free and must not mutate shared
+// state: a workload (and therefore its Dest values) may be shared by
+// simulation cells running on different worker goroutines, and every
+// source supplies its own private RNG stream.
+type Dest interface {
+	Pick(r *sim.RNG) noc.NodeID
+}
+
+// DestFunc adapts a plain function to the Dest interface (tests and
+// one-off drivers; the built-in patterns use dedicated value types).
+type DestFunc func(r *sim.RNG) noc.NodeID
+
+// Pick calls the wrapped function.
+func (f DestFunc) Pick(r *sim.RNG) noc.NodeID { return f(r) }
+
+// fixedDest always picks the same node, consuming no randomness.
+type fixedDest noc.NodeID
+
+func (d fixedDest) Pick(*sim.RNG) noc.NodeID { return noc.NodeID(d) }
+
+// FixedDest returns a Dest that always picks d.
+func FixedDest(d noc.NodeID) Dest { return fixedDest(d) }
+
+// uniformDest spreads destinations uniformly over the other nodes of the
+// column, excluding the source's own node — one Intn draw per packet.
+type uniformDest struct {
+	nodes, self int
+}
+
+func (d uniformDest) Pick(r *sim.RNG) noc.NodeID {
+	v := r.Intn(d.nodes - 1)
+	if v >= d.self {
+		v++
+	}
+	return noc.NodeID(v)
+}
+
+// weightedDest draws destinations from a fixed discrete distribution over
+// the column nodes — one Float64 draw per packet, then a linear walk of
+// the cumulative weights (columns are single-digit nodes, so a search
+// structure would cost more than it saves).
+type weightedDest struct {
+	cum []float64 // cumulative weights, one entry per node
+}
+
+func (d *weightedDest) Pick(r *sim.RNG) noc.NodeID {
+	total := d.cum[len(d.cum)-1]
+	x := r.Float64() * total
+	prev := 0.0
+	for i, c := range d.cum {
+		// Skip zero-weight nodes exactly: x can only land in a strictly
+		// widening interval.
+		if x < c && c > prev {
+			return noc.NodeID(i)
+		}
+		prev = c
+	}
+	// Rounding pushed x to the very top of the range; return the last
+	// node carrying weight.
+	for i := len(d.cum) - 1; i > 0; i-- {
+		if d.cum[i] > d.cum[i-1] {
+			return noc.NodeID(i)
+		}
+	}
+	return 0
+}
+
+// Pattern derives, for each source node of a column, the destination
+// picker its injectors use. A Pattern is pure configuration: DestFor is
+// called once per source at workload-construction time and the returned
+// Dest does the per-packet work.
+type Pattern interface {
+	Name() string
+	// DestFor returns the destination picker for sources at node src in a
+	// column of the given node count. It errors when the pattern cannot be
+	// defined for that population (bit-permutation patterns need a
+	// power-of-two node count, weight vectors must match the column).
+	DestFor(src noc.NodeID, nodes int) (Dest, error)
+}
+
+// UniformTraffic spreads each source's packets uniformly over the other
+// column nodes — the benign pattern of Figure 4(a).
+func UniformTraffic() Pattern { return uniformPattern{} }
+
+type uniformPattern struct{}
+
+func (uniformPattern) Name() string { return "uniform" }
+
+func (uniformPattern) DestFor(src noc.NodeID, nodes int) (Dest, error) {
+	return uniformDest{nodes: nodes, self: int(src)}, nil
+}
+
+// TornadoTraffic concentrates each node's traffic on the destination
+// half-way across the dimension ((i + n/2) mod n) — the challenge pattern
+// for rings and meshes of Figure 4(b).
+func TornadoTraffic() Pattern { return tornadoPattern{} }
+
+type tornadoPattern struct{}
+
+func (tornadoPattern) Name() string { return "tornado" }
+
+func (tornadoPattern) DestFor(src noc.NodeID, nodes int) (Dest, error) {
+	return fixedDest((int(src) + nodes/2) % nodes), nil
+}
+
+// HotspotTraffic streams every source at a contended subset of nodes.
+// With nil weights all traffic targets HotspotNode (the classic single
+// hotspot of Table 2); otherwise weights[i] is node i's relative share of
+// the destinations, and zero-weight nodes are never targeted.
+func HotspotTraffic(weights []float64) Pattern { return hotspotPattern{weights: weights} }
+
+type hotspotPattern struct {
+	weights []float64
+}
+
+func (hotspotPattern) Name() string { return "hotspot" }
+
+func (p hotspotPattern) DestFor(src noc.NodeID, nodes int) (Dest, error) {
+	if p.weights == nil {
+		return fixedDest(HotspotNode), nil
+	}
+	if len(p.weights) != nodes {
+		return nil, fmt.Errorf("traffic: hotspot weights cover %d nodes, column has %d", len(p.weights), nodes)
+	}
+	cum := make([]float64, nodes)
+	total := 0.0
+	for i, w := range p.weights {
+		if w < 0 {
+			return nil, fmt.Errorf("traffic: hotspot weight for node %d is negative (%v)", i, w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("traffic: hotspot weights sum to zero")
+	}
+	return &weightedDest{cum: cum}, nil
+}
+
+// The bit-permutation patterns of the synthetic-traffic canon (Dally &
+// Towles §3.2) map each source to one fixed destination by permuting the
+// b = log2(nodes) bits of the node index, so they require a power-of-two
+// column. All four are bijections: every node sends to exactly one node
+// and receives from exactly one node, concentrating load on specific
+// channels instead of spreading it like uniform random.
+
+// TransposeTraffic rotates the node-index bits by b/2 (for even b this is
+// the matrix transpose d_i = s_{(i+b/2) mod b}; odd b uses the floor,
+// the nearest defined analogue).
+func TransposeTraffic() Pattern {
+	return permPattern{name: "transpose", perm: func(s, b int) int {
+		return rotateRight(s, b/2, b)
+	}}
+}
+
+// BitComplementTraffic inverts every node-index bit (d = ~s), pairing
+// each node with its mirror across the column midpoint.
+func BitComplementTraffic() Pattern {
+	return permPattern{name: "bit-complement", perm: func(s, b int) int {
+		return ^s & (1<<b - 1)
+	}}
+}
+
+// BitReversalTraffic reverses the node-index bits (d_i = s_{b-1-i}).
+func BitReversalTraffic() Pattern {
+	return permPattern{name: "bit-reversal", perm: func(s, b int) int {
+		d := 0
+		for i := 0; i < b; i++ {
+			d |= (s >> i & 1) << (b - 1 - i)
+		}
+		return d
+	}}
+}
+
+// ShuffleTraffic rotates the node-index bits left by one (the perfect
+// shuffle d_i = s_{(i-1) mod b}).
+func ShuffleTraffic() Pattern {
+	return permPattern{name: "shuffle", perm: func(s, b int) int {
+		return rotateRight(s, b-1, b)
+	}}
+}
+
+// rotateRight rotates the low b bits of s right by k (d_i = s_{(i+k) mod b}).
+func rotateRight(s, k, b int) int {
+	if b == 0 {
+		return 0
+	}
+	k %= b
+	mask := 1<<b - 1
+	return (s>>k | s<<(b-k)) & mask
+}
+
+type permPattern struct {
+	name string
+	perm func(src, bits int) int
+}
+
+func (p permPattern) Name() string { return p.name }
+
+func (p permPattern) DestFor(src noc.NodeID, nodes int) (Dest, error) {
+	b, ok := log2(nodes)
+	if !ok {
+		return nil, fmt.Errorf("traffic: %s pattern needs a power-of-two node count, got %d", p.name, nodes)
+	}
+	return fixedDest(p.perm(int(src), b)), nil
+}
+
+// log2 returns b with 1<<b == n, reporting whether n is a power of two.
+func log2(n int) (int, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b, true
+}
+
+// patternFactories maps every built-in pattern name to its
+// default-configured constructor.
+var patternFactories = map[string]func() Pattern{
+	"uniform":        UniformTraffic,
+	"tornado":        TornadoTraffic,
+	"transpose":      TransposeTraffic,
+	"bit-complement": BitComplementTraffic,
+	"bit-reversal":   BitReversalTraffic,
+	"shuffle":        ShuffleTraffic,
+	"hotspot":        func() Pattern { return HotspotTraffic(nil) },
+}
+
+// PatternByName resolves a built-in pattern by name (see PatternNames).
+// The hotspot pattern comes back with its default single-hot-node
+// weighting; use HotspotTraffic directly for custom weights.
+func PatternByName(name string) (Pattern, error) {
+	f, ok := patternFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown pattern %q (have %v)", name, PatternNames())
+	}
+	return f(), nil
+}
+
+// PatternNames lists the built-in pattern names in sorted order.
+func PatternNames() []string {
+	names := make([]string, 0, len(patternFactories))
+	for n := range patternFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,344 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/sim"
+)
+
+// permutationPatterns lists the fixed src->dst bijections of the library.
+func permutationPatterns() []Pattern {
+	return []Pattern{
+		TornadoTraffic(),
+		TransposeTraffic(),
+		BitComplementTraffic(),
+		BitReversalTraffic(),
+		ShuffleTraffic(),
+	}
+}
+
+func TestPermutationPatternsAreBijective(t *testing.T) {
+	r := sim.NewRNG(1)
+	for _, p := range permutationPatterns() {
+		for _, nodes := range []int{2, 4, 8, 16, 64} {
+			seen := make(map[noc.NodeID]noc.NodeID, nodes)
+			for src := 0; src < nodes; src++ {
+				d, err := p.DestFor(noc.NodeID(src), nodes)
+				if err != nil {
+					t.Fatalf("%s: DestFor(%d, %d): %v", p.Name(), src, nodes, err)
+				}
+				dst := d.Pick(r)
+				if dst < 0 || int(dst) >= nodes {
+					t.Fatalf("%s: %d nodes, src %d -> dst %d out of range", p.Name(), nodes, src, dst)
+				}
+				if prev, dup := seen[dst]; dup {
+					t.Fatalf("%s: %d nodes, both %d and %d map to %d", p.Name(), nodes, prev, src, dst)
+				}
+				seen[dst] = noc.NodeID(src)
+			}
+			if len(seen) != nodes {
+				t.Fatalf("%s: %d nodes, image has %d members", p.Name(), nodes, len(seen))
+			}
+		}
+	}
+}
+
+func TestPermutationDestsAreStable(t *testing.T) {
+	// A permutation source's destination never varies across packets.
+	r := sim.NewRNG(9)
+	for _, p := range permutationPatterns() {
+		d, err := p.DestFor(5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := d.Pick(r)
+		for i := 0; i < 100; i++ {
+			if got := d.Pick(r); got != first {
+				t.Fatalf("%s: destination drifted %d -> %d", p.Name(), first, got)
+			}
+		}
+	}
+}
+
+func TestBitPatternsOnEightNodes(t *testing.T) {
+	// Pin the concrete 8-node (3-bit) maps so a definition change cannot
+	// slip through the bijectivity test unnoticed.
+	cases := []struct {
+		pattern Pattern
+		want    [8]noc.NodeID
+	}{
+		// transpose: rotate right by 1 (b/2 = 1 for b = 3).
+		{TransposeTraffic(), [8]noc.NodeID{0, 4, 1, 5, 2, 6, 3, 7}},
+		// bit-complement: d = ^s.
+		{BitComplementTraffic(), [8]noc.NodeID{7, 6, 5, 4, 3, 2, 1, 0}},
+		// bit-reversal: d2d1d0 = s0s1s2.
+		{BitReversalTraffic(), [8]noc.NodeID{0, 4, 2, 6, 1, 5, 3, 7}},
+		// shuffle: rotate left by 1.
+		{ShuffleTraffic(), [8]noc.NodeID{0, 2, 4, 6, 1, 3, 5, 7}},
+	}
+	r := sim.NewRNG(1)
+	for _, c := range cases {
+		for src := 0; src < 8; src++ {
+			d, err := c.pattern.DestFor(noc.NodeID(src), 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Pick(r); got != c.want[src] {
+				t.Errorf("%s: src %d -> %d, want %d", c.pattern.Name(), src, got, c.want[src])
+			}
+		}
+	}
+}
+
+func TestBitPatternsRejectNonPowerOfTwo(t *testing.T) {
+	for _, p := range []Pattern{TransposeTraffic(), BitComplementTraffic(), BitReversalTraffic(), ShuffleTraffic()} {
+		for _, nodes := range []int{3, 6, 12} {
+			if _, err := p.DestFor(0, nodes); err == nil {
+				t.Errorf("%s accepted %d nodes", p.Name(), nodes)
+			}
+		}
+	}
+}
+
+// chiSquare computes sum((obs-exp)^2/exp) over the bins with expected
+// mass; it fails the test when a bin with zero expectation is hit.
+func chiSquare(t *testing.T, obs []int, exp []float64) float64 {
+	t.Helper()
+	x2 := 0.0
+	for i := range obs {
+		if exp[i] == 0 {
+			if obs[i] != 0 {
+				t.Fatalf("bin %d: %d observations with zero expected mass", i, obs[i])
+			}
+			continue
+		}
+		d := float64(obs[i]) - exp[i]
+		x2 += d * d / exp[i]
+	}
+	return x2
+}
+
+func TestUniformDestinationChiSquare(t *testing.T) {
+	const nodes, draws = 8, 140_000
+	d, err := UniformTraffic().DestFor(3, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(12345)
+	obs := make([]int, nodes)
+	for i := 0; i < draws; i++ {
+		obs[d.Pick(r)]++
+	}
+	exp := make([]float64, nodes)
+	for i := range exp {
+		if i != 3 {
+			exp[i] = float64(draws) / (nodes - 1)
+		}
+	}
+	// 7 occupied bins -> 6 degrees of freedom; chi2(0.999, 6) = 22.46.
+	// The RNG is seeded, so this is a regression pin, not a flaky gate.
+	if x2 := chiSquare(t, obs, exp); x2 > 22.46 {
+		t.Errorf("uniform chi-square %.2f exceeds 22.46 (df 6, p=0.001)", x2)
+	}
+	if obs[3] != 0 {
+		t.Error("uniform pattern drew the source's own node")
+	}
+}
+
+func TestWeightedHotspotDistribution(t *testing.T) {
+	const nodes, draws = 8, 200_000
+	weights := []float64{8, 0, 2, 1, 1, 0, 0, 4}
+	d, err := HotspotTraffic(weights).DestFor(6, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(777)
+	obs := make([]int, nodes)
+	for i := 0; i < draws; i++ {
+		obs[d.Pick(r)]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	exp := make([]float64, nodes)
+	for i, w := range weights {
+		exp[i] = float64(draws) * w / total
+	}
+	// 5 occupied bins -> 4 degrees of freedom; chi2(0.999, 4) = 18.47.
+	if x2 := chiSquare(t, obs, exp); x2 > 18.47 {
+		t.Errorf("weighted hotspot chi-square %.2f exceeds 18.47 (df 4, p=0.001)", x2)
+	}
+}
+
+func TestHotspotDefaultTargetsNodeZero(t *testing.T) {
+	d, err := HotspotTraffic(nil).DestFor(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		if got := d.Pick(r); got != HotspotNode {
+			t.Fatalf("default hotspot picked %d", got)
+		}
+	}
+}
+
+func TestHotspotWeightValidation(t *testing.T) {
+	cases := map[string][]float64{
+		"wrong length":    {1, 2, 3},
+		"negative weight": {1, 1, 1, 1, -1, 1, 1, 1},
+		"all zero":        {0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, w := range cases {
+		if _, err := HotspotTraffic(w).DestFor(0, 8); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	for _, name := range PatternNames() {
+		p, err := PatternByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("pattern %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := PatternByName("nearest-neighbor"); err == nil {
+		t.Error("unknown pattern name accepted")
+	}
+}
+
+func TestSyntheticMatchesLegacyConstructors(t *testing.T) {
+	legacy := UniformRandom(8, 0.1)
+	built, err := Synthetic(UniformTraffic(), 8, 0.1, Burst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Name != legacy.Name || built.Nodes != legacy.Nodes || len(built.Specs) != len(legacy.Specs) {
+		t.Fatalf("Synthetic shape (%s, %d, %d) != legacy (%s, %d, %d)",
+			built.Name, built.Nodes, len(built.Specs), legacy.Name, legacy.Nodes, len(legacy.Specs))
+	}
+	for i := range built.Specs {
+		b, l := built.Specs[i], legacy.Specs[i]
+		if b.Flow != l.Flow || b.Node != l.Node || b.Rate != l.Rate || b.RequestFraction != l.RequestFraction {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, b, l)
+		}
+	}
+}
+
+func TestBurstMeanRatePinned(t *testing.T) {
+	// The sampler's long-run arrival rate must equal the spec's modeled
+	// packet rate (Rate / mean packet size) regardless of burst shape.
+	for _, c := range []struct {
+		b Burst
+		// tol scales with the burst's window variance: rare long OFF
+		// windows dominate the gap total, so fewer effective samples.
+		tol float64
+	}{
+		{Burst{}, 0.02},                              // smooth
+		{Burst{MeanOn: 50, MeanOff: 150}, 0.02},      // 25% duty
+		{Burst{MeanOn: 400, MeanOff: 100}, 0.02},     // long bursts
+		{Burst{MeanOn: 2, MeanOff: 2}, 0.02},         // churning windows
+		{Burst{MeanOn: 1000, MeanOff: 10_000}, 0.06}, // rare intense bursts
+	} {
+		b := c.b
+		spec := Spec{Rate: 0.08, RequestFraction: DefaultRequestFraction, Dest: FixedDest(0), Burst: b}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("burst %+v: %v", b, err)
+		}
+		r := sim.NewRNG(4242)
+		a := spec.NewArrivalSampler(r)
+		const arrivals = 300_000
+		total := int64(0)
+		for i := 0; i < arrivals; i++ {
+			total += int64(a.NextGap(r))
+		}
+		wantGap := spec.MeanFlitsPerPacket() / spec.Rate // 31.25 cycles
+		gotGap := float64(total) / arrivals
+		if math.Abs(gotGap-wantGap)/wantGap > c.tol {
+			t.Errorf("burst %+v: mean gap %.2f cycles, want %.2f +-%.0f%%", b, gotGap, wantGap, c.tol*100)
+		}
+	}
+}
+
+func TestBurstPeakProbability(t *testing.T) {
+	spec := Spec{Rate: 0.1, RequestFraction: DefaultRequestFraction,
+		Dest: FixedDest(0), Burst: Burst{MeanOn: 100, MeanOff: 300}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := spec.NewArrivalSampler(sim.NewRNG(1))
+	// rate 0.1 over mean size 2.5 = 0.04 packets/cycle; duty 0.25 -> ON
+	// probability 0.16.
+	if got := a.PeakProb(); math.Abs(got-0.16) > 1e-12 {
+		t.Errorf("peak probability %v, want 0.16", got)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	base := Spec{Rate: 0.9, RequestFraction: 1.0, Dest: FixedDest(0)}
+	// Peak demand 0.9 packets/cycle / 0.25 duty = 3.6 > 1.
+	over := base
+	over.Burst = Burst{MeanOn: 100, MeanOff: 300}
+	if err := over.Validate(); err == nil {
+		t.Error("burst peak demand above 1 packet/cycle accepted")
+	}
+	// Sub-cycle window means are meaningless for a discrete process.
+	tiny := base
+	tiny.Rate = 0.01
+	tiny.Burst = Burst{MeanOn: 0.5, MeanOff: 10}
+	if err := tiny.Validate(); err == nil {
+		t.Error("sub-cycle ON window accepted")
+	}
+	ok := base
+	ok.Rate = 0.1
+	ok.Burst = Burst{MeanOn: 200, MeanOff: 200}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid burst rejected: %v", err)
+	}
+}
+
+func TestBurstWalkIsBoundedForTinyRates(t *testing.T) {
+	// A valid but absurdly small rate draws astronomically long gaps;
+	// the window walk must cap instead of spinning for billions of
+	// iterations. The arrival still lands far beyond any simulable
+	// horizon, so the truncation is unobservable.
+	spec := Spec{Rate: 1e-9, RequestFraction: DefaultRequestFraction,
+		Dest: FixedDest(0), Burst: Burst{MeanOn: 1, MeanOff: 1}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(5)
+	a := spec.NewArrivalSampler(r)
+	done := make(chan sim.Cycle, 1)
+	go func() { done <- a.NextGap(r) }()
+	select {
+	case gap := <-done:
+		if gap < maxWalkWindows {
+			t.Errorf("tiny-rate gap %d implausibly small", gap)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("NextGap did not return; window walk is unbounded")
+	}
+}
+
+func TestSmoothSamplerMatchesPlainGeometric(t *testing.T) {
+	// A smooth spec's sampler must consume the RNG exactly like the
+	// historical direct Geometric draws — seeds reproduce old runs.
+	spec := Spec{Rate: 0.12, RequestFraction: DefaultRequestFraction, Dest: FixedDest(0)}
+	p := spec.Rate / spec.MeanFlitsPerPacket()
+	r1, r2 := sim.NewRNG(99), sim.NewRNG(99)
+	a := spec.NewArrivalSampler(r1)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.NextGap(r1), sim.Cycle(r2.Geometric(p)); got != want {
+			t.Fatalf("draw %d: sampler gap %d != direct geometric %d", i, got, want)
+		}
+	}
+}

@@ -1,8 +1,12 @@
-// Package traffic builds the synthetic workloads of the paper's
-// evaluation (Section 4): uniform random and tornado load-latency sweeps,
-// the hotspot fairness pattern of Table 2, and the two adversarial
-// preemption workloads of Section 5.3. A workload is a set of injector
-// specifications the network engine samples every cycle.
+// Package traffic builds synthetic workloads: the paper's evaluation
+// patterns (uniform random and tornado load-latency sweeps, the hotspot
+// fairness pattern of Table 2, the two adversarial preemption workloads
+// of Section 5.3) plus the wider synthetic canon — bit-permutation
+// patterns (transpose, bit-complement, bit-reversal, shuffle), weighted
+// hotspots, and MMPP-style bursty on/off injection (see pattern.go and
+// arrival.go). A workload is a set of injector specifications; the
+// network engine samples each injector's arrivals by inter-arrival time
+// and delegates destination selection to its Dest pattern.
 //
 // Injector numbering: each of the eight column nodes hosts
 // topology.InjectorsPerNode = 8 injectors — index 0 is the shared-resource
@@ -20,24 +24,52 @@ import (
 	"tanoq/internal/topology"
 )
 
-// DestFn picks the destination node of a freshly generated packet.
-type DestFn func(r *sim.RNG) noc.NodeID
-
 // Spec describes one traffic injector.
 type Spec struct {
 	Flow noc.FlowID
 	Node noc.NodeID
-	// Rate is the offered load in flits per cycle (0.12 = 12 %).
+	// Rate is the offered load in flits per cycle (0.12 = 12 %). Bursty
+	// specs keep Rate as the long-run mean; see Burst.
 	Rate float64
 	// RequestFraction is the probability a generated packet is a 1-flit
 	// request; the remainder are 4-flit replies. The paper's stochastic
 	// 1-and-4-flit mix uses 0.5.
 	RequestFraction float64
-	// Dest picks each packet's destination.
-	Dest DestFn
+	// Dest picks each packet's destination (see the Dest interface and
+	// the Pattern library in pattern.go).
+	Dest Dest
+	// Burst, when enabled, gates injection with MMPP-style on/off
+	// windows (see Burst); the zero value injects smoothly.
+	Burst Burst
 	// StopAt, when positive, halts generation at that cycle (used by
 	// the finite run-to-drain workloads of Figure 6).
 	StopAt sim.Cycle
+}
+
+// Validate checks a spec's parameters: rates and fractions must be
+// probabilities, an active injector needs a destination picker, and a
+// bursty spec's peak (ON-window) demand may not exceed one packet per
+// cycle — the injection process it models has one trial per cycle.
+func (s Spec) Validate() error {
+	if s.Rate < 0 || s.Rate > 1 {
+		return fmt.Errorf("traffic: injector flow %d rate %v outside [0,1]", s.Flow, s.Rate)
+	}
+	if s.RequestFraction < 0 || s.RequestFraction > 1 {
+		return fmt.Errorf("traffic: injector flow %d request fraction %v outside [0,1]", s.Flow, s.RequestFraction)
+	}
+	if s.Rate > 0 && s.Dest == nil {
+		return fmt.Errorf("traffic: injector flow %d has no destination picker", s.Flow)
+	}
+	if err := s.Burst.Validate(); err != nil {
+		return fmt.Errorf("injector flow %d: %w", s.Flow, err)
+	}
+	if s.Burst.Enabled() && s.Rate > 0 {
+		if peak := s.Rate / s.MeanFlitsPerPacket() / s.Burst.Duty(); peak > 1 {
+			return fmt.Errorf("traffic: injector flow %d burst peak demand %.3f packets/cycle exceeds 1 (rate %v over duty %.3f)",
+				s.Flow, peak, s.Rate, s.Burst.Duty())
+		}
+	}
+	return nil
 }
 
 // DefaultRequestFraction is the paper's packet mix: an equal stochastic
@@ -71,59 +103,54 @@ func NodeOfFlow(f noc.FlowID) noc.NodeID {
 	return noc.NodeID(int(f) / topology.InjectorsPerNode)
 }
 
-// UniformRandom activates every injector at the given per-injector rate,
-// spreading destinations uniformly over the other column nodes — the
-// benign pattern of Figure 4(a).
-func UniformRandom(nodes int, rate float64) Workload {
-	w := Workload{Name: fmt.Sprintf("uniform-%.3f", rate), Nodes: nodes}
+// Synthetic activates every injector of an nodes-node column at the given
+// per-injector rate under the pattern, with optional burst modulation.
+// Specs are appended node-major in flow order, the canonical workload
+// layout every constructor in this package follows.
+func Synthetic(p Pattern, nodes int, rate float64, burst Burst) (Workload, error) {
+	w := Workload{Name: fmt.Sprintf("%s-%.3f", p.Name(), rate), Nodes: nodes}
 	for n := 0; n < nodes; n++ {
 		node := noc.NodeID(n)
+		dest, err := p.DestFor(node, nodes)
+		if err != nil {
+			return Workload{}, err
+		}
 		for i := 0; i < topology.InjectorsPerNode; i++ {
 			w.Specs = append(w.Specs, Spec{
 				Flow:            FlowOf(node, i),
 				Node:            node,
 				Rate:            rate,
 				RequestFraction: DefaultRequestFraction,
-				Dest:            uniformExcluding(nodes, n),
+				Dest:            dest,
+				Burst:           burst,
 			})
 		}
+	}
+	return w, nil
+}
+
+// mustSynthetic backs the legacy constructors, whose patterns are defined
+// for every node count.
+func mustSynthetic(p Pattern, nodes int, rate float64) Workload {
+	w, err := Synthetic(p, nodes, rate, Burst{})
+	if err != nil {
+		panic(err)
 	}
 	return w
 }
 
-func uniformExcluding(nodes, self int) DestFn {
-	return func(r *sim.RNG) noc.NodeID {
-		d := r.Intn(nodes - 1)
-		if d >= self {
-			d++
-		}
-		return noc.NodeID(d)
-	}
+// UniformRandom activates every injector at the given per-injector rate,
+// spreading destinations uniformly over the other column nodes — the
+// benign pattern of Figure 4(a).
+func UniformRandom(nodes int, rate float64) Workload {
+	return mustSynthetic(UniformTraffic(), nodes, rate)
 }
 
 // Tornado concentrates each node's traffic on the destination half-way
 // across the dimension ((i + n/2) mod n) — the challenge pattern for rings
 // and meshes of Figure 4(b).
 func Tornado(nodes int, rate float64) Workload {
-	w := Workload{Name: fmt.Sprintf("tornado-%.3f", rate), Nodes: nodes}
-	for n := 0; n < nodes; n++ {
-		node := noc.NodeID(n)
-		dst := noc.NodeID((n + nodes/2) % nodes)
-		for i := 0; i < topology.InjectorsPerNode; i++ {
-			w.Specs = append(w.Specs, Spec{
-				Flow:            FlowOf(node, i),
-				Node:            node,
-				Rate:            rate,
-				RequestFraction: DefaultRequestFraction,
-				Dest:            fixedDest(dst),
-			})
-		}
-	}
-	return w
-}
-
-func fixedDest(d noc.NodeID) DestFn {
-	return func(*sim.RNG) noc.NodeID { return d }
+	return mustSynthetic(TornadoTraffic(), nodes, rate)
 }
 
 // HotspotNode is where the contended shared resource (e.g. the busiest
@@ -135,20 +162,7 @@ const HotspotNode noc.NodeID = 0
 // PVC paper that Table 2 reproduces. Without QoS, sources close to the
 // hotspot capture the bandwidth and distant ones starve.
 func Hotspot(nodes int, rate float64) Workload {
-	w := Workload{Name: fmt.Sprintf("hotspot-%.3f", rate), Nodes: nodes}
-	for n := 0; n < nodes; n++ {
-		node := noc.NodeID(n)
-		for i := 0; i < topology.InjectorsPerNode; i++ {
-			w.Specs = append(w.Specs, Spec{
-				Flow:            FlowOf(node, i),
-				Node:            node,
-				Rate:            rate,
-				RequestFraction: DefaultRequestFraction,
-				Dest:            fixedDest(HotspotNode),
-			})
-		}
-	}
-	return w
+	return mustSynthetic(HotspotTraffic(nil), nodes, rate)
 }
 
 // Workload1Rates are the widely different injection rates (5–20 %,

@@ -52,7 +52,7 @@ func TestUniformRandomExcludesSelf(t *testing.T) {
 	r := sim.NewRNG(1)
 	for _, s := range w.Specs {
 		for i := 0; i < 200; i++ {
-			d := s.Dest(r)
+			d := s.Dest.Pick(r)
 			if d == s.Node {
 				t.Fatalf("injector at node %d generated self-destined packet", s.Node)
 			}
@@ -70,7 +70,7 @@ func TestUniformRandomCoversAllDests(t *testing.T) {
 	s := w.Specs[0] // node 0 terminal
 	const draws = 70000
 	for i := 0; i < draws; i++ {
-		counts[s.Dest(r)]++
+		counts[s.Dest.Pick(r)]++
 	}
 	if counts[0] != 0 {
 		t.Fatal("self-destination drawn")
@@ -88,13 +88,13 @@ func TestTornadoPattern(t *testing.T) {
 	r := sim.NewRNG(1)
 	for _, s := range w.Specs {
 		want := noc.NodeID((int(s.Node) + 4) % 8)
-		if got := s.Dest(r); got != want {
+		if got := s.Dest.Pick(r); got != want {
 			t.Errorf("tornado from node %d goes to %d, want %d", s.Node, got, want)
 		}
 	}
 	// Tornado distance is the half-dimension everywhere.
 	for _, s := range w.Specs {
-		if d := topology.Distance(s.Node, s.Dest(r)); d != 4 {
+		if d := topology.Distance(s.Node, s.Dest.Pick(r)); d != 4 {
 			t.Errorf("tornado distance %d, want 4", d)
 		}
 	}
@@ -107,7 +107,7 @@ func TestHotspotAllToNodeZero(t *testing.T) {
 	}
 	r := sim.NewRNG(1)
 	for _, s := range w.Specs {
-		if s.Dest(r) != HotspotNode {
+		if s.Dest.Pick(r) != HotspotNode {
 			t.Fatal("hotspot packet not destined for node 0")
 		}
 	}
