@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,11 +23,17 @@ import (
 // grid (sequential vs parallel, idle skipping on vs off), and the
 // low-load cells where the event-driven engine's O(work) behaviour shows.
 type benchReport struct {
-	Date          string      `json:"date"`
-	GoVersion     string      `json:"go_version"`
-	GOMAXPROCS    int         `json:"gomaxprocs"`
-	Seed          uint64      `json:"seed"`
-	Note          string      `json:"note,omitempty"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Seed       uint64 `json:"seed"`
+	Note       string `json:"note,omitempty"`
+	// Provenance of the measurement, so baselines recorded on different
+	// machines or revisions are never compared blind: the commit the
+	// binary was built from, the measuring host, and its CPU model.
+	GitHead       string      `json:"git_head,omitempty"`
+	Hostname      string      `json:"hostname,omitempty"`
+	CPUModel      string      `json:"cpu_model,omitempty"`
 	EngineStep    []stepBench `json:"engine_step"`
 	QuickFig4Grid []gridBench `json:"quick_fig4_grid"`
 	LowLoadCells  []cellBench `json:"low_load_cells"`
@@ -37,13 +45,22 @@ type benchReport struct {
 	IdleHorizon []cellBench `json:"idle_horizon"`
 }
 
-// stepBench is the per-topology cost of one tick-driven Step at steady
-// state (the engine's inner loop, with idle skipping out of the picture).
+// stepBench is the per-topology cost of one tick-driven Step (the
+// engine's inner loop, with idle skipping out of the picture), measured
+// at two operating points: steady state below saturation, and a
+// near-saturation rate where arbitration dominates (deep candidate
+// lists, inversion checks every cycle, preemptions under PVC).
 type stepBench struct {
-	Topology      string  `json:"topology"`
-	Rate          float64 `json:"rate"`
-	NsPerCycle    float64 `json:"ns_per_cycle"`
+	Topology   string  `json:"topology"`
+	Rate       float64 `json:"rate"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// AllocsPerStep must be exactly zero at the sub-saturation point
+	// (the regression gate fails otherwise). Saturated marks the
+	// arbitration-heavy point, where source backlog grows by design and
+	// the amortized container growth it causes is offered load, not an
+	// engine leak — the alloc gate skips those entries.
 	AllocsPerStep float64 `json:"allocs_per_step"`
+	Saturated     bool    `json:"saturated,omitempty"`
 }
 
 // gridBench is one full quick-Figure-4-grid regeneration.
@@ -68,7 +85,7 @@ type benchOpts struct {
 	outPath string
 	note    string
 	// baseline, when set, names a committed BENCH_*.json to compare the
-	// fresh engine-step measurements against; a per-topology ns/cycle
+	// fresh engine-step measurements against; a per-point ns/cycle
 	// regression beyond maxRegress (fractional) fails the run, as does
 	// any steady-state allocation. This is CI's perf gate.
 	baseline   string
@@ -76,12 +93,29 @@ type benchOpts struct {
 	// engineOnly skips the wall-clock grid sections, leaving just the
 	// per-topology engine step cost the baseline comparison reads.
 	engineOnly bool
+	// cpuProfile/memProfile, when set, write runtime/pprof profiles of
+	// the benchmark run, so perf work can be profiled with the shipped
+	// tool instead of a patched one. The CPU profile covers the whole
+	// run; the heap profile is written at the end.
+	cpuProfile string
+	memProfile string
 }
 
 // runBench measures and writes the report. Wall-clock samples are
 // best-of-three to shave scheduler noise; simulation results themselves
 // are deterministic so repetition only stabilizes timing.
 func runBench(p experiments.Params, o benchOpts) error {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("bench -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("bench -cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	outPath := o.outPath
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
@@ -92,11 +126,15 @@ func runBench(p experiments.Params, o benchOpts) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       p.Seed,
 		Note:       o.note,
+		GitHead:    gitHead(),
+		Hostname:   hostname(),
+		CPUModel:   cpuModel(),
 	}
 
-	fmt.Println("bench: engine Step cost per topology (steady state, uniform 4%)")
+	fmt.Println("bench: engine Step cost per topology (steady state + near-saturation)")
 	for _, kind := range topology.Kinds() {
-		rep.EngineStep = append(rep.EngineStep, benchStep(kind, p.Seed))
+		rep.EngineStep = append(rep.EngineStep, benchStep(kind, steadyRate, false, p.Seed))
+		rep.EngineStep = append(rep.EngineStep, benchStep(kind, saturationRate(kind), true, p.Seed))
 	}
 
 	if !o.engineOnly {
@@ -140,6 +178,17 @@ func runBench(p experiments.Params, o benchOpts) error {
 		return err
 	}
 	fmt.Printf("bench: wrote %s\n", outPath)
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return fmt.Errorf("bench -memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("bench -memprofile: %w", err)
+		}
+	}
 	for _, c := range rep.LowLoadCells {
 		fmt.Printf("  low-load %-8s rate %.2f: skip %.2fms  tick %.2fms  (%.2fx)\n",
 			c.Topology, c.Rate, c.SkipWallMs, c.TickWallMs, c.TickOverSkip)
@@ -154,11 +203,15 @@ func runBench(p experiments.Params, o benchOpts) error {
 	return nil
 }
 
-// compareBaseline fails when any topology's steady-state engine cost
-// regressed more than maxRegress (fractional) against the committed
-// baseline's ns/cycle, or when the fresh run allocated on the hot path.
-// Topologies present in only one report are reported but tolerated, so
-// adding a topology does not wedge CI.
+// stepKey identifies one engine_step operating point across reports.
+func stepKey(s stepBench) string { return fmt.Sprintf("%s@%.2f", s.Topology, s.Rate) }
+
+// compareBaseline fails when any engine_step point regressed more than
+// maxRegress (fractional) against the committed baseline's ns/cycle, or
+// when the fresh run allocated at a sub-saturation point (the engine
+// must be exactly allocation-free there; saturated points legitimately
+// grow backlog). Points present in only one report are reported but
+// tolerated, so adding a topology or rate does not wedge CI.
 func compareBaseline(rep benchReport, baselinePath string, maxRegress float64) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -170,27 +223,30 @@ func compareBaseline(rep benchReport, baselinePath string, maxRegress float64) e
 	}
 	baseNs := map[string]float64{}
 	for _, s := range base.EngineStep {
-		baseNs[s.Topology] = s.NsPerCycle
+		baseNs[stepKey(s)] = s.NsPerCycle
 	}
 	fmt.Printf("bench: comparing engine ns/cycle against %s (max regression %.0f%%)\n",
 		baselinePath, maxRegress*100)
+	if base.CPUModel != "" && base.CPUModel != rep.CPUModel {
+		fmt.Printf("bench: WARNING baseline CPU %q differs from this host's %q\n", base.CPUModel, rep.CPUModel)
+	}
 	var failures []string
 	for _, s := range rep.EngineStep {
-		if s.AllocsPerStep > 0.01 {
-			failures = append(failures, fmt.Sprintf("%s allocates %.3f/step at steady state (want 0)",
-				s.Topology, s.AllocsPerStep))
+		if !s.Saturated && s.AllocsPerStep != 0 {
+			failures = append(failures, fmt.Sprintf("%s allocates %v/step at steady state (want exactly 0)",
+				stepKey(s), s.AllocsPerStep))
 		}
-		old, ok := baseNs[s.Topology]
+		old, ok := baseNs[stepKey(s)]
 		if !ok || old <= 0 {
-			fmt.Printf("  %-9s %8.1f ns/cycle (no baseline entry)\n", s.Topology, s.NsPerCycle)
+			fmt.Printf("  %-14s %8.1f ns/cycle (no baseline entry)\n", stepKey(s), s.NsPerCycle)
 			continue
 		}
 		delta := (s.NsPerCycle - old) / old
-		fmt.Printf("  %-9s %8.1f ns/cycle vs %8.1f baseline (%+.1f%%)\n",
-			s.Topology, s.NsPerCycle, old, delta*100)
+		fmt.Printf("  %-14s %8.1f ns/cycle vs %8.1f baseline (%+.1f%%)\n",
+			stepKey(s), s.NsPerCycle, old, delta*100)
 		if delta > maxRegress {
 			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f ns/cycle)",
-				s.Topology, delta*100, old, s.NsPerCycle))
+				stepKey(s), delta*100, old, s.NsPerCycle))
 		}
 	}
 	if len(failures) > 0 {
@@ -200,34 +256,110 @@ func compareBaseline(rep benchReport, baselinePath string, maxRegress float64) e
 	return nil
 }
 
-// benchStep times the raw tick path: a steady-state network advanced one
-// Step at a time, with allocations counted across the timed window.
-func benchStep(kind topology.Kind, seed uint64) stepBench {
-	const rate, warm, steps = 0.04, 30_000, 100_000
+// steadyRate is the sub-saturation engine_step operating point: every
+// topology digests it with bounded queues, so the allocation gate
+// applies.
+const steadyRate = 0.04
+
+// saturationRate returns the per-topology arbitration-heavy operating
+// point: offered load at or just past the topology's uniform-random
+// saturation knee (Figure 4(a)), where candidate lists run deep,
+// inversion checks fire every cycle and PVC preemptions appear. The
+// baseline mesh saturates earliest; replicated meshes and the
+// express-channel topologies hold out longer.
+func saturationRate(kind topology.Kind) float64 {
+	switch kind {
+	case topology.MeshX1:
+		return 0.10
+	case topology.MeshX2:
+		return 0.14
+	default:
+		return 0.16
+	}
+}
+
+// benchStep times the raw tick path: a warmed network advanced one Step
+// at a time, with allocations counted across the timed window. Like the
+// wall-clock sections, the measurement is best-of-three — the simulated
+// work is deterministic (every repetition resets the engine to the same
+// seed), so repetition only shaves scheduler and cache noise off the
+// committed baseline and CI comparisons.
+func benchStep(kind topology.Kind, rate float64, saturated bool, seed uint64) stepBench {
+	const warm, steps, reps = 30_000, 100_000, 3
 	w := traffic.UniformRandom(topology.ColumnNodes, rate)
-	n := network.MustNew(network.Config{
+	cfg := network.Config{
 		Kind:     kind,
 		QoS:      qos.DefaultConfig(w.TotalFlows()),
 		Workload: w,
 		Seed:     seed,
 		// The tick path is what is being timed; skipping lives in Run.
 		DisableIdleSkip: true,
-	})
-	n.Run(warm)
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < steps; i++ {
-		n.Step()
 	}
-	wall := time.Since(start)
-	runtime.ReadMemStats(&after)
-	return stepBench{
-		Topology:      kind.String(),
-		Rate:          rate,
-		NsPerCycle:    float64(wall.Nanoseconds()) / steps,
-		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / steps,
+	n := network.MustNew(cfg)
+	best := stepBench{Topology: kind.String(), Rate: rate, Saturated: saturated}
+	for rep := 0; rep < reps; rep++ {
+		if rep > 0 {
+			if err := n.Reset(cfg); err != nil {
+				panic(err)
+			}
+		}
+		n.Run(warm)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			n.Step()
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(wall.Nanoseconds()) / steps
+		if rep == 0 || ns < best.NsPerCycle {
+			best.NsPerCycle = ns
+		}
+		// The simulation is deterministic, but only the first repetition
+		// grows fresh containers; steady-state allocation behaviour is
+		// what the gate guards, so keep the quietest repetition's count
+		// (any later rep re-runs on pre-grown backing arrays, exactly
+		// like a long-lived engine).
+		allocs := float64(after.Mallocs-before.Mallocs) / steps
+		if rep == 0 || allocs < best.AllocsPerStep {
+			best.AllocsPerStep = allocs
+		}
 	}
+	return best
+}
+
+// gitHead returns the commit the working tree is at, or "" outside a
+// repository (provenance only — never fails the run).
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// hostname names the measuring machine.
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return ""
+	}
+	return h
+}
+
+// cpuModel reads the CPU model from /proc/cpuinfo (Linux; "" elsewhere).
+func cpuModel() string {
+	blob, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // benchCell times one warmup+measure quick cell with skipping on and off.

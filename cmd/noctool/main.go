@@ -50,6 +50,10 @@
 //	-engine-only  bench only: measure just the per-topology engine step
 //	           cost (the section -baseline compares), skipping the
 //	           wall-clock grids
+//	-cpuprofile  bench only: write a runtime/pprof CPU profile of the
+//	           benchmark run to the given file
+//	-memprofile  bench only: write a heap profile at the end of the run
+//	           to the given file
 package main
 
 import (
@@ -75,6 +79,8 @@ func main() {
 	baseline := flag.String("baseline", "", "bench: BENCH_*.json baseline to compare engine ns/cycle against")
 	maxRegress := flag.Float64("maxregress", 0.25, "bench: tolerated fractional ns/cycle regression vs -baseline")
 	engineOnly := flag.Bool("engine-only", false, "bench: measure only the per-topology engine step cost")
+	cpuProfile := flag.String("cpuprofile", "", "bench: write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "bench: write a heap profile at the end of the run to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -109,6 +115,7 @@ func main() {
 			err = runBench(p, benchOpts{
 				outPath: *out, note: *note,
 				baseline: *baseline, maxRegress: *maxRegress, engineOnly: *engineOnly,
+				cpuProfile: *cpuProfile, memProfile: *memProfile,
 			})
 		case "sweep":
 			if i+1 >= len(args) {

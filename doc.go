@@ -31,9 +31,11 @@
 //     (internal/experiments, cmd/noctool),
 //   - a parallel experiment runner (internal/runner) that fans the
 //     independent simulation cells of each evaluation grid out across a
-//     worker pool. Determinism survives parallelization: every cell owns
-//     its seeded RNG, results return in input order, and experiment
-//     output is bit-identical for every worker count (noctool -parallel).
+//     worker pool, with one reusable simulation engine per worker slot
+//     (network.Reset re-targets it per cell). Determinism survives both
+//     parallelization and reuse: every cell owns its seeded RNG, results
+//     return in input order, and experiment output is bit-identical for
+//     every worker count and to fresh per-cell builds (noctool -parallel).
 //
 // The engine is hybrid tick/event-driven, O(work) instead of O(cycles x
 // machine size): injection is sampled by geometric inter-arrival gaps
@@ -45,11 +47,24 @@
 // provably idle windows to the next event, arrival, injection-VC free or
 // PVC frame boundary. Skipping is mechanical: with it disabled the
 // engine ticks through every cycle and produces bit-identical results
-// (asserted across all topologies and QoS modes). The hot path is also
-// allocation-free at steady state: delivered packets are recycled
-// through a free list and arbitration uses reusable scratch buffers —
-// `noctool bench` writes a BENCH_<date>.json snapshot tracking all of
-// this PR over PR.
+// (asserted across all topologies and QoS modes).
+//
+// The engine core is data-oriented (see internal/network's package doc
+// for the full design): packets live in a flat arena addressed by 32-bit
+// generation-guarded handles rather than behind pointers, router state is
+// struct-of-arrays (value-slice ports/buffers/sources; per-buffer VC
+// state as parallel arrays with a free-VC occupancy bitmap), PVC
+// priorities are cached per port in flat per-flow arrays maintained
+// eagerly on bandwidth recording and frame flush, and events are 40-byte
+// pointer-free records. Every hot container is invisible to the garbage
+// collector, steady-state operation allocates exactly nothing (packet
+// slots recycle through a free stack; containers are pre-sized to their
+// working set), and the layout is mechanical — results are bit-identical
+// to the historical pointer-based engine. `noctool bench` writes a
+// BENCH_<date>.json snapshot (engine step cost at steady and
+// near-saturation operating points, wall-clock grids, host/commit
+// provenance) tracking all of this PR over PR, and `noctool bench
+// -cpuprofile/-memprofile` profiles it in place.
 //
 // The root package exists to host repository-level benchmarks
 // (bench_test.go); the programmable surface lives in the internal packages

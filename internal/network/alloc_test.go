@@ -9,13 +9,18 @@ import (
 )
 
 // TestStepAllocationFreeAtSteadyState pins the engine's allocation
-// behaviour: once the packet free list, event heap, arbitration scratch
-// buffers and source queues have grown to their working set, Step must not
-// allocate. The warmup run is long enough for the first ACKed packets to
-// seed the free list and for every amortized buffer to reach capacity;
-// the load sits below every topology's saturation point so source queues
-// stay bounded (an oversaturated queue grows forever by definition, which
-// is offered load, not an engine leak).
+// behaviour: at steady state Step must allocate exactly nothing — not
+// "almost nothing". The historical residual (~0.0015 allocs/step in the
+// pre-arena engine) was amortized append-doubling: stochastic depth
+// spikes pushing a source queue, an event bucket or a port's candidate
+// list past its previous high-water mark, a trickle that never fully
+// decayed. The arena engine pre-sizes every reusable container to its
+// sub-saturation working set (arenaCap/waitersCap/srcQueueCap/bucketCap
+// in arena.go and events.go), so spikes land in existing capacity and
+// the steady-state allocation count is exactly zero; the load here sits
+// below every topology's saturation point, because an oversaturated
+// queue grows without bound by definition (offered load, not an engine
+// leak).
 func TestStepAllocationFreeAtSteadyState(t *testing.T) {
 	for _, kind := range topology.Kinds() {
 		t.Run(kind.String(), func(t *testing.T) {
@@ -27,8 +32,8 @@ func TestStepAllocationFreeAtSteadyState(t *testing.T) {
 				Seed:     3,
 			})
 			n.Run(30_000)
-			if avg := testing.AllocsPerRun(5_000, n.Step); avg > 0.01 {
-				t.Errorf("%v: %.3f allocs per Step at steady state, want 0", kind, avg)
+			if avg := testing.AllocsPerRun(5_000, n.Step); avg != 0 {
+				t.Errorf("%v: %v allocs per Step at steady state, want exactly 0", kind, avg)
 			}
 		})
 	}
@@ -45,17 +50,17 @@ func TestRecycledPacketsAreIndistinguishable(t *testing.T) {
 		cfg.MarginClasses = 8 // preemption-heavy: exercises retransmission reuse
 		n := MustNew(Config{Kind: topology.MECS, QoS: cfg, Workload: w, Seed: 21})
 		if hooked {
-			n.preemptHook = func(*inBuf, *pkt) {} // disables the free list
+			n.preemptHook = func(*inBuf, pktH) {} // disables the free list
 		}
 		return n
 	}
 	recycled, pristine := build(false), build(true)
 	recycled.RunUntilDrained(300_000)
 	pristine.RunUntilDrained(300_000)
-	if len(recycled.pktFree) == 0 {
-		t.Fatal("test expected the free list to be exercised")
+	if len(recycled.free) == 0 {
+		t.Fatal("test expected the free stack to be exercised")
 	}
-	if len(pristine.pktFree) != 0 {
+	if len(pristine.free) != 0 {
 		t.Fatal("hooks should have suppressed recycling")
 	}
 	rs, ps := recycled.Stats(), pristine.Stats()

@@ -9,13 +9,14 @@ import (
 
 // outPort is one contended output resource: a column channel, a subnet
 // port, or the terminal (ejection) port. Exactly one packet wins each
-// allocation and streams its flits across at one per cycle.
+// allocation and streams its flits across at one per cycle. Ports live by
+// value in the network's flat port array.
 type outPort struct {
 	id   topology.PortID
 	spec topology.PortSpec
 	// table is this output's PVC flow state (nil under NoQoS);
-	// priorities are computed and bandwidth recorded here on every
-	// non-intermediate traversal.
+	// priorities are cached per flow and bandwidth recorded here on
+	// every non-intermediate traversal.
 	table *qos.FlowTable
 	// nextArb is the earliest cycle a new packet may be granted,
 	// maintaining one flit per cycle across the channel with the next
@@ -23,7 +24,7 @@ type outPort struct {
 	nextArb sim.Cycle
 	// waiters are the registered candidates: head packets of upstream
 	// VCs routed through this port, plus offered source packets.
-	waiters []*pkt
+	waiters []pktH
 	rr      qos.RoundRobin
 	// inActive marks membership in the network's active-ports list (ports
 	// holding candidates), which Step arbitrates instead of scanning
@@ -31,11 +32,15 @@ type outPort struct {
 	inActive bool
 }
 
-// bid is one arbitration candidate with its dynamic priority, resolved
-// once per allocation round.
+// bid is one arbitration candidate with its dynamic priority and
+// tie-break keys, resolved once per allocation round. Carrying the age
+// and ID here keeps the serve loop's best-candidate scan inside the bid
+// array — no arena lookups per comparison.
 type bid struct {
-	w    *pkt
-	prio noc.Priority
+	prio    noc.Priority
+	created sim.Cycle
+	id      uint64
+	h       pktH // noPkt once the candidate has been served
 }
 
 // register adds a packet to a port's candidate list, activating the port
@@ -44,32 +49,30 @@ type bid struct {
 // order as the historical all-ports scan, independent of activation
 // history — which is also what makes idle skipping mechanical (stale list
 // entries can never reorder arbitration).
-func (n *Network) register(p *outPort, w *pkt) {
-	w.state = stateForRegistration(w)
-	p.waiters = append(p.waiters, w)
+func (n *Network) register(p *outPort, h pktH) {
+	w := &n.arena[h]
+	if w.curBuf == noBuf {
+		w.state = stAtSource
+	} else {
+		w.state = stWaiting
+	}
+	p.waiters = append(p.waiters, h)
 	n.waiterCount++
 	if !p.inActive {
 		p.inActive = true
-		n.activePorts = append(n.activePorts, p)
-		for i := len(n.activePorts) - 1; i > 0 && n.activePorts[i-1].id > p.id; i-- {
+		n.activePorts = append(n.activePorts, int32(p.id))
+		for i := len(n.activePorts) - 1; i > 0 && n.activePorts[i-1] > int32(p.id); i-- {
 			n.activePorts[i], n.activePorts[i-1] = n.activePorts[i-1], n.activePorts[i]
 		}
 	}
 }
 
-func stateForRegistration(w *pkt) pktState {
-	if w.curBuf == nil {
-		return stAtSource
-	}
-	return stWaiting
-}
-
 // unregister removes a packet from a port's candidate list. The port stays
 // on the active list until the next arbitration pass drops it (lazy
 // deactivation keeps removal O(1) here).
-func (n *Network) unregister(p *outPort, w *pkt) {
+func (n *Network) unregister(p *outPort, h pktH) {
 	for i, c := range p.waiters {
-		if c == w {
+		if c == h {
 			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
 			n.waiterCount--
 			return
@@ -106,25 +109,27 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 		return
 	}
 
-	// Candidates bid with their dynamic priority: looked up in the
-	// port's flow table, except at DPS intermediate hops, which reuse
-	// the priority carried in the header. The bid list lives in a
+	// Candidates bid with their dynamic priority: read off the port's
+	// flat cached-priority array, except at DPS intermediate hops, which
+	// reuse the priority carried in the header. The bid list lives in a
 	// network-owned scratch buffer: arbitration runs once per port per
 	// cycle on the engine's single thread, so the buffer is reused
 	// across every allocation round instead of reallocated.
+	prios := port.table.Priorities()
 	bids := n.bidScratch[:0]
-	for _, w := range port.waiters {
+	for _, h := range port.waiters {
+		w := &n.arena[h]
 		leg := &w.legs[w.Hop()]
 		prio := w.Priority
 		if !leg.Intermediate {
-			prio = port.table.Priority(w.Flow)
+			prio = prios[w.Flow]
 		} else if w.frameStamp != n.frameCount {
 			// Carried priorities are frame-relative: a stamp from
 			// a flushed frame reads as zero consumption, like the
 			// counters it came from.
 			prio = 0
 		}
-		bids = append(bids, bid{w, prio})
+		bids = append(bids, bid{prio: prio, created: w.Created, id: w.ID, h: h})
 	}
 	n.bidScratch = bids[:0]
 	// Serve in priority order until one candidate can be granted.
@@ -141,29 +146,30 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 	for tried < len(bids) {
 		best := -1
 		for i := range bids {
-			if bids[i].w == nil {
+			if bids[i].h == noPkt {
 				continue
 			}
-			if best < 0 || better(bids[i].w, bids[i].prio, bids[best].w, bids[best].prio) {
+			if best < 0 || betterBid(&bids[i], &bids[best]) {
 				best = i
 			}
 		}
 		if best < 0 {
 			return
 		}
-		w, prio := bids[best].w, bids[best].prio
-		bids[best].w = nil
+		h, prio := bids[best].h, bids[best].prio
+		bids[best].h = noPkt
 		tried++
 
+		w := &n.arena[h]
 		leg := &w.legs[w.Hop()]
-		buf := n.bufs[leg.In]
+		buf := &n.bufs[leg.In]
 		// If an equally-eligible earlier candidate already failed on
 		// this buffer, this one fails too (unless it can use the
 		// reserved VC or preempt with a better priority — both
 		// rechecked below only when the buffer state could differ).
 		skip := false
 		for _, fb := range failedBufs {
-			if fb == buf {
+			if fb == int32(leg.In) {
 				skip = true
 				break
 			}
@@ -171,7 +177,7 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 		if skip && !w.Reserved {
 			continue
 		}
-		vcIdx := buf.allocVC(w, 0, 0) // timing filled in by grant
+		vcIdx := buf.allocVC(h, w.Reserved)
 		// Preemption resolves priority inversion in buffers, but only
 		// where the preemption logic physically exists — at output
 		// ports with flow state (Figure 2), which excludes DPS
@@ -184,18 +190,17 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 			// table, with hysteresis: equally-served flows jitter
 			// within a few classes and must not preempt each other.
 			threshold := prio + n.margin*port.table.PriorityStep(w.Flow)
-			prioOf := func(v *pkt) noc.Priority { return port.table.Priority(v.Flow) }
-			if victim := buf.findVictim(threshold, prioOf); victim >= 0 {
+			if victim := n.findVictim(buf, threshold, prios); victim >= 0 {
 				n.preempt(buf, victim, now)
-				vcIdx = buf.allocVC(w, 0, 0)
+				vcIdx = buf.allocVC(h, w.Reserved)
 			}
 		}
 		if vcIdx < 0 {
-			failedBufs = append(failedBufs, buf)
+			failedBufs = append(failedBufs, int32(leg.In))
 			n.failedScratch = failedBufs[:0] // keep the grown backing array
 			continue
 		}
-		n.grant(port, w, leg, buf, vcIdx, prio, now)
+		n.grant(port, h, leg, buf, vcIdx, prio, now)
 		return
 	}
 }
@@ -211,15 +216,17 @@ func (n *Network) tryInversionPreempt(port *outPort, now sim.Cycle) {
 	if port.table == nil || len(port.waiters) < 2 {
 		return
 	}
+	prios := port.table.Priorities()
 	bestPrio := noc.WorstPriority
 	worstPrio := noc.Priority(0)
-	var worst *pkt
+	worst := noPkt
 	var step noc.Priority
-	for _, w := range port.waiters {
+	for _, h := range port.waiters {
+		w := &n.arena[h]
 		leg := &w.legs[w.Hop()]
 		prio := w.Priority
 		if !leg.Intermediate {
-			prio = port.table.Priority(w.Flow)
+			prio = prios[w.Flow]
 		} else if w.frameStamp != n.frameCount {
 			prio = 0
 		}
@@ -227,12 +234,12 @@ func (n *Network) tryInversionPreempt(port *outPort, now sim.Cycle) {
 			bestPrio = prio
 			step = port.table.PriorityStep(w.Flow)
 		}
-		if prio > worstPrio && !w.Reserved && w.state == stWaiting && w.curBuf != nil {
+		if prio > worstPrio && !w.Reserved && w.state == stWaiting && w.curBuf != noBuf {
 			worstPrio = prio
-			worst = w
+			worst = h
 		}
 	}
-	if worst == nil || bestPrio == noc.WorstPriority {
+	if worst == noPkt || bestPrio == noc.WorstPriority {
 		return
 	}
 	if worstPrio > bestPrio+n.margin*step {
@@ -240,53 +247,48 @@ func (n *Network) tryInversionPreempt(port *outPort, now sim.Cycle) {
 	}
 }
 
-// better orders two candidates: lower priority class first, then the
+// betterBid orders two candidates: lower priority class first, then the
 // older packet (global age by creation time), then lower ID for
 // determinism.
-func better(a *pkt, ap noc.Priority, b *pkt, bp noc.Priority) bool {
-	if ap != bp {
-		return ap < bp
+func betterBid(a, b *bid) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	if a.Created != b.Created {
-		return a.Created < b.Created
+	if a.created != b.created {
+		return a.created < b.created
 	}
-	return a.ID < b.ID
+	return a.id < b.id
 }
 
 // arbitrateRoundRobin is the NoQoS policy: rotate among candidates,
 // granting the first that can obtain a VC. Locally fair, globally not —
 // the starvation the paper motivates QoS with.
 func (n *Network) arbitrateRoundRobin(port *outPort, now sim.Cycle) {
-	granted := -1
 	idx := port.rr.Pick(len(port.waiters), func(i int) bool {
-		w := port.waiters[i]
-		leg := &w.legs[w.Hop()]
-		buf := n.bufs[leg.In]
-		if buf.allocVCPeek(w) < 0 {
-			return false
-		}
-		return true
+		w := &n.arena[port.waiters[i]]
+		return n.bufs[w.legs[w.Hop()].In].canAlloc(w.Reserved)
 	})
 	if idx < 0 {
 		return
 	}
-	granted = idx
-	w := port.waiters[granted]
+	h := port.waiters[idx]
+	w := &n.arena[h]
 	leg := &w.legs[w.Hop()]
-	buf := n.bufs[leg.In]
-	vcIdx := buf.allocVC(w, 0, 0)
+	buf := &n.bufs[leg.In]
+	vcIdx := buf.allocVC(h, w.Reserved)
 	if vcIdx < 0 {
 		return
 	}
-	n.grant(port, w, leg, buf, vcIdx, w.Priority, now)
+	n.grant(port, h, leg, buf, vcIdx, w.Priority, now)
 }
 
 // grant commits the winner: flow-state update, transfer timing, VC and
 // port occupancy, and the scheduled arrival/delivery/release events.
-func (n *Network) grant(port *outPort, w *pkt, leg *topology.Leg, buf *inBuf, vcIdx int, prio noc.Priority, now sim.Cycle) {
+func (n *Network) grant(port *outPort, h pktH, leg *topology.Leg, buf *inBuf, vcIdx int32, prio noc.Priority, now sim.Cycle) {
 	if n.grantHook != nil {
-		n.grantHook(port, w)
+		n.grantHook(port, h)
 	}
+	w := &n.arena[h]
 	if !leg.Intermediate && port.table != nil {
 		w.Priority = prio
 		w.frameStamp = n.frameCount
@@ -299,42 +301,40 @@ func (n *Network) grant(port *outPort, w *pkt, leg *topology.Leg, buf *inBuf, vc
 	tailDep := headDep + sim.Cycle(w.Size-1)
 	port.nextArb = now + sim.Cycle(w.Size)
 
-	vc := buf.vcs[vcIdx]
-	vc.HeadArrival = headArr
-	vc.TailArrival = tailArr
-	w.nxtBuf, w.nxtVC = buf, vcIdx
+	w.nxtBuf, w.nxtVC = int32(buf.id), vcIdx
 
-	n.unregister(port, w)
-	if w.curBuf == nil {
-		w.src.onInjected(w, tailDep, now)
+	n.unregister(port, h)
+	if w.curBuf == noBuf {
+		n.onInjected(&n.srcs[w.srcIdx], h, tailDep, now)
 	} else {
 		// The upstream VC frees once the tail departs and the credit
 		// crosses back to its allocator.
 		rel := tailDep + sim.Cycle(w.creditDelay)
-		n.schedule(event{kind: evRelease, buf: w.curBuf, vc: int16(w.curVC), gen: w.curBuf.gen(w.curVC)}, rel)
-		w.curBuf, w.curVC = nil, -1
+		cb := &n.bufs[w.curBuf]
+		n.schedule(&event{kind: evRelease, buf: w.curBuf, vc: int16(w.curVC), gen: cb.gen(w.curVC)}, rel, now)
+		w.curBuf, w.curVC = noBuf, -1
 	}
 	w.state = stMoving
 
 	if leg.Final {
-		n.schedule(event{kind: evDeliver, p: w, attempt: int32(w.Retransmits)}, tailArr)
+		n.schedule(&event{kind: evDeliver, p: h, pgen: w.gen, attempt: int32(w.Retransmits)}, tailArr, now)
 		// The terminal consumes the ejection buffer at link rate, so
 		// its credit loop is local to the destination router: the VC
 		// recycles one cycle behind the port cadence, letting the two
 		// ejection VCs sustain a full flit per cycle even for streams
 		// of single-flit packets (the paper's saturated hotspot runs
 		// the terminal port at ~100%).
-		n.schedule(event{kind: evRelease, buf: buf, vc: int16(vcIdx), gen: buf.gen(vcIdx)},
-			now+sim.Cycle(w.Size)+1)
+		n.schedule(&event{kind: evRelease, buf: int32(buf.id), vc: int16(vcIdx), gen: buf.gen(vcIdx)},
+			now+sim.Cycle(w.Size)+1, now)
 	} else {
-		n.schedule(event{kind: evHead, p: w, attempt: int32(w.Retransmits)}, headArr)
+		n.schedule(&event{kind: evHead, p: h, pgen: w.gen, attempt: int32(w.Retransmits)}, headArr, now)
 	}
 }
 
 // preempt discards the packet in the given VC of buf.
-func (n *Network) preempt(buf *inBuf, vcIdx int, now sim.Cycle) {
-	victim := buf.owners[vcIdx]
-	if victim == nil {
+func (n *Network) preempt(buf *inBuf, vcIdx int32, now sim.Cycle) {
+	victim := buf.owner[vcIdx]
+	if victim == noPkt {
 		panic("network: preempting unowned VC")
 	}
 	if n.preemptHook != nil {
@@ -347,23 +347,26 @@ func (n *Network) preempt(buf *inBuf, vcIdx int, now sim.Cycle) {
 // freed, in-flight events become stale, and a NACK is dispatched on the
 // dedicated ACK network from the preemption site so the source replays it
 // (Section 3.1).
-func (n *Network) preemptPacket(victim *pkt, siteNode int, now sim.Cycle) {
-	n.coll.Preempted(victim.weightedHops, !victim.wasPreempted)
+func (n *Network) preemptPacket(h pktH, siteNode int, now sim.Cycle) {
+	victim := &n.arena[h]
+	n.coll.Preempted(int(victim.weightedHops), !victim.wasPreempted)
 	victim.wasPreempted = true
 
 	// Free the victim's residence and any allocation it holds ahead of
 	// itself; generation bumps turn the scheduled releases into no-ops.
 	if victim.state == stWaiting {
 		// Registered at its next leg's port: withdraw the bid.
-		n.unregister(n.ports[victim.legs[victim.Hop()].Out], victim)
+		n.unregister(&n.ports[victim.legs[victim.Hop()].Out], h)
 	}
-	if victim.curBuf != nil {
-		victim.curBuf.release(victim.curVC, victim.curBuf.gen(victim.curVC))
-		victim.curBuf, victim.curVC = nil, -1
+	if victim.curBuf != noBuf {
+		cb := &n.bufs[victim.curBuf]
+		cb.release(victim.curVC, cb.gen(victim.curVC))
+		victim.curBuf, victim.curVC = noBuf, -1
 	}
-	if victim.nxtBuf != nil {
-		victim.nxtBuf.release(victim.nxtVC, victim.nxtBuf.gen(victim.nxtVC))
-		victim.nxtBuf, victim.nxtVC = nil, -1
+	if victim.nxtBuf != noBuf {
+		nb := &n.bufs[victim.nxtBuf]
+		nb.release(victim.nxtVC, nb.gen(victim.nxtVC))
+		victim.nxtBuf, victim.nxtVC = noBuf, -1
 	}
 	victim.state = stDead
 	victim.weightedHops = 0
@@ -371,5 +374,5 @@ func (n *Network) preemptPacket(victim *pkt, siteNode int, now sim.Cycle) {
 
 	// NACK travels back to the source on the ACK network.
 	dist := sim.Cycle(topology.Distance(noc.NodeID(siteNode), victim.Src))
-	n.schedule(event{kind: evNack, p: victim}, now+dist+n.cfg.QoS.AckDelay)
+	n.schedule(&event{kind: evNack, p: h, pgen: victim.gen}, now+dist+n.cfg.QoS.AckDelay, now)
 }

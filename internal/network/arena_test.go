@@ -1,0 +1,110 @@
+package network
+
+import (
+	"testing"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// arenaNet builds a minimal network whose arena can be driven by hand:
+// one silent injector (rate is irrelevant — the tests below call
+// newPacket directly).
+func arenaNet(t *testing.T) *Network {
+	t.Helper()
+	w := traffic.Workload{Nodes: topology.ColumnNodes, Specs: []traffic.Spec{{
+		Flow: traffic.FlowOf(0, 0), Node: 0, Rate: 0.01,
+		Dest: traffic.FixedDest(1),
+	}}}
+	n := MustNew(Config{Kind: topology.MeshX1, QoS: qos.DefaultConfig(w.TotalFlows()), Workload: w, Seed: 1})
+	return n
+}
+
+// TestArenaGenerationGuardsStaleHandles is the arena-layer mirror of
+// TestRecycledPacketsAreIndistinguishable: it drives random interleavings
+// of allocation and recycling directly against the arena and proves that
+// a handle captured before a recycle can never be mistaken for the slot's
+// new occupant — the recorded (handle, generation) pair stops matching
+// the slot the moment the slot is recycled, which is exactly the check
+// every packet-borne event performs before firing.
+func TestArenaGenerationGuardsStaleHandles(t *testing.T) {
+	n := arenaNet(t)
+	s := &n.srcs[0]
+	rng := sim.NewRNG(0xa3e1a)
+
+	type stale struct {
+		h   pktH
+		gen uint32
+		id  uint64
+	}
+	var live []stale  // handles of packets not yet recycled
+	var dead []stale  // handles captured before their recycle
+	for step := 0; step < 10_000; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			h := n.newPacket(s, noc.ClassRequest, 1, sim.Cycle(step))
+			p := n.pktAt(h)
+			live = append(live, stale{h: h, gen: p.gen, id: p.ID})
+		} else {
+			pick := rng.Intn(len(live))
+			v := live[pick]
+			live[pick] = live[len(live)-1]
+			live = live[:len(live)-1]
+			n.recycle(v.h)
+			dead = append(dead, v)
+		}
+	}
+	if len(dead) == 0 {
+		t.Fatal("test did not exercise recycling")
+	}
+
+	// Every live handle still resolves to its packet.
+	for _, v := range live {
+		p := n.pktAt(v.h)
+		if p.gen != v.gen || p.ID != v.id {
+			t.Fatalf("live handle %d drifted: gen %d/%d id %d/%d", v.h, p.gen, v.gen, p.ID, v.id)
+		}
+	}
+	// Every recycled handle is unreachable through its recorded
+	// generation: the guard comparison that protects events fails.
+	for _, v := range dead {
+		if n.pktAt(v.h).gen == v.gen {
+			t.Fatalf("stale handle %d still matches generation %d after recycle", v.h, v.gen)
+		}
+	}
+
+	// And an event scheduled against a pre-recycle generation is a no-op:
+	// dispatch must not mutate the slot's current occupant.
+	h := n.newPacket(s, noc.ClassRequest, 1, 0)
+	p := n.pktAt(h)
+	staleGen := p.gen
+	staleID := p.ID
+	n.recycle(h)
+	h2 := n.newPacket(s, noc.ClassRequest, 1, 0) // reuses the slot
+	if h2 != h {
+		t.Fatalf("free stack did not reuse slot %d (got %d)", h, h2)
+	}
+	reborn := n.pktAt(h2)
+	if reborn.ID == staleID || reborn.gen == staleGen {
+		t.Fatal("recycled slot kept its old identity")
+	}
+	beforeState, beforeRetx := reborn.state, s.retx.len()
+	n.dispatch(event{kind: evNack, p: h, pgen: staleGen}, 0)
+	if got := n.pktAt(h2); got.state != beforeState || s.retx.len() != beforeRetx {
+		t.Fatal("stale event mutated the slot's new occupant")
+	}
+}
+
+// TestArenaSlotZeroIsReserved pins the nil-handle convention: handle 0
+// must never be handed out, so (&arena[h]) stays branch-free everywhere.
+func TestArenaSlotZeroIsReserved(t *testing.T) {
+	n := arenaNet(t)
+	s := &n.srcs[0]
+	for i := 0; i < 100; i++ {
+		if h := n.newPacket(s, noc.ClassRequest, 1, 0); h == noPkt {
+			t.Fatal("arena handed out the nil handle")
+		}
+	}
+}

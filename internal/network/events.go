@@ -30,20 +30,22 @@ const (
 )
 
 // event is one scheduled occurrence. Packet-borne events carry the attempt
-// (retransmission count) and wrapper generation they were scheduled for; a
-// preemption bumps the packet's attempt and a recycle bumps the wrapper's
-// generation, turning in-flight stale events into no-ops. Fields are
-// ordered and sized to pack the struct into 48 bytes: events are copied on
-// every schedule and fire, so their footprint is event-loop bandwidth.
+// (retransmission count) and arena-slot generation they were scheduled
+// for; a preemption bumps the packet's attempt and a recycle bumps the
+// slot's generation, turning in-flight stale events into no-ops. The
+// struct is 40 bytes and pointer-free — packets and buffers are named by
+// handle/ID — so scheduling and firing copy five words with no write
+// barriers, and the garbage collector never scans the ring's buckets.
 type event struct {
 	at  sim.Cycle
 	seq uint64 // FIFO order among same-cycle events
-	p   *pkt
-	// Release target.
-	buf     *inBuf
-	attempt int32
-	pgen    uint32
+	// p is the target packet's arena handle (noPkt for buffer events).
+	p    pktH
+	pgen uint32
+	// buf is the release target's buffer ID.
+	buf     int32
 	gen     uint32
+	attempt int32
 	vc      int16
 	kind    evKind
 }
@@ -69,11 +71,22 @@ type event struct {
 //     scheduled from the arbitration phase after processEvents already
 //     ran). The heap fired such an event on the next processEvents pass,
 //     before anything of a later cycle; the late list reproduces that.
+//
+// ringSize is sized to the engine's scheduling horizon: the largest
+// default-config delta is a release at tail departure plus the credit
+// loop (~20 cycles on a MECS express channel), so 64 buckets cover every
+// hot schedule while keeping the bucket headers and occupancy bitmap
+// within a few cache lines. Oversized configured delays (a stress-test
+// AckDelay, say) spill to the far heap and stay exact.
 const (
-	ringBits  = 8
+	ringBits  = 6
 	ringSize  = 1 << ringBits
 	ringMask  = ringSize - 1
 	ringWords = ringSize / 64
+	// bucketCap pre-sizes each bucket (and the late list) so that
+	// steady-state depth spikes land in existing capacity instead of
+	// growing the slice (see the working-set capacities in arena.go).
+	bucketCap = 32
 )
 
 type eventRing struct {
@@ -88,21 +101,45 @@ type eventRing struct {
 // Len returns the number of pending events.
 func (r *eventRing) Len() int { return r.count }
 
-// add files an event relative to the current cycle.
-func (r *eventRing) add(ev event, now sim.Cycle) {
+// reset clears every pending event while keeping the bucket, late-list
+// and far-heap backing arrays for reuse (the Network.Reset path — a cell
+// can end mid-simulation with events still scheduled).
+func (r *eventRing) reset() {
+	for i := range r.buckets {
+		if r.buckets[i] == nil {
+			r.buckets[i] = make([]event, 0, bucketCap)
+		}
+		r.buckets[i] = r.buckets[i][:0]
+	}
+	for i := range r.words {
+		r.words[i] = 0
+	}
+	if r.late == nil {
+		r.late = make([]event, 0, bucketCap)
+	}
+	r.late = r.late[:0]
+	r.far.items = r.far.items[:0]
+	r.count = 0
+	r.seq = 0
+}
+
+// add files an event relative to the current cycle. The caller supplies
+// now (every scheduling site already holds it), saving a clock load per
+// event on the hottest write path of the engine.
+func (r *eventRing) add(ev *event, now sim.Cycle) {
 	r.count++
 	delta := ev.at - now
 	switch {
 	case delta <= 0:
-		r.late = append(r.late, ev)
+		r.late = append(r.late, *ev)
 	case delta < ringSize:
 		idx := int(uint64(ev.at) & ringMask)
 		if len(r.buckets[idx]) == 0 {
 			r.words[idx>>6] |= 1 << uint(idx&63)
 		}
-		r.buckets[idx] = append(r.buckets[idx], ev)
+		r.buckets[idx] = append(r.buckets[idx], *ev)
 	default:
-		r.far.push(ev)
+		r.far.push(*ev)
 	}
 }
 
@@ -172,22 +209,21 @@ func (r *eventRing) drainFar(now sim.Cycle) {
 func (r *eventRing) popLate() event {
 	ev := r.late[0]
 	copy(r.late, r.late[1:])
-	r.late[len(r.late)-1] = event{}
 	r.late = r.late[:len(r.late)-1]
 	r.count--
 	return ev
 }
 
-// schedule enqueues an event at the given cycle, stamping the generation of
-// the packet it targets (if any) so the event dies with the packet.
-func (n *Network) schedule(ev event, at sim.Cycle) {
+// schedule enqueues an event at the given cycle. Callers targeting a
+// packet stamp ev.pgen themselves (they already hold the slot pointer) so
+// the event dies with the packet; now is the current cycle (every caller
+// holds that too). The event travels by pointer and is copied exactly
+// once, into its bucket.
+func (n *Network) schedule(ev *event, at, now sim.Cycle) {
 	ev.at = at
 	ev.seq = n.events.seq
 	n.events.seq++
-	if ev.p != nil {
-		ev.pgen = ev.p.gen
-	}
-	n.events.add(ev, n.clock.Now())
+	n.events.add(ev, now)
 }
 
 // processEvents fires every event due at or before now: carried-over late
@@ -215,9 +251,6 @@ func (n *Network) processEvents(now sim.Cycle) {
 			r.count--
 			n.dispatch(b[i], now)
 		}
-		for i := range b {
-			b[i] = event{}
-		}
 		r.buckets[idx] = b[:0]
 		r.words[idx>>6] &^= 1 << uint(idx&63)
 	}
@@ -227,23 +260,27 @@ func (n *Network) processEvents(now sim.Cycle) {
 }
 
 // dispatch fires one event, unless the packet it targets has been
-// recycled since it was scheduled.
+// recycled since it was scheduled. The target's arena slot is resolved
+// once here and handed to the handler.
 func (n *Network) dispatch(ev event, now sim.Cycle) {
-	if ev.p != nil && ev.p.gen != ev.pgen {
-		return // the packet was recycled; its wrapper moved on
+	if ev.kind == evRelease {
+		n.bufs[ev.buf].release(int32(ev.vc), ev.gen)
+		return
+	}
+	p := &n.arena[ev.p]
+	if p.gen != ev.pgen {
+		return // the packet was recycled; its slot moved on
 	}
 	switch ev.kind {
-	case evRelease:
-		ev.buf.release(int(ev.vc), ev.gen)
 	case evHead:
-		n.onHeadArrival(ev.p, int(ev.attempt), now)
+		n.onHeadArrival(ev.p, p, int(ev.attempt), now)
 	case evDeliver:
-		n.onDeliver(ev.p, int(ev.attempt), now)
+		n.onDeliver(ev.p, p, int(ev.attempt), now)
 	case evAck:
-		ev.p.src.onAck(ev.p)
+		n.onAck(&n.srcs[p.srcIdx])
 		n.recycle(ev.p)
 	case evNack:
-		ev.p.src.onNack(ev.p)
+		n.onNack(&n.srcs[p.srcIdx], ev.p)
 	}
 }
 
@@ -261,25 +298,25 @@ func (e event) lessThan(o event) bool {
 
 // onHeadArrival moves a packet into the buffer its head flit just reached
 // and registers it as an arbitration candidate for its next leg.
-func (n *Network) onHeadArrival(p *pkt, attempt int, now sim.Cycle) {
+func (n *Network) onHeadArrival(h pktH, p *pkt, attempt int, now sim.Cycle) {
 	if p.Retransmits != attempt || p.state != stMoving {
 		return // preempted while in flight
 	}
 	leg := p.legs[p.Hop()]
 	p.curBuf, p.curVC = p.nxtBuf, p.nxtVC
-	p.nxtBuf, p.nxtVC = nil, -1
-	p.creditDelay = leg.WireDelay
-	p.weightedHops += leg.HopWeight
+	p.nxtBuf, p.nxtVC = noBuf, -1
+	p.creditDelay = int32(leg.WireDelay)
+	p.weightedHops += int32(leg.HopWeight)
 	n.coll.HopTraversed(leg.HopWeight)
 	p.AdvanceHop()
 	p.state = stWaiting
 	p.enq = now
-	n.register(n.ports[p.legs[p.Hop()].Out], p)
+	n.register(&n.ports[p.legs[p.Hop()].Out], h)
 }
 
 // onDeliver completes a delivery: statistics, the ejection VC's drain, and
 // the ACK that frees the source's window slot.
-func (n *Network) onDeliver(p *pkt, attempt int, now sim.Cycle) {
+func (n *Network) onDeliver(h pktH, p *pkt, attempt int, now sim.Cycle) {
 	if p.Retransmits != attempt || p.state != stMoving {
 		return
 	}
@@ -292,17 +329,17 @@ func (n *Network) onDeliver(p *pkt, attempt int, now sim.Cycle) {
 	// deliver fires no earlier than that, with the release next in
 	// same-cycle seq order when they coincide. So the VC's ownership is
 	// always cleared before the earliest possible recycle of this
-	// wrapper (the ACK, scheduled just below with a later seq), and the
+	// slot (the ACK, scheduled just below with a later seq), and the
 	// preemption logic can never price a drained slot off a reused
-	// wrapper. Do NOT clear the ownership here instead: on MECS the
+	// slot. Do NOT clear the ownership here instead: on MECS the
 	// release fires a cycle before this deliver and the VC may already
 	// belong to the next packet.
-	p.nxtBuf, p.nxtVC = nil, -1
+	p.nxtBuf, p.nxtVC = noBuf, -1
 	if n.mode == qos.PVC {
 		dist := sim.Cycle(topology.Distance(p.Dst, p.Src))
-		n.schedule(event{kind: evAck, p: p}, now+dist+n.cfg.QoS.AckDelay)
+		n.schedule(&event{kind: evAck, p: h, pgen: p.gen}, now+dist+n.cfg.QoS.AckDelay, now)
 	} else {
-		p.src.onAck(p)
-		n.recycle(p)
+		n.onAck(&n.srcs[p.srcIdx])
+		n.recycle(h)
 	}
 }

@@ -35,9 +35,9 @@ func TestVictimsAreNeverRateCompliant(t *testing.T) {
 		n := adversarialNet(t, kind, 7)
 		violations := 0
 		preemptions := 0
-		n.preemptHook = func(_ *inBuf, victim *pkt) {
+		n.preemptHook = func(_ *inBuf, victim pktH) {
 			preemptions++
-			if victim.Reserved {
+			if n.pktAt(victim).Reserved {
 				violations++
 			}
 		}
@@ -55,12 +55,12 @@ func TestVictimsAreAlwaysInTheNetwork(t *testing.T) {
 	// A packet still sitting at its source has consumed nothing worth
 	// replaying; discards must hit network-resident packets only.
 	n := adversarialNet(t, topology.MeshX1, 11)
-	n.preemptHook = func(_ *inBuf, victim *pkt) {
-		if victim.state == stAtSource {
+	n.preemptHook = func(_ *inBuf, victim pktH) {
+		switch n.pktAt(victim).state {
+		case stAtSource:
 			t.Error("preempted a packet still at its source")
-		}
-		if victim.state == stDelivered || victim.state == stDead {
-			t.Errorf("preempted a packet in state %d", victim.state)
+		case stDelivered, stDead:
+			t.Errorf("preempted a packet in state %d", n.pktAt(victim).state)
 		}
 	}
 	n.Run(120_000)
@@ -86,8 +86,8 @@ func TestEveryPreemptionIsEventuallyRedelivered(t *testing.T) {
 			st.InjectedPackets, st.Retransmits, st.TotalDelivered)
 	}
 	// All window slots returned.
-	for _, s := range n.srcs {
-		if s.window != 0 {
+	for i := range n.srcs {
+		if s := &n.srcs[i]; s.window != 0 {
 			t.Errorf("flow %d still holds %d window slots after drain", s.spec.Flow, s.window)
 		}
 	}
@@ -100,14 +100,16 @@ func TestRetransmittedPacketsKeepCreationTime(t *testing.T) {
 	cfg := qos.DefaultConfig(w.TotalFlows())
 	cfg.MarginClasses = 4
 	n := MustNew(Config{Kind: topology.MeshX1, QoS: cfg, Workload: w, Seed: 17})
-	var preempted []*pkt
-	n.preemptHook = func(_ *inBuf, victim *pkt) { preempted = append(preempted, victim) }
+	// Handles recorded by a hook stay resolvable for the rest of the run:
+	// installing the hook suppresses slot recycling.
+	var preempted []pktH
+	n.preemptHook = func(_ *inBuf, victim pktH) { preempted = append(preempted, victim) }
 	n.RunUntilDrained(400_000)
 	if len(preempted) == 0 {
 		t.Skip("no preemptions at this seed/margin")
 	}
-	for _, p := range preempted {
-		if p.Retransmits == 0 {
+	for _, h := range preempted {
+		if n.pktAt(h).Retransmits == 0 {
 			t.Error("preempted packet did not record a retransmission")
 		}
 	}
@@ -223,9 +225,10 @@ func TestDisabledQuotaMarksNothingCompliant(t *testing.T) {
 	cfg.DisableReservedQuota = true
 	n := MustNew(Config{Kind: topology.MeshX1, QoS: cfg, Workload: w, Seed: 3})
 	n.Run(20_000)
-	for _, b := range n.bufs {
-		for i, vc := range b.vcs {
-			if vc.State == noc.VCBusy && vc.Owner != nil && vc.Owner.Reserved {
+	for bi := range n.bufs {
+		b := &n.bufs[bi]
+		for i := int32(0); i < b.nvc; i++ {
+			if h := b.owner[i]; h != noPkt && n.pktAt(h).Reserved {
 				t.Fatalf("compliant packet found in %s VC %d with quota disabled", b.spec.Name, i)
 			}
 		}

@@ -10,6 +10,33 @@
 // interleaving within a VC) is equivalent to flit-level simulation for
 // every metric the paper reports.
 //
+// # Data-oriented core
+//
+// The engine's state lives in flat arrays, not object graphs:
+//
+//   - Packets occupy a single arena ([]pkt) addressed by 32-bit
+//     generation-guarded handles (pktH). Candidate lists, VC ownership,
+//     source queues and events all store handles, so every hot container
+//     is a dense, pointer-free array the garbage collector never scans,
+//     and the free list is an index stack — recycling a packet is a
+//     generation bump and a push.
+//   - Router state is struct-of-arrays: ports, buffers and sources are
+//     value slices indexed by ID, and each buffer's virtual-channel
+//     state is parallel arrays (owner handles, release generations) with
+//     a free-VC occupancy bitmap, so VC allocation and victim search are
+//     word scans instead of pointer walks.
+//   - PVC priorities are cached in a flat per-port per-flow array
+//     (qos.FlowTable), maintained eagerly on Record and cleared on frame
+//     flush, so arbitration reads one word per candidate instead of
+//     re-deriving quantize-and-scale per candidate per cycle.
+//   - Events are 40-byte pointer-free records in a calendar ring;
+//     scheduling and firing never trigger write barriers.
+//
+// The layout is mechanical: results are bit-identical to the historical
+// pointer-based engine (pinned by the equivalence and determinism
+// suites), and a Network can be Reset to a new configuration reusing
+// every backing allocation — sweep workers run whole grids on one arena.
+//
 // # Hybrid tick/event-driven execution
 //
 // Step is tick-driven — arbitration, preemption and frame logic are
@@ -67,55 +94,6 @@ type Config struct {
 	DisableIdleSkip bool
 }
 
-// pktState tracks where a packet is in its lifecycle.
-type pktState uint8
-
-const (
-	stAtSource pktState = iota
-	stWaiting           // buffered, registered as an arbitration candidate
-	stMoving            // won arbitration; flits in flight to the next buffer
-	stDelivered
-	stDead // preempted; awaiting NACK and retransmission
-)
-
-// pkt wraps a packet with the engine-side bookkeeping: its path, current
-// residence (buffer + VC), in-progress allocation and hop accounting.
-type pkt struct {
-	*noc.Packet
-	src  *source
-	legs []topology.Leg
-
-	state pktState
-	// Current residence (nil/-1 while at source or fully in flight).
-	curBuf *inBuf
-	curVC  int
-	// creditDelay is the wire time for this buffer's free-VC credit to
-	// reach the upstream allocator, recorded at head arrival.
-	creditDelay int
-	// Next-hop allocation while moving.
-	nxtBuf *inBuf
-	nxtVC  int
-
-	// enq is when the packet became an arbitration candidate at its
-	// current position.
-	enq sim.Cycle
-	// gen is the recycling generation of this wrapper. The engine reuses
-	// pkt+noc.Packet pairs through the network's free list once the
-	// logical packet is fully acknowledged; events carry the generation
-	// they were scheduled against, so an event that outlives its packet's
-	// lifetime becomes a no-op instead of acting on the reused wrapper.
-	gen uint32
-	// frameStamp is the PVC frame in which the carried priority was
-	// computed. Priorities are frame-relative: a stamp from an earlier
-	// frame reads as zero consumption, exactly like the flushed
-	// counters it was derived from.
-	frameStamp int
-	// weightedHops accumulates mesh-normalized hop traversals of the
-	// current attempt; wasted on preemption.
-	weightedHops int
-	wasPreempted bool
-}
-
 // Network is one simulated shared-region column.
 type Network struct {
 	cfg   Config
@@ -123,125 +101,251 @@ type Network struct {
 	mode  qos.Mode
 
 	clock  sim.Clock
-	rng    *sim.RNG
-	ports  []*outPort
-	bufs   []*inBuf
-	srcs   []*source
+	rng    sim.RNG
+	ports  []outPort
+	bufs   []inBuf
+	srcs   []source
 	quota  *qos.ReservedQuota
 	frame  *qos.FrameTimer
 	events eventRing
 	coll   *stats.Collector
 
+	// parkedTables/parkedQuota/parkedFrame hold the QoS state objects
+	// across a Reset into a mode that does not use them, so a sweep
+	// whose qos axis interleaves NoQoS with PVC cells keeps reusing the
+	// same backing arrays instead of reallocating them at every mode
+	// boundary (the tables' per-flow arrays are the bulk of a port's
+	// footprint).
+	parkedTables []*qos.FlowTable
+	parkedQuota  *qos.ReservedQuota
+	parkedFrame  *qos.FrameTimer
+
 	nextPktID  uint64
 	inFlight   int // packets injected and neither delivered nor dead
-	frameCount int
+	frameCount int32
 	// margin is the preemption hysteresis in quantized classes.
 	margin noc.Priority
 
-	// arrivals schedules packet generation: a min-heap of sources on
-	// (nextArrival, idx). Step pops only the sources whose arrival cycle
-	// has come, so generation costs O(packets), not O(sources x cycles).
-	// A source leaves the heap for good once its next arrival would land
+	// arena holds every live packet; slot 0 is the permanent nil-handle
+	// dummy. free is the stack of recycled slots (see arena.go).
+	arena []pkt
+	free  []pktH
+
+	// arrivals schedules packet generation: a min-heap of (cycle, source
+	// index) pairs. Step pops only the sources whose arrival cycle has
+	// come, so generation costs O(packets), not O(sources x cycles). A
+	// source leaves the heap for good once its next arrival would land
 	// at or past its StopAt deadline (see scheduleArrival).
-	arrivals srcHeap
+	arrivals arrHeap
 	// offerSrcs is the subset of sources holding an injectable packet
 	// (queued or awaiting retransmission) but not yet offering one, kept
 	// sorted by source index. Membership is exact: markOfferable admits
 	// only sources with real pending work, and the offer pass drops a
 	// source the moment its packet is offered. Step's offer scan and the
 	// drain test touch only this list.
-	offerSrcs []*source
+	offerSrcs []int32
 	// activePorts is the subset of ports holding arbitration candidates,
 	// kept sorted by port ID (see register); Step arbitrates it instead
 	// of scanning every port. waiterCount is the total candidate
 	// population across all ports — zero means no arbitration work can
 	// happen this cycle, the precondition for idle fast-forwarding.
-	activePorts []*outPort
+	activePorts []int32
 	waiterCount int
-	// pktFree recycles pkt+noc.Packet pairs of fully-acknowledged
-	// packets, making steady-state injection allocation-free. Disabled
-	// while diagnostic hooks are installed, because hook observers may
-	// retain packet pointers past the packet's lifetime.
-	pktFree []*pkt
 	// bidScratch and failedScratch are reusable arbitration buffers
 	// (see arbitrate); valid only within one arbitrate call.
 	bidScratch    []bid
-	failedScratch []*inBuf
+	failedScratch []int32
 
 	// preemptHook and grantHook, when non-nil, observe every preemption
-	// and grant (tests and diagnostics).
-	preemptHook func(*inBuf, *pkt)
-	grantHook   func(*outPort, *pkt)
+	// and grant (tests and diagnostics). Handles passed to a hook are
+	// stable for the rest of the run: installing either hook suppresses
+	// slot recycling.
+	preemptHook func(*inBuf, pktH)
+	grantHook   func(*outPort, pktH)
 }
 
 // New builds a network from the configuration. It validates that the QoS
 // flow population covers the workload.
 func New(cfg Config) (*Network, error) {
-	if cfg.Nodes == 0 {
-		cfg.Nodes = topology.ColumnNodes
-	}
-	if err := cfg.QoS.Validate(); err != nil {
+	n := &Network{}
+	if err := n.Reset(cfg); err != nil {
 		return nil, err
-	}
-	if want := cfg.Workload.TotalFlows(); len(cfg.QoS.Rates) != want {
-		return nil, fmt.Errorf("network: QoS covers %d flows, workload needs %d", len(cfg.QoS.Rates), want)
-	}
-	for _, s := range cfg.Workload.Specs {
-		if int(s.Node) < 0 || int(s.Node) >= cfg.Nodes {
-			return nil, fmt.Errorf("network: injector flow %d at node %d outside column of %d", s.Flow, s.Node, cfg.Nodes)
-		}
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("network: %w", err)
-		}
-	}
-
-	n := &Network{
-		cfg:   cfg,
-		graph: topology.NewGraph(cfg.Kind, cfg.Nodes),
-		mode:  cfg.QoS.Mode,
-		rng:   sim.NewRNG(cfg.Seed ^ 0x74616e6f71), // "tanoq"
-		coll:  stats.NewCollector(cfg.Workload.TotalFlows()),
-	}
-	n.margin = noc.Priority(cfg.QoS.EffectiveMargin())
-	n.ports = make([]*outPort, len(n.graph.Ports))
-	for i, spec := range n.graph.Ports {
-		p := &outPort{id: topology.PortID(i), spec: spec}
-		if n.mode != qos.NoQoS {
-			p.table = qos.NewFlowTableWithQuantum(cfg.QoS.Rates, cfg.QoS.EffectiveQuantum())
-		}
-		n.ports[i] = p
-	}
-	n.bufs = make([]*inBuf, len(n.graph.Bufs))
-	for i, spec := range n.graph.Bufs {
-		n.bufs[i] = newInBuf(topology.BufID(i), spec, n.mode == qos.PerFlowQueue)
-	}
-	if n.mode == qos.PVC {
-		if !cfg.QoS.DisableReservedQuota {
-			n.quota = qos.NewReservedQuota(cfg.QoS.Rates, cfg.QoS.FrameCycles)
-		}
-		n.frame = qos.NewFrameTimer(cfg.QoS.FrameCycles)
-	}
-	for i, spec := range cfg.Workload.Specs {
-		s := newSource(n, spec)
-		s.idx = i
-		n.srcs = append(n.srcs, s)
-		n.scheduleArrival(s)
 	}
 	return n, nil
 }
 
-// scheduleArrival (re-)enters a source into the arrival heap, unless its
-// next arrival would land at or past the injector's StopAt deadline — the
-// Bernoulli process it models would never emit that packet, so the source
-// is permanently done generating and leaves the schedule for good.
-func (n *Network) scheduleArrival(s *source) {
+// Reset rebuilds the network for a fresh simulation of cfg, reusing every
+// backing allocation the previous configuration left behind — the packet
+// arena, the event ring, per-port candidate lists and flow tables, buffer
+// VC arrays, source queues and scratch buffers. A Reset network is
+// bit-identical to a freshly built one (TestResetMatchesFreshBuild): all
+// randomness derives from cfg.Seed and every piece of logical state is
+// re-initialized here. Sweep drivers lean on this to run a whole grid of
+// cells on one allocation per worker (runner.RunCells).
+//
+// The measurement collector is freshly allocated — results escape to the
+// caller — and diagnostic hooks are preserved.
+func (n *Network) Reset(cfg Config) error {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = topology.ColumnNodes
+	}
+	if err := cfg.QoS.Validate(); err != nil {
+		return err
+	}
+	if want := cfg.Workload.TotalFlows(); len(cfg.QoS.Rates) != want {
+		return fmt.Errorf("network: QoS covers %d flows, workload needs %d", len(cfg.QoS.Rates), want)
+	}
+	for _, s := range cfg.Workload.Specs {
+		if int(s.Node) < 0 || int(s.Node) >= cfg.Nodes {
+			return fmt.Errorf("network: injector flow %d at node %d outside column of %d", s.Flow, s.Node, cfg.Nodes)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("network: %w", err)
+		}
+	}
+
+	n.cfg = cfg
+	n.mode = cfg.QoS.Mode
+	n.clock.Reset()
+	n.rng.Seed(cfg.Seed ^ 0x74616e6f71) // "tanoq"
+	n.coll = stats.NewCollector(cfg.Workload.TotalFlows())
+	n.margin = noc.Priority(cfg.QoS.EffectiveMargin())
+	if n.graph == nil || n.graph.Kind != cfg.Kind || n.graph.Nodes != cfg.Nodes {
+		n.graph = topology.NewGraph(cfg.Kind, cfg.Nodes)
+	}
+
+	if cap(n.ports) < len(n.graph.Ports) {
+		n.ports = make([]outPort, len(n.graph.Ports))
+	}
+	n.ports = n.ports[:len(n.graph.Ports)]
+	for i := range n.ports {
+		p := &n.ports[i]
+		p.id = topology.PortID(i)
+		p.spec = n.graph.Ports[i]
+		p.nextArb = 0
+		if p.waiters == nil {
+			p.waiters = make([]pktH, 0, waitersCap)
+		}
+		p.waiters = p.waiters[:0]
+		p.rr = qos.RoundRobin{}
+		p.inActive = false
+		if n.mode != qos.NoQoS {
+			if p.table == nil {
+				if k := len(n.parkedTables); k > 0 {
+					p.table = n.parkedTables[k-1]
+					n.parkedTables[k-1] = nil
+					n.parkedTables = n.parkedTables[:k-1]
+				}
+			}
+			if p.table == nil {
+				p.table = qos.NewFlowTableWithQuantum(cfg.QoS.Rates, cfg.QoS.EffectiveQuantum())
+			} else {
+				p.table.Reinit(cfg.QoS.Rates, cfg.QoS.EffectiveQuantum())
+			}
+		} else if p.table != nil {
+			n.parkedTables = append(n.parkedTables, p.table)
+			p.table = nil
+		}
+	}
+
+	if cap(n.bufs) < len(n.graph.Bufs) {
+		n.bufs = make([]inBuf, len(n.graph.Bufs))
+	}
+	n.bufs = n.bufs[:len(n.graph.Bufs)]
+	for i := range n.bufs {
+		n.bufs[i].reinit(topology.BufID(i), n.graph.Bufs[i], n.mode == qos.PerFlowQueue)
+	}
+
+	if n.mode == qos.PVC && !cfg.QoS.DisableReservedQuota {
+		if n.quota == nil {
+			n.quota, n.parkedQuota = n.parkedQuota, nil
+		}
+		if n.quota == nil {
+			n.quota = qos.NewReservedQuota(cfg.QoS.Rates, cfg.QoS.FrameCycles)
+		} else {
+			n.quota.Reinit(cfg.QoS.Rates, cfg.QoS.FrameCycles)
+		}
+	} else if n.quota != nil {
+		n.parkedQuota, n.quota = n.quota, nil
+	}
+	if n.mode == qos.PVC {
+		if n.frame == nil {
+			n.frame, n.parkedFrame = n.parkedFrame, nil
+		}
+		if n.frame == nil {
+			n.frame = qos.NewFrameTimer(cfg.QoS.FrameCycles)
+		} else {
+			n.frame.Reinit(cfg.QoS.FrameCycles)
+		}
+	} else if n.frame != nil {
+		n.parkedFrame, n.frame = n.frame, nil
+	}
+
+	n.nextPktID = 0
+	n.inFlight = 0
+	n.frameCount = 0
+	if n.arena == nil {
+		// Slot 0 is the permanent nil-handle dummy. The arena and the
+		// engine's other reusable containers are pre-sized to a
+		// generous working set so that steady-state operation never
+		// grows them: amortized append-doubling on stochastic depth
+		// spikes was the engine's last residual allocation source
+		// (TestStepAllocationFreeAtSteadyState documents the history).
+		n.arena = make([]pkt, 1, arenaCap)
+		n.free = make([]pktH, 0, arenaCap)
+		n.bidScratch = make([]bid, 0, waitersCap)
+		n.failedScratch = make([]int32, 0, waitersCap)
+	}
+	n.arena = n.arena[:1]
+	n.free = n.free[:0]
+	n.events.reset()
+	if n.arrivals.items == nil {
+		n.arrivals.items = make([]arrival, 0, len(cfg.Workload.Specs))
+	}
+	n.arrivals.items = n.arrivals.items[:0]
+	if n.offerSrcs == nil {
+		n.offerSrcs = make([]int32, 0, len(cfg.Workload.Specs))
+	}
+	n.offerSrcs = n.offerSrcs[:0]
+	if n.activePorts == nil {
+		n.activePorts = make([]int32, 0, len(n.ports))
+	}
+	n.activePorts = n.activePorts[:0]
+	n.waiterCount = 0
+
+	if cap(n.srcs) < len(cfg.Workload.Specs) {
+		n.srcs = make([]source, len(cfg.Workload.Specs))
+	}
+	n.srcs = n.srcs[:len(cfg.Workload.Specs)]
+	for i, spec := range cfg.Workload.Specs {
+		s := &n.srcs[i]
+		s.reinit(&n.rng, spec, int32(i))
+		n.scheduleArrival(s)
+	}
+	return nil
+}
+
+// arrivalEligible reports whether the source's precomputed next arrival
+// will actually happen: an inactive sampler never emits, and an arrival
+// landing at or past the injector's StopAt deadline is one the modeled
+// Bernoulli process would never produce — the source is permanently done
+// generating. Both the initial scheduling and Step's in-place heap
+// replacement use this single predicate, so they can never drift apart.
+func (n *Network) arrivalEligible(s *source) bool {
 	if !s.arr.Active() {
+		return false
+	}
+	return !(s.spec.StopAt > 0 && s.nextArrival >= s.spec.StopAt)
+}
+
+// scheduleArrival (re-)enters a source into the arrival heap, unless it
+// is permanently done generating (see arrivalEligible), in which case it
+// leaves the schedule for good.
+func (n *Network) scheduleArrival(s *source) {
+	if !n.arrivalEligible(s) {
 		return
 	}
-	if s.spec.StopAt > 0 && s.nextArrival >= s.spec.StopAt {
-		return
-	}
-	n.arrivals.push(s)
+	n.arrivals.push(arrival{at: s.nextArrival, idx: s.idx})
 }
 
 // markOfferable puts a source on the offerable list if it actually has an
@@ -249,15 +353,15 @@ func (n *Network) scheduleArrival(s *source) {
 // insert keeps the list in source-index order, matching the historical
 // all-sources offer scan.
 func (n *Network) markOfferable(s *source) {
-	if s.inOffer || s.offering != nil {
+	if s.inOffer || s.offering != noPkt {
 		return
 	}
 	if s.retx.empty() && s.queue.empty() {
 		return
 	}
 	s.inOffer = true
-	n.offerSrcs = append(n.offerSrcs, s)
-	for i := len(n.offerSrcs) - 1; i > 0 && n.offerSrcs[i-1].idx > s.idx; i-- {
+	n.offerSrcs = append(n.offerSrcs, s.idx)
+	for i := len(n.offerSrcs) - 1; i > 0 && n.offerSrcs[i-1] > s.idx; i-- {
 		n.offerSrcs[i], n.offerSrcs[i-1] = n.offerSrcs[i-1], n.offerSrcs[i]
 	}
 }
@@ -290,15 +394,15 @@ func (n *Network) InFlight() int { return n.inFlight }
 
 // Frames returns how many PVC frame boundaries (counter flushes and quota
 // refills) have fired. Zero outside PVC mode.
-func (n *Network) Frames() int { return n.frameCount }
+func (n *Network) Frames() int { return int(n.frameCount) }
 
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
 	now := n.clock.Now()
 	n.processEvents(now)
 	if n.frame != nil && n.frame.Expired(now) {
-		for _, p := range n.ports {
-			p.table.Flush()
+		for i := range n.ports {
+			n.ports[i].table.Flush()
 		}
 		if n.quota != nil {
 			n.quota.Refill()
@@ -307,27 +411,33 @@ func (n *Network) Step() {
 	}
 	// Pop exactly the sources whose arrival cycle has come (ties in
 	// source-index order, like the historical all-sources scan) and
-	// reschedule each for its next draw.
-	for n.arrivals.Len() > 0 && n.arrivals.items[0].nextArrival <= now {
-		s := n.arrivals.pop()
-		s.generate(now)
-		n.scheduleArrival(s)
+	// reschedule each for its next draw. The common case — the source
+	// stays live — replaces the heap top in place (one sift instead of
+	// a pop+push pair).
+	for n.arrivals.Len() > 0 && n.arrivals.items[0].at <= now {
+		idx := n.arrivals.items[0].idx
+		s := &n.srcs[idx]
+		n.generate(s, now)
+		if n.arrivalEligible(s) {
+			n.arrivals.replaceTop(arrival{at: s.nextArrival, idx: idx})
+		} else {
+			n.arrivals.pop()
+		}
 	}
 	// Offer pass over the sources actually holding injectable packets, in
 	// source-index order. A source whose packet just went on offer (or
 	// that somehow lost its backlog) leaves the list; it re-enters
 	// through markOfferable when new work appears.
 	liveSrcs := n.offerSrcs[:0]
-	for _, s := range n.offerSrcs {
-		s.offer(now)
-		if s.offering == nil && (!s.retx.empty() || !s.queue.empty()) {
-			liveSrcs = append(liveSrcs, s)
+	for _, si := range n.offerSrcs {
+		s := &n.srcs[si]
+		n.offer(s, now)
+		if s.offering == noPkt && (!s.retx.empty() || !s.queue.empty()) &&
+			!n.windowCapped(s) {
+			liveSrcs = append(liveSrcs, si)
 		} else {
 			s.inOffer = false
 		}
-	}
-	for i := len(liveSrcs); i < len(n.offerSrcs); i++ {
-		n.offerSrcs[i] = nil
 	}
 	n.offerSrcs = liveSrcs
 	// Arbitrate only the ports holding candidates, dropping the ones that
@@ -337,18 +447,16 @@ func (n *Network) Step() {
 	// is harmless: the list is ID-sorted, so stale entries cost one length
 	// check and can never perturb arbitration order.
 	live := n.activePorts[:0]
-	for _, p := range n.activePorts {
+	for _, pi := range n.activePorts {
+		p := &n.ports[pi]
 		if len(p.waiters) > 0 {
 			n.arbitrate(p, now)
 		}
 		if len(p.waiters) > 0 {
-			live = append(live, p)
+			live = append(live, pi)
 		} else {
 			p.inActive = false
 		}
-	}
-	for i := len(live); i < len(n.activePorts); i++ {
-		n.activePorts[i] = nil
 	}
 	n.activePorts = live
 	n.clock.Tick()
@@ -404,12 +512,12 @@ func (n *Network) nextWake(now sim.Cycle) (wake sim.Cycle, ok bool) {
 		}
 	}
 	if n.arrivals.Len() > 0 {
-		if a := n.arrivals.items[0].nextArrival; a < wake {
+		if a := n.arrivals.items[0].at; a < wake {
 			wake = a
 		}
 	}
-	for _, s := range n.offerSrcs {
-		if w := s.nextOffer(); w < wake {
+	for _, si := range n.offerSrcs {
+		if w := n.nextOffer(&n.srcs[si]); w < wake {
 			wake = w
 		}
 	}
@@ -472,46 +580,4 @@ func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained 
 func (n *Network) idle() bool {
 	return n.inFlight == 0 && n.events.Len() == 0 && n.waiterCount == 0 &&
 		n.arrivals.Len() == 0 && len(n.offerSrcs) == 0
-}
-
-// newPacket mints a packet for a source, reusing a recycled pkt+noc.Packet
-// pair when one is available. Every field of both structs is rewritten, so
-// a recycled packet is indistinguishable from a fresh allocation and
-// recycling cannot perturb simulation results.
-func (n *Network) newPacket(s *source, class noc.Class, dst noc.NodeID, now sim.Cycle) *pkt {
-	n.nextPktID++
-	var p *pkt
-	if k := len(n.pktFree); k > 0 {
-		p = n.pktFree[k-1]
-		n.pktFree[k-1] = nil
-		n.pktFree = n.pktFree[:k-1]
-		pk, gen := p.Packet, p.gen
-		*pk = noc.Packet{}
-		*p = pkt{Packet: pk, gen: gen}
-	} else {
-		p = &pkt{Packet: &noc.Packet{}}
-	}
-	p.Packet.ID = n.nextPktID
-	p.Packet.Flow = s.spec.Flow
-	p.Packet.Src = s.spec.Node
-	p.Packet.Dst = dst
-	p.Packet.Class = class
-	p.Packet.Size = class.Flits()
-	p.Packet.Created = now
-	p.src = s
-	p.curVC = -1
-	p.nxtVC = -1
-	return p
-}
-
-// recycle returns a fully-acknowledged packet's wrapper to the free list.
-// The generation bump turns any event still scheduled against this wrapper
-// into a no-op. Recycling is suppressed while diagnostic hooks are
-// installed: hooks hand out *pkt pointers that tests may retain.
-func (n *Network) recycle(p *pkt) {
-	if n.preemptHook != nil || n.grantHook != nil {
-		return
-	}
-	p.gen++
-	n.pktFree = append(n.pktFree, p)
 }

@@ -149,14 +149,15 @@ func TestAllVCsFreeAfterDrain(t *testing.T) {
 			t.Fatalf("%v: did not drain", kind)
 		}
 		n.Run(64) // let trailing credit releases fire
-		for _, b := range n.bufs {
+		for bi := range n.bufs {
+			b := &n.bufs[bi]
 			if b.occupied != 0 {
 				t.Errorf("%v: buffer %s still holds %d VCs after drain",
 					kind, b.spec.Name, b.occupied)
 			}
-			for _, vc := range b.vcs {
-				if vc.State != noc.VCFree {
-					t.Errorf("%v: VC %d of %s not free after drain", kind, vc.Index, b.spec.Name)
+			for i := int32(0); i < b.nvc; i++ {
+				if !b.vcFree(i) {
+					t.Errorf("%v: VC %d of %s not free after drain", kind, i, b.spec.Name)
 				}
 			}
 		}

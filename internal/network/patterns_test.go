@@ -111,7 +111,7 @@ func TestStepAllocationFreeWithPatternsAndBursts(t *testing.T) {
 		Seed:     3,
 	})
 	n.Run(30_000)
-	if avg := testing.AllocsPerRun(5_000, n.Step); avg > 0.01 {
-		t.Errorf("%.3f allocs per Step with patterns+bursts at steady state, want 0", avg)
+	if avg := testing.AllocsPerRun(5_000, n.Step); avg != 0 {
+		t.Errorf("%v allocs per Step with patterns+bursts at steady state, want exactly 0", avg)
 	}
 }

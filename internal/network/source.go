@@ -12,19 +12,21 @@ import (
 // one at a time), the PVC retransmission window (unACKed packets stay
 // buffered for replay) and the retransmission queue fed by NACKs.
 //
-// Sources are not scanned per cycle. Generation is driven by the
-// network's arrival heap (a source is touched only on its precomputed
-// arrival cycles), and offering by the offerable list (a source is
-// touched only while it actually holds an injectable packet).
+// Sources live by value in the network's flat source array and are not
+// scanned per cycle. Generation is driven by the network's arrival heap
+// (a source is touched only on its precomputed arrival cycles), and
+// offering by the offerable list (a source is touched only while it
+// actually holds an injectable packet).
 type source struct {
-	net  *Network
 	spec traffic.Spec
-	rng  *sim.RNG
+	// rng is the source's private stream, held by value: one fewer
+	// indirection per draw, and reuse re-seeds it in place.
+	rng sim.RNG
 	// idx is the source's position in the workload spec order; it breaks
 	// same-cycle ties in the arrival heap and orders the offerable list,
 	// keeping both deterministic and identical to the historical
 	// all-sources scan order.
-	idx int
+	idx int32
 	// inOffer marks membership in the network's offerable list.
 	inOffer bool
 
@@ -36,8 +38,8 @@ type source struct {
 	// replayed ahead of new traffic and already occupy window slots.
 	retx pktQueue
 	// offering is the packet currently registered as a first-leg
-	// arbitration candidate (the injection VC).
-	offering *pkt
+	// arbitration candidate (the injection VC); noPkt when none.
+	offering pktH
 	// window counts injected-but-unACKed packets.
 	window int
 	// busyUntil serializes the injection VC: the next packet may only
@@ -58,37 +60,60 @@ type source struct {
 	injected  int64
 }
 
-func newSource(n *Network, spec traffic.Spec) *source {
-	s := &source{net: n, spec: spec, rng: n.rng.Split()}
-	s.arr = spec.NewArrivalSampler(s.rng)
+// reinit configures the source in place for a fresh simulation, splitting
+// its private RNG stream off the network RNG exactly as the historical
+// per-source constructor did, and reusing the queue backing arrays.
+func (s *source) reinit(netRNG *sim.RNG, spec traffic.Spec, idx int32) {
+	s.spec = spec
+	netRNG.SplitInto(&s.rng)
+	s.idx = idx
+	s.inOffer = false
+	s.queue.reset()
+	s.retx.reset()
+	s.offering = noPkt
+	s.window = 0
+	s.busyUntil = 0
+	s.replica = 0
+	s.generated = 0
+	s.injected = 0
+	s.nextArrival = 0
+	s.arr = spec.NewArrivalSampler(&s.rng)
 	if s.arr.Active() {
 		// The first arrival lands at gap-1 so that cycle 0 succeeds with
 		// the per-cycle packet probability, exactly like the first
 		// Bernoulli trial.
-		s.nextArrival = s.arr.NextGap(s.rng) - 1
+		s.nextArrival = s.arr.NextGap(&s.rng) - 1
 	}
-	return s
 }
 
-// pktQueue is an allocation-amortizing FIFO: pops advance a head index
-// instead of reslicing away the backing array's front capacity (the
-// `q = q[1:]` idiom makes every later append reallocate), the array is
-// rewound whenever the queue drains, and a long-lived saturated queue is
-// compacted in place once the dead prefix dominates.
+// pktQueue is an allocation-amortizing FIFO of packet handles: pops
+// advance a head index instead of reslicing away the backing array's
+// front capacity (the `q = q[1:]` idiom makes every later append
+// reallocate), the array is rewound whenever the queue drains, and a
+// long-lived saturated queue is compacted in place once the dead prefix
+// dominates. Elements are 4-byte handles, so the queue is invisible to
+// the garbage collector.
 type pktQueue struct {
-	items []*pkt
+	items []pktH
 	head  int
 }
 
 func (q *pktQueue) len() int    { return len(q.items) - q.head }
 func (q *pktQueue) empty() bool { return q.head >= len(q.items) }
-func (q *pktQueue) first() *pkt { return q.items[q.head] }
+func (q *pktQueue) first() pktH { return q.items[q.head] }
 
-func (q *pktQueue) push(p *pkt) { q.items = append(q.items, p) }
+func (q *pktQueue) reset() {
+	if q.items == nil {
+		q.items = make([]pktH, 0, srcQueueCap)
+	}
+	q.items = q.items[:0]
+	q.head = 0
+}
 
-func (q *pktQueue) pop() *pkt {
-	p := q.items[q.head]
-	q.items[q.head] = nil
+func (q *pktQueue) push(h pktH) { q.items = append(q.items, h) }
+
+func (q *pktQueue) pop() pktH {
+	h := q.items[q.head]
 	q.head++
 	switch {
 	case q.head == len(q.items):
@@ -96,13 +121,10 @@ func (q *pktQueue) pop() *pkt {
 		q.head = 0
 	case q.head >= 64 && q.head*2 >= len(q.items):
 		n := copy(q.items, q.items[q.head:])
-		for i := n; i < len(q.items); i++ {
-			q.items[i] = nil
-		}
 		q.items = q.items[:n]
 		q.head = 0
 	}
-	return p
+	return h
 }
 
 // generate emits the precomputed arrival — the engine's arrival heap only
@@ -113,124 +135,208 @@ func (q *pktQueue) pop() *pkt {
 // process at ~one RNG draw per packet, and off-arrival cycles never touch
 // the source at all. Destination selection delegates to the spec's Dest
 // pattern; both calls are allocation-free.
-func (s *source) generate(t sim.Cycle) {
+func (n *Network) generate(s *source, t sim.Cycle) {
 	class := noc.ClassReply
 	if s.rng.Bernoulli(s.spec.RequestFraction) {
 		class = noc.ClassRequest
 	}
-	p := s.net.newPacket(s, class, s.spec.Dest.Pick(s.rng), t)
-	s.queue.push(p)
+	h := n.newPacket(s, class, s.spec.Dest.Pick(&s.rng), t)
+	s.queue.push(h)
 	s.generated++
-	s.net.markOfferable(s)
+	n.markOfferable(s)
 	// Gaps are >= 1, so arrivals never bunch within a cycle and
 	// nextArrival strictly advances.
-	s.nextArrival = t + s.arr.NextGap(s.rng)
+	s.nextArrival = t + s.arr.NextGap(&s.rng)
 }
 
 // offer registers the next injectable packet as a first-leg arbitration
 // candidate. Retransmissions go first and already hold window slots; new
 // packets need a free slot in the outstanding-packet window (PVC mode).
-func (s *source) offer(t sim.Cycle) {
-	if s.offering != nil || t < s.busyUntil {
+func (n *Network) offer(s *source, t sim.Cycle) {
+	if s.offering != noPkt || t < s.busyUntil {
 		return
 	}
-	var p *pkt
+	var h pktH
 	switch {
 	case !s.retx.empty():
-		p = s.retx.first()
+		h = s.retx.first()
 	case !s.queue.empty():
-		if s.net.mode == qos.PVC && s.window >= s.net.cfg.QoS.WindowPackets {
+		if n.windowCapped(s) {
 			return
 		}
-		p = s.queue.first()
+		h = s.queue.first()
 	default:
 		return
 	}
+	p := &n.arena[h]
 	// (Re)compute the path; a retransmission may take a different
 	// replica channel.
-	p.legs = s.net.graph.Path(p.Src, p.Dst, s.replica)
+	p.legs = n.graph.Path(p.Src, p.Dst, s.replica)
 	s.replica++
 	// Rate compliance: the first rate x frame flits a source sends in a
 	// frame are protected. A retransmission may gain protection if the
 	// frame rolled over since the original attempt.
-	if s.net.quota != nil && !p.Reserved {
-		p.Reserved = s.net.quota.TryConsume(p.Flow, p.Size)
+	if n.quota != nil && !p.Reserved {
+		p.Reserved = n.quota.TryConsume(p.Flow, p.Size)
 	}
 	p.state = stAtSource
 	p.enq = t
-	s.offering = p
-	s.net.register(s.net.ports[p.legs[0].Out], p)
+	s.offering = h
+	n.register(&n.ports[p.legs[0].Out], h)
 }
 
 // onInjected is called when the offered packet wins first-leg arbitration:
 // it leaves the source queue and occupies a window slot.
-func (s *source) onInjected(p *pkt, tailDeparture sim.Cycle, now sim.Cycle) {
-	if s.offering != p {
+func (n *Network) onInjected(s *source, h pktH, tailDeparture sim.Cycle, now sim.Cycle) {
+	if s.offering != h {
 		panic("network: injected packet was not the offered one")
 	}
-	s.offering = nil
-	if !s.retx.empty() && s.retx.first() == p {
+	s.offering = noPkt
+	if !s.retx.empty() && s.retx.first() == h {
 		s.retx.pop()
 	} else {
 		s.queue.pop()
 		s.window++
-		s.net.inFlight++
+		n.inFlight++
 	}
 	s.busyUntil = tailDeparture
 	s.injected++
+	p := &n.arena[h]
 	p.Injected = now
-	s.net.coll.Injected(p.Size)
+	n.coll.Injected(p.Size)
 	// Any remaining backlog goes back on the offerable list, to be
 	// offered once the injection VC frees at busyUntil.
-	s.net.markOfferable(s)
+	n.markOfferable(s)
 }
 
 // onAck frees the window slot of a delivered packet. A window-capped
 // source with a backlog becomes offerable again here.
-func (s *source) onAck(p *pkt) {
+func (n *Network) onAck(s *source) {
 	s.window--
 	if s.window < 0 {
 		panic("network: ACK without outstanding packet")
 	}
-	s.net.markOfferable(s)
+	n.markOfferable(s)
 }
 
 // onNack queues a preempted packet for retransmission. The packet keeps
 // its window slot — it is still unacknowledged.
-func (s *source) onNack(p *pkt) {
-	p.state = stAtSource
-	s.retx.push(p)
-	s.net.markOfferable(s)
+func (n *Network) onNack(s *source, h pktH) {
+	n.arena[h].state = stAtSource
+	s.retx.push(h)
+	n.markOfferable(s)
+}
+
+// windowCapped reports whether the source cannot inject anything until an
+// ACK frees a window slot: PVC window full, nothing to retransmit (a
+// retransmission already holds its slot and bypasses the cap). Step's
+// offer pass drops such a source from the offerable list — scanning it
+// every cycle would be a guaranteed no-op — and the unblocking ACK/NACK
+// handler re-adds it through markOfferable on exactly the cycle it can
+// act again, before that cycle's offer pass runs, so the offered packet
+// stream is identical to scanning it every cycle. With its window full
+// the source always has packets in flight, so the idle check's
+// offerable-list emptiness test is unaffected.
+func (n *Network) windowCapped(s *source) bool {
+	return n.mode == qos.PVC && s.retx.empty() &&
+		s.window >= n.cfg.QoS.WindowPackets
 }
 
 // nextOffer returns the earliest cycle at which this offerable source
 // could inject, for the engine's idle fast-forward: the injection VC
 // frees at busyUntil. A window-capped source returns neverCycle — the
 // unblocking ACK/NACK is an event the heap already covers.
-func (s *source) nextOffer() sim.Cycle {
-	if s.offering != nil {
+func (n *Network) nextOffer(s *source) sim.Cycle {
+	if s.offering != noPkt {
 		return neverCycle
 	}
 	if s.retx.empty() {
 		if s.queue.empty() {
 			return neverCycle
 		}
-		if s.net.mode == qos.PVC && s.window >= s.net.cfg.QoS.WindowPackets {
+		if n.windowCapped(s) {
 			return neverCycle
 		}
 	}
 	return s.busyUntil
 }
 
-// srcHeap orders the engine's arrival schedule on (nextArrival, idx).
-// Tie-breaking on the source index makes same-cycle generation order
-// identical to the historical all-sources scan.
-type srcHeap = minHeap[*source]
+// arrival is one entry of the engine's arrival schedule: the cycle a
+// source's next packet lands, and the source's index. Entries are
+// 16-byte values — heap sifts move them without touching the sources.
+type arrival struct {
+	at  sim.Cycle
+	idx int32
+}
 
-// lessThan orders sources by next arrival cycle, then spec order.
-func (s *source) lessThan(o *source) bool {
-	if s.nextArrival != o.nextArrival {
-		return s.nextArrival < o.nextArrival
+// lessThan orders arrivals by cycle, then spec order; the index
+// tie-break makes same-cycle generation order identical to the
+// historical all-sources scan.
+func (a arrival) lessThan(o arrival) bool {
+	if a.at != o.at {
+		return a.at < o.at
 	}
-	return s.idx < o.idx
+	return a.idx < o.idx
+}
+
+// arrHeap orders the engine's arrival schedule on (cycle, index). It is a
+// hand-specialized copy of minHeap: the heap is popped and re-pushed once
+// per generated packet, and the monomorphic comparison inlines where the
+// generic dictionary-based call would not.
+type arrHeap struct {
+	items []arrival
+}
+
+func (h *arrHeap) Len() int { return len(h.items) }
+
+func (h *arrHeap) push(v arrival) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].lessThan(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *arrHeap) pop() arrival {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(last)
+	return top
+}
+
+// replaceTop overwrites the minimum with v and restores heap order with a
+// single sift — the engine pops a source's arrival and immediately pushes
+// its next one, and fusing the two halves the sift work. Correctness
+// needs no layout argument: (cycle, index) is a strict total order, so
+// the pop sequence is the sorted sequence whatever the internal array
+// arrangement.
+func (h *arrHeap) replaceTop(v arrival) {
+	h.items[0] = v
+	h.siftDown(len(h.items))
+}
+
+func (h *arrHeap) siftDown(n int) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && h.items[r].lessThan(h.items[l]) {
+			child = r
+		}
+		if !h.items[child].lessThan(h.items[i]) {
+			break
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
 }

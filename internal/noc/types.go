@@ -148,61 +148,9 @@ func (p *Packet) String() string {
 		p.ID, p.Flow, p.Src, p.Dst, p.Class, p.Priority, p.hop)
 }
 
-// VCState is the lifecycle of a virtual channel buffer.
-type VCState uint8
-
-const (
-	// VCFree means the VC holds no packet and can be allocated.
-	VCFree VCState = iota
-	// VCBusy means a packet owns the VC: its flits are arriving into or
-	// draining out of the buffer.
-	VCBusy
-)
-
-// VC is one virtual channel at a router input port. Under virtual
-// cut-through flow control a VC is allocated to exactly one packet at a
-// time and must be deep enough (FlitsPerVC) to hold the largest packet, so
-// a granted packet can always be fully absorbed.
-type VC struct {
-	// Index of this VC within its port.
-	Index int
-	// ReservedForCompliant marks the one VC per network port that only
-	// rate-compliant (Reserved) packets may claim, which throttles
-	// preemption incidence (Section 4).
-	ReservedForCompliant bool
-
-	State VCState
-	// Owner is the packet currently holding the VC (nil when free).
-	Owner *Packet
-	// HeadArrival is the cycle the owner's head flit reaches (reached)
-	// this buffer; the packet may be forwarded from this time on
-	// (cut-through).
-	HeadArrival sim.Cycle
-	// TailArrival is the cycle the owner's tail flit reaches the buffer;
-	// the VC can be handed to a new packet only after the tail has also
-	// *departed* downstream, which the engine tracks separately.
-	TailArrival sim.Cycle
-}
-
-// Allocate claims the VC for p. It panics when the VC is not free — the
-// allocator must never double-book a buffer; making that a hard failure
-// turns allocator bugs into immediate, debuggable crashes instead of silent
-// flit corruption.
-func (v *VC) Allocate(p *Packet, headArrival, tailArrival sim.Cycle) {
-	if v.State != VCFree {
-		panic(fmt.Sprintf("noc: allocating busy VC %d (owner %v)", v.Index, v.Owner))
-	}
-	v.State = VCBusy
-	v.Owner = p
-	v.HeadArrival = headArrival
-	v.TailArrival = tailArrival
-}
-
-// Release frees the VC after its owner's tail flit has departed (or the
-// owner was preempted).
-func (v *VC) Release() {
-	v.State = VCFree
-	v.Owner = nil
-	v.HeadArrival = 0
-	v.TailArrival = 0
-}
+// Virtual-channel state lives in the network engine's struct-of-arrays
+// buffers (internal/network), not in a per-VC object here: under virtual
+// cut-through a VC is owned by exactly one packet at a time and must be
+// deep enough (FlitsPerVC) to hold the largest packet, and the engine
+// tracks that ownership as flat handle/generation arrays with a free-VC
+// occupancy bitmap.

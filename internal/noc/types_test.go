@@ -70,33 +70,6 @@ func TestPacketRetransmitCounterAccumulates(t *testing.T) {
 	}
 }
 
-func TestVCAllocateRelease(t *testing.T) {
-	v := &VC{Index: 3}
-	p := &Packet{ID: 7}
-	v.Allocate(p, 10, 13)
-	if v.State != VCBusy || v.Owner != p {
-		t.Fatal("VC not busy after Allocate")
-	}
-	if v.HeadArrival != 10 || v.TailArrival != 13 {
-		t.Fatalf("arrival times %d/%d, want 10/13", v.HeadArrival, v.TailArrival)
-	}
-	v.Release()
-	if v.State != VCFree || v.Owner != nil {
-		t.Fatal("VC not free after Release")
-	}
-}
-
-func TestVCDoubleAllocatePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double allocation did not panic")
-		}
-	}()
-	v := &VC{}
-	v.Allocate(&Packet{ID: 1}, 0, 0)
-	v.Allocate(&Packet{ID: 2}, 0, 0)
-}
-
 func TestWorstPriorityOrdering(t *testing.T) {
 	check := func(raw uint64) bool {
 		p := Priority(raw)

@@ -180,10 +180,19 @@ func (c *Config) Validate() error {
 // boundaries so a flow's past consumption stops weighing on its present
 // priority. Table size is proportional to the number of flows — exactly
 // the per-flow state the paper charges to PVC's area budget (Figure 3).
+//
+// Priorities are cached in a flat per-flow array maintained eagerly:
+// recomputed on Record (once per grant) and zeroed on Flush (once per
+// frame), so the arbitration hot path — which reads Priority per
+// candidate per allocation per cycle — costs a single array load instead
+// of re-deriving quantize-and-scale each time. The cached value is
+// produced by exactly the arithmetic Priority used to perform, so results
+// are bit-identical.
 type FlowTable struct {
-	consumed []uint64 // flits forwarded this frame, per flow
-	weight   []uint64 // fixed-point 1/rate per flow
-	shift    uint     // log2 of the priority quantum in flits
+	consumed []uint64       // flits forwarded this frame, per flow
+	weight   []uint64       // fixed-point 1/rate per flow
+	prio     []noc.Priority // cached (consumed >> shift) * weight, per flow
+	shift    uint           // log2 of the priority quantum in flits
 }
 
 // NewFlowTable builds a table for the given per-flow rates with the
@@ -195,6 +204,17 @@ func NewFlowTable(rates []float64) *FlowTable {
 // NewFlowTableWithQuantum builds a table whose priorities are quantized to
 // the given block size in flits (a power of two).
 func NewFlowTableWithQuantum(rates []float64, quantumFlits int) *FlowTable {
+	t := &FlowTable{}
+	t.Reinit(rates, quantumFlits)
+	return t
+}
+
+// Reinit re-seeds the table for a fresh simulation over the given rates,
+// reusing the existing backing arrays when their capacity suffices. It is
+// the allocation-reuse path of Network.Reset: a sweep worker re-running
+// cells re-targets each port's table instead of reallocating three slices
+// per port per cell.
+func (t *FlowTable) Reinit(rates []float64, quantumFlits int) {
 	if quantumFlits < 1 || quantumFlits&(quantumFlits-1) != 0 {
 		panic(fmt.Sprintf("qos: priority quantum %d must be a power of two", quantumFlits))
 	}
@@ -202,11 +222,10 @@ func NewFlowTableWithQuantum(rates []float64, quantumFlits int) *FlowTable {
 	for 1<<shift < quantumFlits {
 		shift++
 	}
-	t := &FlowTable{
-		consumed: make([]uint64, len(rates)),
-		weight:   make([]uint64, len(rates)),
-		shift:    shift,
-	}
+	t.shift = shift
+	t.consumed = resetUints(t.consumed, len(rates))
+	t.weight = resetUints(t.weight, len(rates))
+	t.prio = resetPrios(t.prio, len(rates))
 	for f, r := range rates {
 		if r <= 0 {
 			panic(fmt.Sprintf("qos: flow %d rate %v must be positive", f, r))
@@ -217,15 +236,42 @@ func NewFlowTableWithQuantum(rates []float64, quantumFlits int) *FlowTable {
 		}
 		t.weight[f] = w
 	}
-	return t
+}
+
+// resetUints returns a zeroed slice of length n, reusing s's backing
+// array when it is large enough.
+func resetUints(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resetPrios is resetUints for priority slices.
+func resetPrios(s []noc.Priority, n int) []noc.Priority {
+	if cap(s) < n {
+		return make([]noc.Priority, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // NumFlows returns the number of flows tracked.
 func (t *FlowTable) NumFlows() int { return len(t.consumed) }
 
-// Record charges flits of bandwidth to flow f.
+// Record charges flits of bandwidth to flow f and refreshes the flow's
+// cached priority.
 func (t *FlowTable) Record(f noc.FlowID, flits int) {
-	t.consumed[f] += uint64(flits)
+	c := t.consumed[f] + uint64(flits)
+	t.consumed[f] = c
+	t.prio[f] = noc.Priority((c >> t.shift) * t.weight[f])
 }
 
 // Consumed returns the flits charged to flow f in the current frame.
@@ -234,10 +280,16 @@ func (t *FlowTable) Consumed(f noc.FlowID) uint64 { return t.consumed[f] }
 // Priority returns flow f's dynamic priority: consumption, quantized to
 // the table's quantum, scaled by the inverse assigned rate. Lower is
 // better — a flow that has used little of its entitlement wins
-// arbitration.
+// arbitration. The value is served from the eagerly-maintained cache; it
+// changes only inside Record and Flush.
 func (t *FlowTable) Priority(f noc.FlowID) noc.Priority {
-	return noc.Priority((t.consumed[f] >> t.shift) * t.weight[f])
+	return t.prio[f]
 }
+
+// Priorities exposes the flat cached-priority array for hot loops that
+// index it directly (the engine's arbitration candidate scan). The slice
+// is owned by the table: read-only, invalidated by Reinit.
+func (t *FlowTable) Priorities() []noc.Priority { return t.prio }
 
 // PriorityStep returns the priority-unit width of one quantized class for
 // flow f (its fixed-point inverse rate). The preemption logic uses it as a
@@ -248,10 +300,14 @@ func (t *FlowTable) PriorityStep(f noc.FlowID) noc.Priority {
 	return noc.Priority(t.weight[f])
 }
 
-// Flush clears all bandwidth counters (a frame boundary).
+// Flush clears all bandwidth counters and cached priorities (a frame
+// boundary).
 func (t *FlowTable) Flush() {
 	for i := range t.consumed {
 		t.consumed[i] = 0
+	}
+	for i := range t.prio {
+		t.prio[i] = 0
 	}
 }
 
@@ -269,10 +325,20 @@ type ReservedQuota struct {
 // NewReservedQuota sizes each flow's per-frame quota from its assigned
 // rate: quota = rate × frame, in flits.
 func NewReservedQuota(rates []float64, frame sim.Cycle) *ReservedQuota {
-	q := &ReservedQuota{
-		perFrame:  make([]int64, len(rates)),
-		remaining: make([]int64, len(rates)),
+	q := &ReservedQuota{}
+	q.Reinit(rates, frame)
+	return q
+}
+
+// Reinit re-seeds the quota for a fresh simulation, reusing the backing
+// arrays when capacity suffices (the Network.Reset reuse path).
+func (q *ReservedQuota) Reinit(rates []float64, frame sim.Cycle) {
+	if cap(q.perFrame) < len(rates) {
+		q.perFrame = make([]int64, len(rates))
+		q.remaining = make([]int64, len(rates))
 	}
+	q.perFrame = q.perFrame[:len(rates)]
+	q.remaining = q.remaining[:len(rates)]
 	for f, r := range rates {
 		n := int64(r * float64(frame))
 		if n < 0 {
@@ -281,7 +347,6 @@ func NewReservedQuota(rates []float64, frame sim.Cycle) *ReservedQuota {
 		q.perFrame[f] = n
 		q.remaining[f] = n
 	}
-	return q
 }
 
 // TryConsume attempts to charge flits against flow f's remaining quota.
@@ -313,10 +378,18 @@ type FrameTimer struct {
 
 // NewFrameTimer creates a timer with the given frame duration.
 func NewFrameTimer(frame sim.Cycle) *FrameTimer {
+	t := &FrameTimer{}
+	t.Reinit(frame)
+	return t
+}
+
+// Reinit rewinds the timer to cycle zero with the given frame duration
+// (the Network.Reset reuse path).
+func (t *FrameTimer) Reinit(frame sim.Cycle) {
 	if frame <= 0 {
 		panic("qos: frame duration must be positive")
 	}
-	return &FrameTimer{frame: frame, next: frame}
+	*t = FrameTimer{frame: frame, next: frame}
 }
 
 // Expired reports whether a frame boundary is crossed at cycle now, and

@@ -46,6 +46,16 @@ func Workers(n int) int {
 // state shared with other jobs. A panic in any job is re-raised on the
 // calling goroutine after all workers have stopped.
 func Do(jobs, workers int, fn func(job int)) {
+	DoWorker(jobs, workers, func(job, _ int) { fn(job) })
+}
+
+// DoWorker is Do with the worker's pool slot passed alongside the job
+// index: fn(job, worker) with worker in [0, effective workers). All jobs
+// run by the same worker share its slot, which is what lets callers keep
+// per-worker reusable state (runner cells reuse one simulation engine per
+// slot via Network.Reset) without any locking — a slot never runs two
+// jobs concurrently.
+func DoWorker(jobs, workers int, fn func(job, worker int)) {
 	if jobs <= 0 {
 		return
 	}
@@ -55,7 +65,7 @@ func Do(jobs, workers int, fn func(job int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < jobs; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -67,16 +77,16 @@ func Do(jobs, workers int, fn func(job int)) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for panicked.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= jobs {
 					return
 				}
-				runJob(i, fn, &panicked)
+				runJob(i, slot, fn, &panicked)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if pv := panicked.Load(); pv != nil {
@@ -90,13 +100,13 @@ type panicValue struct{ v any }
 
 // runJob runs one job, converting a panic into a recorded first-panic so
 // the pool can drain instead of crashing the process from a worker.
-func runJob(i int, fn func(int), panicked *atomic.Pointer[panicValue]) {
+func runJob(i, slot int, fn func(int, int), panicked *atomic.Pointer[panicValue]) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked.CompareAndSwap(nil, &panicValue{v: r})
 		}
 	}()
-	fn(i)
+	fn(i, slot)
 }
 
 // Map runs fn over [0, jobs) like Do and collects the results in input
@@ -111,15 +121,28 @@ func Map[T any](jobs, workers int, fn func(job int) T) []T {
 }
 
 // RunCells executes every cell across the worker pool and returns the
-// results in input order. Each cell builds its own Network from its
-// configuration (panicking on an invalid configuration, like
-// network.MustNew), runs the warmup/measure schedule, and yields its
-// collector. Because each cell's randomness derives entirely from its
-// own Config.Seed, the results are bit-identical for every worker count.
+// results in input order. Each worker slot keeps one reusable Network:
+// the first cell a slot runs builds it, and every later cell re-targets
+// it in place via Network.Reset, so a whole sweep grid reuses one packet
+// arena, event ring and router state per worker instead of reallocating
+// them per cell (invalid configurations panic, like network.MustNew).
+// Because each cell's randomness derives entirely from its own
+// Config.Seed — and a Reset network is bit-identical to a freshly built
+// one — the results are bit-identical for every worker count and
+// identical to building each cell from scratch.
 func RunCells(cells []Cell, workers int) []Result {
-	return Map(len(cells), workers, func(i int) Result {
-		n := network.MustNew(cells[i].Config)
+	out := make([]Result, len(cells))
+	nets := make([]*network.Network, Workers(workers))
+	DoWorker(len(cells), workers, func(i, slot int) {
+		n := nets[slot]
+		if n == nil {
+			n = network.MustNew(cells[i].Config)
+			nets[slot] = n
+		} else if err := n.Reset(cells[i].Config); err != nil {
+			panic(err)
+		}
 		n.WarmupAndMeasure(cells[i].Warmup, cells[i].Measure)
-		return Result{Stats: n.Stats(), End: n.Now()}
+		out[i] = Result{Stats: n.Stats(), End: n.Now()}
 	})
+	return out
 }

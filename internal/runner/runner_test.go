@@ -111,6 +111,33 @@ func TestRunCellsDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestRunCellsReuseMatchesFreshBuilds pins the sweep-level reuse
+// contract: RunCells runs every cell on a per-worker engine re-targeted
+// with Network.Reset, and its results must be bit-identical to building
+// a fresh Network per cell. With one worker a single engine crosses
+// every topology/rate boundary of the grid in sequence — the harshest
+// reuse pattern.
+func TestRunCellsReuseMatchesFreshBuilds(t *testing.T) {
+	cs := cells(23)
+	var fresh []Result
+	for _, c := range cs {
+		n := network.MustNew(c.Config)
+		n.WarmupAndMeasure(c.Warmup, c.Measure)
+		fresh = append(fresh, Result{Stats: n.Stats(), End: n.Now()})
+	}
+	for _, workers := range []int{1, 3} {
+		reused := RunCells(cells(23), workers)
+		for i := range fresh {
+			if reused[i].End != fresh[i].End {
+				t.Errorf("workers=%d cell %d: end cycle %d != fresh %d", workers, i, reused[i].End, fresh[i].End)
+			}
+			if !reflect.DeepEqual(reused[i].Stats, fresh[i].Stats) {
+				t.Errorf("workers=%d cell %d: reused collector differs from fresh build", workers, i)
+			}
+		}
+	}
+}
+
 func TestRunCellsProducesLiveResults(t *testing.T) {
 	res := RunCells(cells(5), 0)
 	for i, r := range res {

@@ -39,7 +39,16 @@ func (r *RNG) Uint64() uint64 {
 // it is used to give each traffic injector its own private stream so that
 // adding or removing injectors does not perturb the others.
 func (r *RNG) Split() *RNG {
-	return &RNG{state: r.Uint64() ^ 0x6a09e667f3bcc909}
+	dst := &RNG{}
+	r.SplitInto(dst)
+	return dst
+}
+
+// SplitInto is Split writing into an existing generator, for callers that
+// keep their RNGs by value (the engine's sources) and re-seed them on
+// reuse instead of allocating. The derived stream is identical to Split's.
+func (r *RNG) SplitInto(dst *RNG) {
+	dst.state = r.Uint64() ^ 0x6a09e667f3bcc909
 }
 
 // Intn returns a uniformly distributed integer in [0, n). It panics when
@@ -129,6 +138,17 @@ const maxGeometric = int64(1) << 62
 // the sampling half of the engine's O(work) redesign. log1p keeps the
 // quantile accurate for tiny p, where log(1-p) would lose all precision.
 func (r *RNG) Geometric(p float64) int64 {
+	return r.GeometricLog(p, math.Log1p(-p))
+}
+
+// GeometricLog is Geometric with the quantile denominator log(1-p)
+// precomputed by the caller. The denominator is a per-distribution
+// constant, and log1p dominated the cost of a draw on the engine's
+// injection path — a sampler that draws per packet caches it once
+// (traffic.ArrivalSampler). Passing the exact same float the inline
+// computation produced keeps the division — and therefore every drawn
+// gap — bit-identical to Geometric.
+func (r *RNG) GeometricLog(p, logQ float64) int64 {
 	if p >= 1 {
 		return 1
 	}
@@ -136,7 +156,7 @@ func (r *RNG) Geometric(p float64) int64 {
 		panic("sim: Geometric with non-positive success probability")
 	}
 	u := r.Float64()
-	g := math.Floor(math.Log1p(-u)/math.Log1p(-p)) + 1
+	g := math.Floor(math.Log1p(-u)/logQ) + 1
 	if !(g < float64(maxGeometric)) { // also catches +Inf and NaN
 		return maxGeometric
 	}

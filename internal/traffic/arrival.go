@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 
 	"tanoq/internal/sim"
 )
@@ -55,6 +56,12 @@ type ArrivalSampler struct {
 	// onExit / offExit are the per-cycle window-termination probabilities
 	// (1/mean), zero for smooth specs.
 	onExit, offExit float64
+	// logPkt/logOn/logOff cache log(1-p) for the three geometric draws —
+	// the denominator of the inverse CDF is a per-distribution constant,
+	// and hoisting it out of the per-packet draw halves the transcendental
+	// cost of injection sampling. The cached values are exactly what
+	// sim.RNG.Geometric would recompute, so drawn gaps are bit-identical.
+	logPkt, logOn, logOff float64
 	// onLeft counts the ON cycles remaining in the current window.
 	onLeft int64
 	bursty bool
@@ -77,8 +84,11 @@ func (s Spec) NewArrivalSampler(r *sim.RNG) ArrivalSampler {
 		a.pktProb /= s.Burst.Duty()
 		a.onExit = 1 / s.Burst.MeanOn
 		a.offExit = 1 / s.Burst.MeanOff
-		a.onLeft = r.Geometric(a.onExit)
+		a.logOn = math.Log1p(-a.onExit)
+		a.logOff = math.Log1p(-a.offExit)
+		a.onLeft = r.GeometricLog(a.onExit, a.logOn)
 	}
+	a.logPkt = math.Log1p(-a.pktProb)
 	return a
 }
 
@@ -104,7 +114,7 @@ const maxWalkWindows = 1 << 16
 // sources add one draw per window boundary crossed, which the window
 // means keep far below one per packet.
 func (a *ArrivalSampler) NextGap(r *sim.RNG) sim.Cycle {
-	g := r.Geometric(a.pktProb)
+	g := r.GeometricLog(a.pktProb, a.logPkt)
 	if !a.bursty {
 		return sim.Cycle(g)
 	}
@@ -116,8 +126,8 @@ func (a *ArrivalSampler) NextGap(r *sim.RNG) sim.Cycle {
 		}
 		g -= a.onLeft
 		gap += a.onLeft
-		gap += r.Geometric(a.offExit)
-		a.onLeft = r.Geometric(a.onExit)
+		gap += r.GeometricLog(a.offExit, a.logOff)
+		a.onLeft = r.GeometricLog(a.onExit, a.logOn)
 	}
 	a.onLeft -= g
 	return sim.Cycle(gap + g)
