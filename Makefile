@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
 
-.PHONY: build test vet lint race determinism sweep-smoke bench bench-json
+.PHONY: build test vet lint race determinism sweep-smoke trace-smoke fuzz-smoke bench bench-json
 
 build:
 	go build ./...
@@ -33,11 +33,32 @@ determinism:
 	go test -run 'Equivalen|Determin' -count=2 ./...
 
 # sweep-smoke exercises the declarative scenario path end to end: the
-# quick Figure 4 grid from a JSON file and the permutation-pattern grid
-# from a TOML file (CI's sweep step).
+# quick Figure 4 grid from a JSON file, the permutation-pattern grid from
+# a TOML file, the closed-loop client sweep, and a trace-replay sweep of
+# the committed example capture (CI's sweep step).
 sweep-smoke:
 	go run ./cmd/noctool -quick sweep examples/sweep/fig4-quick.json
 	go run ./cmd/noctool sweep examples/sweep/patterns.toml
+	go run ./cmd/noctool sweep examples/sweep/closed-loop.toml
+	go run ./cmd/noctool sweep examples/sweep/replay.toml
+
+# trace-smoke proves the record→replay exactness contract end to end:
+# capture a short open-loop run's injection stream, replay the trace in
+# the recorded cell, and diff the two delivery fingerprints (any byte of
+# drift fails the diff).
+trace-smoke:
+	go run ./cmd/noctool -out /tmp/tanoq-trace-smoke.trace trace record examples/sweep/trace-smoke.toml | tee /tmp/tanoq-trace-rec.txt
+	go run ./cmd/noctool trace replay /tmp/tanoq-trace-smoke.trace | tee /tmp/tanoq-trace-rep.txt
+	@grep '^fingerprint: ' /tmp/tanoq-trace-rec.txt > /tmp/tanoq-trace-rec.fp
+	@grep '^fingerprint: ' /tmp/tanoq-trace-rep.txt > /tmp/tanoq-trace-rep.fp
+	diff /tmp/tanoq-trace-rec.fp /tmp/tanoq-trace-rep.fp
+	@echo "trace-smoke: record and replay fingerprints match"
+
+# fuzz-smoke runs the scenario-decoder fuzzer for a short budget (CI's
+# fuzz step); `go test -fuzz FuzzScenarioDecode ./internal/scenario` runs
+# it open-ended.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzScenarioDecode -fuzztime 10s ./internal/scenario
 
 # bench runs the repository benchmark suite once through `go test`.
 bench:

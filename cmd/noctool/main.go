@@ -19,14 +19,26 @@
 //	chip        chip-level QoS hardware savings of the topology-aware design
 //	motivation  Section 1's starvation demonstration (no-QoS vs PVC)
 //	ablate      PVC design-parameter sweeps (beyond the paper)
+//	closed      closed-loop hotspot clients: per-client completed-request
+//	            dispersion and round-trip latency per topology x QoS mode
+//	            (the workload class where QoS moves end-to-end throughput)
 //	bench       machine-readable engine benchmarks -> BENCH_<date>.json
-//	all         everything above (except bench and sweep), in paper order
+//	all         the paper's artifacts (fig3..motivation) in paper order;
+//	            ablate, closed, bench and sweep run separately
 //
 //	sweep <scenario>
 //	            expand and run a declarative scenario file (.json/.toml,
 //	            see internal/scenario) or built-in scenario name; the
 //	            explicitly-set -seed/-warmup/-measure flags override the
 //	            file's values, and -out writes machine-readable JSON
+//
+//	trace record <scenario>   capture a single-cell scenario's injection
+//	            stream into a binary trace (-out names the file) and
+//	            print its delivery fingerprint
+//	trace replay <file>       replay a recorded trace as a first-class
+//	            workload in the recorded cell; an open-loop recording
+//	            reproduces its fingerprint exactly
+//	trace info <file>         print a trace's header and record stats
 //
 // Flags:
 //
@@ -126,6 +138,16 @@ func main() {
 					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
 				})
 			}
+		case "trace":
+			if i+2 >= len(args) {
+				err = fmt.Errorf("trace needs a verb and a target: trace record <scenario> | trace replay <file> | trace info <file>")
+			} else {
+				verb, target := args[i+1], args[i+2]
+				i += 2
+				err = runTrace(verb, target, traceOpts{
+					params: p, explicit: explicit, quick: *quick, outPath: *out,
+				})
+			}
 		default:
 			err = run(arg, p, *quick, *csv)
 		}
@@ -137,10 +159,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario>
+	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario> | trace record|replay|info <target>
 
-experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate bench all
+experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate closed bench all
 sweep runs a declarative scenario file (.json/.toml) or built-in scenario
+trace records a single-cell scenario's injection stream / replays a trace / prints its stats
 flags:
 `)
 	flag.PrintDefaults()
@@ -212,6 +235,13 @@ func run(name string, p experiments.Params, quick, csv bool) error {
 		}
 	case "chip":
 		fmt.Println(experiments.RenderChipCost(experiments.ChipCost()))
+	case "closed":
+		rows := experiments.ClosedLoop(p)
+		if csv {
+			fmt.Print(experiments.ClosedLoopCSV(rows))
+		} else {
+			fmt.Println(experiments.RenderClosedLoop(rows))
+		}
 	case "motivation":
 		rows := experiments.Motivation(topology.MeshX1, p)
 		fmt.Println(experiments.RenderMotivation(topology.MeshX1, rows))

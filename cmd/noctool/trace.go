@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tanoq/internal/experiments"
+	"tanoq/internal/network"
+	"tanoq/internal/noc"
+	"tanoq/internal/scenario"
+	"tanoq/internal/workload"
+)
+
+// traceOpts carries the CLI state of the trace subcommands, layered over
+// scenario files exactly like the sweep subcommand's.
+type traceOpts struct {
+	params   experiments.Params
+	explicit map[string]bool
+	quick    bool
+	outPath  string
+}
+
+// runTrace dispatches `noctool trace record|replay|info <target>`.
+func runTrace(verb, target string, o traceOpts) error {
+	switch verb {
+	case "record":
+		return runTraceRecord(target, o)
+	case "replay":
+		return runTraceReplay(target, o)
+	case "info":
+		return runTraceInfo(target)
+	default:
+		return fmt.Errorf("trace: unknown verb %q (want record, replay or info)", verb)
+	}
+}
+
+// runTraceRecord runs a single-cell scenario with a recorder attached and
+// writes the captured injection stream as a binary trace whose header
+// carries the cell (topology, QoS, overrides, seed, schedule) — so the
+// trace replays self-contained. The printed fingerprint is what `trace
+// replay` must reproduce (make trace-smoke diffs the two).
+func runTraceRecord(scenarioArg string, o traceOpts) error {
+	sc, err := scenario.Load(scenarioArg)
+	if err != nil {
+		return err
+	}
+	if o.quick {
+		q := experiments.QuickParams()
+		sc.Warmup, sc.Measure = q.Warmup, q.Measure
+	}
+	if o.explicit["seed"] {
+		sc.Seeds = []uint64{o.params.Seed}
+	}
+	if o.explicit["warmup"] {
+		sc.Warmup = o.params.Warmup
+	}
+	if o.explicit["measure"] {
+		sc.Measure = o.params.Measure
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	grid, err := sc.Grid()
+	if err != nil {
+		return err
+	}
+	if grid.Size() != 1 {
+		return fmt.Errorf("trace record needs a single-cell scenario, got %d cells — narrow the axes (one pattern/topology/qos/seed/rate)", grid.Size())
+	}
+	cell := grid.Cell(0)
+	cell.Config.DisableIdleSkip = o.params.DisableIdleSkip
+	n, err := network.New(cell.Config)
+	if err != nil {
+		return err
+	}
+	if cell.Setup != nil {
+		cell.Setup(n)
+	}
+	rec := &workload.Recorder{}
+	rec.Attach(n)
+	n.WarmupAndMeasure(cell.Warmup, cell.Measure)
+
+	point := grid.Points[0]
+	tr := rec.Trace(workload.TraceHeader{
+		Nodes:         cell.Config.Nodes,
+		Topology:      point.Topology.String(),
+		QoS:           point.Mode.String(),
+		Seed:          point.Seed,
+		Warmup:        cell.Warmup,
+		Measure:       cell.Measure,
+		FrameCycles:   int(sc.FrameCycles),
+		WindowPackets: sc.WindowPackets,
+		QuantumFlits:  sc.QuantumFlits,
+		MarginClasses: sc.MarginClasses,
+	})
+	out := o.outPath
+	if out == "" {
+		out = sc.Name + ".trace"
+	}
+	blob := tr.Encode()
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d records over cycles 0..%d (%d bytes, %.1f bytes/record)\n",
+		out, rec.Len(), n.Now(), len(blob), float64(len(blob))/float64(max(rec.Len(), 1)))
+	fmt.Printf("cell: %s %s nodes=%d seed=%d warmup=%d measure=%d\n",
+		point.Topology, point.Mode, cell.Config.Nodes, point.Seed, cell.Warmup, cell.Measure)
+	fmt.Printf("fingerprint: %s\n", workload.Fingerprint(n.Stats(), n.Now()))
+	return nil
+}
+
+// runTraceReplay rebuilds the recorded cell from the trace header, runs
+// the replay workload through the recorded schedule and prints the
+// delivery fingerprint. For an open-loop recording the fingerprint equals
+// the recorded run's exactly.
+func runTraceReplay(path string, o traceOpts) error {
+	tr, err := workload.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	name := "replay:" + strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	cfg, warmup, measure, err := tr.Cell(name)
+	if err != nil {
+		return err
+	}
+	cfg.DisableIdleSkip = o.params.DisableIdleSkip
+	n, err := network.New(cfg)
+	if err != nil {
+		return err
+	}
+	n.WarmupAndMeasure(warmup, measure)
+	st := n.Stats()
+	fmt.Printf("replayed %s: %d records, delivered %d packets, mean latency %.1f cycles\n",
+		path, len(tr.Records), st.TotalDelivered, st.MeanLatency())
+	fmt.Printf("cell: %s %s nodes=%d seed=%d warmup=%d measure=%d\n",
+		tr.Header.Topology, tr.Header.QoS, tr.Header.Nodes, tr.Header.Seed, warmup, measure)
+	fmt.Printf("fingerprint: %s\n", workload.Fingerprint(st, n.Now()))
+	return nil
+}
+
+// runTraceInfo prints a trace's header and record statistics without
+// running anything.
+func runTraceInfo(path string) error {
+	tr, err := workload.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	h := tr.Header
+	fmt.Printf("%s: %d records\n", path, len(tr.Records))
+	fmt.Printf("cell: %s %s nodes=%d seed=%d warmup=%d measure=%d\n",
+		h.Topology, h.QoS, h.Nodes, h.Seed, h.Warmup, h.Measure)
+	if h.FrameCycles != 0 || h.WindowPackets != 0 || h.QuantumFlits != 0 || h.MarginClasses != 0 {
+		fmt.Printf("qos overrides: frame=%d window=%d quantum=%d margin=%d\n",
+			h.FrameCycles, h.WindowPackets, h.QuantumFlits, h.MarginClasses)
+	}
+	if len(tr.Records) == 0 {
+		return nil
+	}
+	flows := map[noc.FlowID]int{}
+	classes := map[noc.Class]int{}
+	var flits int
+	for _, r := range tr.Records {
+		flows[r.Flow]++
+		classes[r.Class]++
+		flits += r.Class.Flits()
+	}
+	first, last := tr.Records[0].At, tr.Records[len(tr.Records)-1].At
+	span := last - first + 1
+	fmt.Printf("cycles %d..%d, %d active flows, %d requests / %d replies, %d flits (%.4f flits/cycle)\n",
+		first, last, len(flows), classes[noc.ClassRequest], classes[noc.ClassReply],
+		flits, float64(flits)/float64(span))
+	return nil
+}

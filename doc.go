@@ -22,6 +22,25 @@
 //     expanded onto the parallel runner, with the paper's own evaluation
 //     grids available as built-in scenarios (internal/scenario,
 //     noctool sweep),
+//   - a closed-loop workload subsystem (internal/workload): per-node
+//     request–reply clients with a bounded window of outstanding
+//     requests and geometric think time, wired through the engine's
+//     delivery hook and scheduled-injection surface — a delivered
+//     request triggers a reply at the ejection side, charged to the
+//     requesting client's flow, and the reply's delivery credits the
+//     client's window — the first workload class where QoS mode changes
+//     end-to-end client throughput rather than just latency tails
+//     (noctool closed; the scenario [workload] table sweeps
+//     mode/outstanding/think_time),
+//   - a deterministic trace layer (internal/workload): a recorder
+//     capturing any run's injection stream through the engine's
+//     generation hook, a compact varint-delta binary format with a
+//     self-describing header, and a replayer that re-runs the stream as
+//     a first-class injection source behind the engine's arrival
+//     schedule — replaying an open-loop recording reproduces its
+//     delivery fingerprint exactly, and replays are bit-identical
+//     across worker counts and idle-skip settings (noctool trace
+//     record|replay|info, make trace-smoke),
 //   - Orion/CACTI-style analytical area and energy models at 32 nm
 //     (internal/physical),
 //   - the chip-level topology-aware architecture: a 256-tile CMP with 4-way

@@ -3,6 +3,7 @@ package network
 import (
 	"testing"
 
+	"tanoq/internal/noc"
 	"tanoq/internal/qos"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
@@ -36,6 +37,65 @@ func TestStepAllocationFreeAtSteadyState(t *testing.T) {
 				t.Errorf("%v: %v allocs per Step at steady state, want exactly 0", kind, avg)
 			}
 		})
+	}
+}
+
+// TestStepAllocationFreeWithDeliveryHook pins the workload-attachment
+// contract: unlike the diagnostic preempt/grant hooks (which suppress
+// slot recycling), a delivery hook is a production surface — installing
+// one must leave the steady-state allocation count at exactly zero. The
+// hook here does real work (field reads into package-level sinks) so the
+// call cannot be optimized away.
+func TestStepAllocationFreeWithDeliveryHook(t *testing.T) {
+	var deliveries int64
+	var lastFlow noc.FlowID
+	w := traffic.UniformRandom(topology.ColumnNodes, 0.04)
+	n := MustNew(Config{
+		Kind:     topology.MECS,
+		QoS:      qos.DefaultConfig(w.TotalFlows()),
+		Workload: w,
+		Seed:     3,
+	})
+	n.SetDeliveryHook(func(d Delivery) {
+		deliveries++
+		lastFlow = d.Flow
+	})
+	n.Run(30_000)
+	before := deliveries
+	if avg := testing.AllocsPerRun(5_000, n.Step); avg != 0 {
+		t.Errorf("%v allocs per Step with a delivery hook installed, want exactly 0", avg)
+	}
+	if deliveries == before {
+		t.Fatal("hook never fired during the measured window")
+	}
+	_ = lastFlow
+	// The free list must have been exercised: a delivery hook does not
+	// suppress recycling the way diagnostic hooks do.
+	if len(n.free) == 0 {
+		t.Error("delivery hook suppressed packet recycling")
+	}
+}
+
+// TestResetClearsWorkloadAttachments pins the per-cell hygiene contract:
+// a Reset network carries no delivery/generation hooks and no pending
+// scheduled injections from its previous cell.
+func TestResetClearsWorkloadAttachments(t *testing.T) {
+	w := traffic.UniformRandom(topology.ColumnNodes, 0.03)
+	cfg := Config{Kind: topology.MeshX1, QoS: qos.DefaultConfig(w.TotalFlows()), Workload: w, Seed: 1}
+	n := MustNew(cfg)
+	fired := false
+	n.SetDeliveryHook(func(Delivery) { fired = true })
+	n.SetGenHook(func(traffic.TraceRecord) { fired = true })
+	n.ScheduleInjection(0, -1, 1, noc.ClassRequest, noc.KindRequest, 0, 100)
+	if err := n.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5_000)
+	if fired {
+		t.Error("a workload hook survived Reset")
+	}
+	if len(n.injFree) != 0 || len(n.injPool) != 0 {
+		t.Errorf("pending injections survived Reset: pool %d free %d", len(n.injPool), len(n.injFree))
 	}
 }
 

@@ -40,8 +40,8 @@ func TestArenaGenerationGuardsStaleHandles(t *testing.T) {
 		gen uint32
 		id  uint64
 	}
-	var live []stale  // handles of packets not yet recycled
-	var dead []stale  // handles captured before their recycle
+	var live []stale // handles of packets not yet recycled
+	var dead []stale // handles captured before their recycle
 	for step := 0; step < 10_000; step++ {
 		if len(live) == 0 || rng.Intn(2) == 0 {
 			h := n.newPacket(s, noc.ClassRequest, 1, sim.Cycle(step))

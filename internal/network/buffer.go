@@ -234,4 +234,3 @@ func (b *inBuf) canAlloc(reserved bool) bool {
 	}
 	return b.firstFree(!reserved) >= 0
 }
-

@@ -27,6 +27,12 @@ const (
 	// evNack: the ACK network reports a preemption; the source queues
 	// the packet for retransmission.
 	evNack
+	// evInject: an externally scheduled packet generation comes due
+	// (ScheduleInjection): the pending-injection record named by the
+	// event's buf field is consumed and its packet generated. This is
+	// how the closed-loop workload layer issues client requests and
+	// server replies; making them events keeps idle-skip horizons exact.
+	evInject
 )
 
 // event is one scheduled occurrence. Packet-borne events carry the attempt
@@ -267,6 +273,12 @@ func (n *Network) dispatch(ev event, now sim.Cycle) {
 		n.bufs[ev.buf].release(int32(ev.vc), ev.gen)
 		return
 	}
+	if ev.kind == evInject {
+		rec := n.injPool[ev.buf]
+		n.injFree = append(n.injFree, ev.buf)
+		n.generateScheduled(rec, now)
+		return
+	}
 	p := &n.arena[ev.p]
 	if p.gen != ev.pgen {
 		return // the packet was recycled; its slot moved on
@@ -323,6 +335,16 @@ func (n *Network) onDeliver(h pktH, p *pkt, attempt int, now sim.Cycle) {
 	p.state = stDelivered
 	n.inFlight--
 	n.coll.Delivered(p.Flow, p.Size, int64(now-p.Created), now)
+	if n.deliveryHook != nil {
+		// Value copy: the hook may trigger recycling-adjacent work (it
+		// runs before the ACK that frees this slot) and must never hold
+		// the arena slot itself.
+		n.deliveryHook(Delivery{
+			ID: p.ID, Parent: p.Parent, Flow: p.Flow, Src: p.Src, Dst: p.Dst,
+			Class: p.Class, Kind: p.Kind, SrcIdx: p.srcIdx,
+			Created: p.Created, Injected: p.Injected, At: now,
+		})
+	}
 	// The ejection VC's release was scheduled at grant time (the
 	// terminal's credit loop runs ahead of the tail's arrival), at
 	// grant+Size+1 — and with every ejection RouterDelay >= 2, this

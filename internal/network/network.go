@@ -64,6 +64,20 @@
 // produces bit-identical results (TestIdleSkipMechanicallyEquivalent).
 // Low-load cells of the paper's latency-load sweeps thus cost O(packets),
 // not O(cycles).
+//
+// # Workload attachment
+//
+// External workload drivers (internal/workload) attach through three
+// surfaces that are zero-cost and bit-identical when unused (see
+// inject.go): SetDeliveryHook observes every delivery, SetGenHook
+// observes every generation as a trace record, and ScheduleInjection
+// generates a packet at an exact future cycle through the event ring —
+// so closed-loop client wake-ups are first-class events the idle
+// fast-forward accounts for exactly. Sources can also replay a
+// prerecorded event stream verbatim (traffic.Spec.Replay) through the
+// ordinary arrival schedule, consuming no randomness. Unlike the
+// diagnostic preempt/grant hooks, none of these suppress packet
+// recycling, and Reset clears them — drivers re-attach per cell.
 package network
 
 import (
@@ -162,6 +176,19 @@ type Network struct {
 	// slot recycling.
 	preemptHook func(*inBuf, pktH)
 	grantHook   func(*outPort, pktH)
+
+	// deliveryHook and genHook are the workload-attachment surface (see
+	// inject.go): value-passing observers of deliveries and generations.
+	// Unlike the diagnostic hooks above they never suppress recycling,
+	// and Reset clears them — workload drivers re-attach per cell.
+	deliveryHook func(Delivery)
+	genHook      func(traffic.TraceRecord)
+	// injPool parks externally scheduled injections between
+	// ScheduleInjection and their evInject firing; injFree is its
+	// recycled-slot stack. Both are lazily allocated: open-loop runs
+	// never touch them.
+	injPool []pendingInj
+	injFree []int32
 }
 
 // New builds a network from the configuration. It validates that the QoS
@@ -184,7 +211,10 @@ func New(cfg Config) (*Network, error) {
 // cells on one allocation per worker (runner.RunCells).
 //
 // The measurement collector is freshly allocated — results escape to the
-// caller — and diagnostic hooks are preserved.
+// caller — and diagnostic hooks are preserved. Workload attachments
+// (delivery/generation hooks, pending scheduled injections) are cleared:
+// they belong to the previous cell's driver, which must re-attach
+// (runner.Cell.Setup runs after every Reset for exactly this).
 func (n *Network) Reset(cfg Config) error {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = topology.ColumnNodes
@@ -201,6 +231,14 @@ func (n *Network) Reset(cfg Config) error {
 		}
 		if err := s.Validate(); err != nil {
 			return fmt.Errorf("network: %w", err)
+		}
+		if s.Replay != nil {
+			for i, ev := range s.Replay.Events {
+				if int(ev.Dst) >= cfg.Nodes {
+					return fmt.Errorf("network: replay flow %d event %d destination %d outside column of %d",
+						s.Flow, i, ev.Dst, cfg.Nodes)
+				}
+			}
 		}
 	}
 
@@ -298,6 +336,10 @@ func (n *Network) Reset(cfg Config) error {
 	}
 	n.arena = n.arena[:1]
 	n.free = n.free[:0]
+	n.deliveryHook = nil
+	n.genHook = nil
+	n.injPool = n.injPool[:0]
+	n.injFree = n.injFree[:0]
 	n.events.reset()
 	if n.arrivals.items == nil {
 		n.arrivals.items = make([]arrival, 0, len(cfg.Workload.Specs))
@@ -332,6 +374,11 @@ func (n *Network) Reset(cfg Config) error {
 // generating. Both the initial scheduling and Step's in-place heap
 // replacement use this single predicate, so they can never drift apart.
 func (n *Network) arrivalEligible(s *source) bool {
+	if s.replay != nil {
+		// Replay sources are scheduled while records remain; the recorded
+		// stream is explicit, so StopAt does not apply.
+		return int(s.replayPos) < len(s.replay.Events)
+	}
 	if !s.arr.Active() {
 		return false
 	}
@@ -378,6 +425,10 @@ func MustNew(cfg Config) *Network {
 
 // Stats exposes the measurement collector.
 func (n *Network) Stats() *stats.Collector { return n.coll }
+
+// Config returns the configuration this network was last (re)built for.
+// Workload drivers use it to resolve injector indices and populations.
+func (n *Network) Config() Config { return n.cfg }
 
 // Now returns the current simulation cycle.
 func (n *Network) Now() sim.Cycle { return n.clock.Now() }

@@ -56,6 +56,14 @@ type source struct {
 	arr         traffic.ArrivalSampler
 	nextArrival sim.Cycle
 
+	// replay/replayPos drive trace-replay generation (spec.Replay set):
+	// nextArrival walks the recorded event cycles and generation emits
+	// the records verbatim, consuming no randomness. Unlike sampled
+	// arrivals, recorded cycles may repeat (a server source can generate
+	// two same-cycle replies), which the arrival loop already handles.
+	replay    *traffic.Replay
+	replayPos int32
+
 	generated int64
 	injected  int64
 }
@@ -77,6 +85,15 @@ func (s *source) reinit(netRNG *sim.RNG, spec traffic.Spec, idx int32) {
 	s.generated = 0
 	s.injected = 0
 	s.nextArrival = 0
+	s.replay = spec.Replay
+	s.replayPos = 0
+	if s.replay != nil {
+		s.arr = traffic.ArrivalSampler{} // inactive; records drive generation
+		if len(s.replay.Events) > 0 {
+			s.nextArrival = s.replay.Events[0].At
+		}
+		return
+	}
 	s.arr = spec.NewArrivalSampler(&s.rng)
 	if s.arr.Active() {
 		// The first arrival lands at gap-1 so that cycle 0 succeeds with
@@ -136,17 +153,43 @@ func (q *pktQueue) pop() pktH {
 // the source at all. Destination selection delegates to the spec's Dest
 // pattern; both calls are allocation-free.
 func (n *Network) generate(s *source, t sim.Cycle) {
+	if s.replay != nil {
+		n.generateReplay(s, t)
+		return
+	}
 	class := noc.ClassReply
 	if s.rng.Bernoulli(s.spec.RequestFraction) {
 		class = noc.ClassRequest
 	}
-	h := n.newPacket(s, class, s.spec.Dest.Pick(&s.rng), t)
+	dst := s.spec.Dest.Pick(&s.rng)
+	h := n.newPacket(s, class, dst, t)
 	s.queue.push(h)
 	s.generated++
+	if n.genHook != nil {
+		n.genHook(traffic.TraceRecord{At: t, Flow: s.spec.Flow, Src: s.spec.Node, Dst: dst, Class: class})
+	}
 	n.markOfferable(s)
 	// Gaps are >= 1, so arrivals never bunch within a cycle and
 	// nextArrival strictly advances.
 	s.nextArrival = t + s.arr.NextGap(&s.rng)
+}
+
+// generateReplay emits the source's next recorded event verbatim — the
+// replay counterpart of generate, consuming no randomness. Re-recording a
+// replayed run (the gen hook below) reproduces the trace.
+func (n *Network) generateReplay(s *source, t sim.Cycle) {
+	ev := s.replay.Events[s.replayPos]
+	s.replayPos++
+	h := n.newPacket(s, ev.Class, ev.Dst, t)
+	s.queue.push(h)
+	s.generated++
+	if n.genHook != nil {
+		n.genHook(traffic.TraceRecord{At: t, Flow: s.spec.Flow, Src: s.spec.Node, Dst: ev.Dst, Class: ev.Class})
+	}
+	n.markOfferable(s)
+	if int(s.replayPos) < len(s.replay.Events) {
+		s.nextArrival = s.replay.Events[s.replayPos].At
+	}
 }
 
 // offer registers the next injectable packet as a first-leg arbitration

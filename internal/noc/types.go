@@ -37,6 +37,35 @@ const (
 	ClassReply
 )
 
+// PacketKind is the closed-loop role of a packet. Open-loop synthetic
+// traffic leaves it at the zero value; the closed-loop workload layer
+// (internal/workload) marks client-issued packets as requests and the
+// server-side answers as replies, and uses the distinction at delivery
+// time to trigger replies and credit client windows.
+type PacketKind uint8
+
+const (
+	// KindOpen is open-loop synthetic traffic (the zero value, so every
+	// pre-existing workload is unchanged).
+	KindOpen PacketKind = iota
+	// KindRequest is a closed-loop client request awaiting a reply.
+	KindRequest
+	// KindReply answers a request; its delivery credits the issuing
+	// client's window of outstanding requests.
+	KindReply
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindReply:
+		return "reply"
+	default:
+		return "open"
+	}
+}
+
 // Flits returns the packet size in flits for the class.
 func (c Class) Flits() int {
 	if c == ClassReply {
@@ -96,6 +125,16 @@ type Packet struct {
 	Class Class
 	// Size is the length in flits (cached from Class at creation).
 	Size int
+
+	// Kind is the closed-loop role of the packet (open/request/reply);
+	// open-loop traffic leaves the zero value.
+	Kind PacketKind
+	// Parent is opaque parent-transaction metadata propagated by the
+	// closed-loop workload layer: a reply carries its request's Parent
+	// verbatim, letting the layer correlate the two ends of a round trip
+	// without any lookup state (the layer stores the request's issue
+	// cycle here). Zero for open-loop traffic.
+	Parent uint64
 
 	// Priority is the PVC priority carried in the header. It is computed
 	// from the flow table at injection and refreshed at flow-table-

@@ -34,6 +34,20 @@ const (
 	NoQoS
 )
 
+// Modes lists the evaluated policies in the paper's comparison order.
+func Modes() []Mode { return []Mode{PVC, PerFlowQueue, NoQoS} }
+
+// ModeByName resolves a mode from its String name — the single
+// name-to-enum mapping shared by scenario files and trace headers.
+func ModeByName(name string) (Mode, error) {
+	for _, m := range Modes() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("qos: unknown mode %q (want pvc, per-flow-queue, no-qos)", name)
+}
+
 func (m Mode) String() string {
 	switch m {
 	case PVC:

@@ -19,6 +19,14 @@ type Cell struct {
 	// with the collector live (Network.WarmupAndMeasure).
 	Warmup  int
 	Measure int
+	// Setup, when non-nil, runs after the cell's network is built or
+	// reset and before warmup. It attaches auxiliary drivers — a
+	// closed-loop client controller, a trace recorder — to the fresh
+	// network (Network.Reset clears workload hooks precisely so that a
+	// cell without Setup inherits nothing from its slot's previous
+	// cell). Whatever it returns is surfaced on Result.Aux. Setup runs
+	// on the worker goroutine and must touch only per-cell state.
+	Setup func(*network.Network) any
 }
 
 // Result is the outcome of one cell.
@@ -29,6 +37,9 @@ type Result struct {
 	// End is the simulation cycle at the end of the measurement window
 	// (the `now` argument of rate metrics such as AcceptedFlitRate).
 	End sim.Cycle
+	// Aux is whatever the cell's Setup returned (nil without one) —
+	// typically the attached driver, read back for its statistics.
+	Aux any
 }
 
 // Workers resolves a requested worker count: n <= 0 selects one worker
@@ -141,8 +152,12 @@ func RunCells(cells []Cell, workers int) []Result {
 		} else if err := n.Reset(cells[i].Config); err != nil {
 			panic(err)
 		}
+		var aux any
+		if cells[i].Setup != nil {
+			aux = cells[i].Setup(n)
+		}
 		n.WarmupAndMeasure(cells[i].Warmup, cells[i].Measure)
-		out[i] = Result{Stats: n.Stats(), End: n.Now()}
+		out[i] = Result{Stats: n.Stats(), End: n.Now(), Aux: aux}
 	})
 	return out
 }

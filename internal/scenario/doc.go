@@ -37,10 +37,35 @@
 //	frame_cycles, window_packets, quantum_flits, margin_classes
 //	                  QoS parameter overrides (defaults from package qos)
 //
+// The [workload] table selects the workload class and its axes
+// (internal/workload):
+//
+//	mode(s)           open | closed, an axis (default open). Closed cells
+//	                  run per-node request–reply clients — the pattern
+//	                  axis picks request destinations — and fan out over
+//	                  outstanding × think_time instead of the rate axis.
+//	outstanding       closed: window of outstanding requests per client,
+//	                  an axis (default 4)
+//	think_time(s)     closed: mean think cycles between reply and next
+//	                  request, an axis (default 0 = back-to-back)
+//	request_flits, reply_flits
+//	                  closed: transaction shape, 1 or 4 (default 1/4 =
+//	                  read-shaped; 4/1 models write-shaped traffic whose
+//	                  bandwidth rides the request path)
+//	trace(s)          replay axis: recorded binary traces (relative paths
+//	                  resolve against the scenario file) replayed verbatim
+//	                  as trace × topology × qos × seed cells; mutually
+//	                  exclusive with patterns/rates/flows and mode
+//
 // Unknown keys are rejected, so typos fail loudly instead of silently
 // dropping an axis. See examples/sweep/ for runnable files and
 // cmd/noctool's sweep subcommand for the CLI entry point, which layers
 // explicitly-set -seed/-warmup/-measure flags over the file's values.
+//
+// Every result row carries Table-2-style fairness dispersion —
+// min/max/stddev of per-flow delivered flits (open/replay cells) or
+// per-client completed requests (closed cells) as percentages of the
+// mean — alongside the latency and throughput aggregates.
 //
 // # Determinism
 //

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioDecode drives arbitrary bytes through both scenario
+// decoders — the hand-rolled TOML subset and the JSON path — hunting
+// panics, hangs and validation escapes in the parser/decoder/validator
+// stack. The seed corpus is every shipped example scenario plus a set of
+// shapes covering each decoder feature (tables, array-of-tables, the
+// [workload] and [burst] tables, flows lists, escapes, comments).
+func FuzzScenarioDecode(f *testing.F) {
+	seeds := []string{
+		`{"rates":[0.05],"topologies":["mesh_x1"]}`,
+		`{"flows":[{"node":1,"rate":0.2,"dest":"hotspot"}],"qos":["all"]}`,
+		"rate = 0.05\ntopology = \"all\"\n",
+		"rates = [0.01, 0.05]\n[burst]\nmean_on = 50\nmean_off = 150\n",
+		"pattern = \"hotspot\"\nhotspot_weights = [1, 0, 2.5]\n",
+		"[workload]\nmode = \"closed\"\noutstanding = [2, 8]\nthink_time = 50\n",
+		"[workload]\ntrace = \"no/such/file.trace\"\n",
+		"[[flows]]\nnode = 1\nrate = 0.2\n[[flows]]\nnode = 2\nrate = 0.1\ndest = 0\n",
+		"name = \"esc \\\"q\\\" # not a comment\" # comment\nrate = 1_000e-4\n",
+		"seed = [1, 2, 3]\nqos = [\"pvc\", \"no-qos\"]\nmeasure = 5000\n",
+	}
+	// Every shipped example file is a seed: the fuzzer starts from the
+	// real surface users feed the decoder.
+	if paths, err := filepath.Glob("../../examples/sweep/*"); err == nil {
+		for _, p := range paths {
+			if blob, err := os.ReadFile(p); err == nil {
+				seeds = append(seeds, string(blob))
+			}
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, ext := range []string{".json", ".toml"} {
+			sc, err := Parse([]byte(data), ext)
+			if err != nil {
+				continue
+			}
+			if sc == nil {
+				t.Fatalf("%s: Parse returned nil scenario without error", ext)
+			}
+			// A scenario that parsed and validated must expand, unless it
+			// names trace files (Grid reads those from disk; missing
+			// files are an expected, clean error).
+			if len(sc.Traces) > 0 {
+				continue
+			}
+			if _, err := sc.Grid(); err != nil {
+				t.Fatalf("%s: validated scenario failed to expand: %v\ninput: %q", ext, err, data)
+			}
+		}
+	})
+}

@@ -3,14 +3,18 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"tanoq/internal/network"
+	"tanoq/internal/noc"
 	"tanoq/internal/qos"
 	"tanoq/internal/runner"
 	"tanoq/internal/sim"
+	"tanoq/internal/stats"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
+	"tanoq/internal/workload"
 )
 
 // Point labels one cell of an expanded sweep grid.
@@ -22,8 +26,15 @@ type Point struct {
 	Mode     qos.Mode
 	Seed     uint64
 	// Rate is the per-injector offered load of the point; explicit-flows
-	// scenarios report their aggregate offered load instead.
+	// scenarios report their aggregate offered load instead. Closed-loop
+	// and replay cells have no offered-load axis and report zero.
 	Rate float64
+	// Workload is the cell's workload class: "open", "closed", or
+	// "replay:<trace>" for trace-replay cells.
+	Workload string
+	// Outstanding and Think are the closed-loop axes (zero elsewhere).
+	Outstanding int
+	Think       float64
 }
 
 // Grid is a fully-expanded scenario: the cross product of the sweep axes
@@ -35,53 +46,93 @@ type Grid struct {
 	Scenario *Scenario
 	Points   []Point
 	cells    []runner.Cell
+	meta     []cellMeta
+}
+
+// cellMeta carries what Run needs beyond the cell itself: the flows the
+// fairness dispersion is computed over (open/flows/replay cells) or the
+// closed-loop marker (dispersion over clients instead).
+type cellMeta struct {
+	active []noc.FlowID
+	closed bool
+}
+
+// activeFlows lists the flows a workload actually injects on.
+func activeFlows(w traffic.Workload) []noc.FlowID {
+	var out []noc.FlowID
+	for _, s := range w.Specs {
+		if s.Rate > 0 || s.Replay != nil {
+			out = append(out, s.Flow)
+		}
+	}
+	return out
 }
 
 // Grid expands the scenario into its run grid.
 func (sc *Scenario) Grid() (*Grid, error) {
 	g := &Grid{Scenario: sc}
-	add := func(p Point, cfg network.Config) {
+	add := func(p Point, cell runner.Cell, m cellMeta) {
+		cell.Warmup, cell.Measure = sc.Warmup, sc.Measure
 		g.Points = append(g.Points, p)
-		g.cells = append(g.cells, runner.Cell{Config: cfg, Warmup: sc.Warmup, Measure: sc.Measure})
+		g.cells = append(g.cells, cell)
+		g.meta = append(g.meta, m)
+	}
+	if len(sc.Traces) > 0 {
+		return g, sc.expandTraces(add)
 	}
 	if len(sc.Flows) > 0 {
 		w := sc.flowWorkload()
+		active := activeFlows(w)
 		for _, kind := range sc.Topologies {
 			for _, mode := range sc.Modes {
 				for _, seed := range sc.Seeds {
-					add(Point{Pattern: "flows", Topology: kind, Mode: mode, Seed: seed, Rate: w.OfferedLoad()},
-						network.Config{
+					add(Point{Pattern: "flows", Topology: kind, Mode: mode, Seed: seed,
+						Rate: w.OfferedLoad(), Workload: "open"},
+						runner.Cell{Config: network.Config{
 							Kind: kind, Nodes: sc.Nodes,
 							QoS:      sc.qosConfig(mode, w.TotalFlows()),
 							Workload: w, Seed: seed,
-						})
+						}},
+						cellMeta{active: active})
 				}
 			}
 		}
 		return g, nil
 	}
 	for _, pat := range sc.Patterns {
-		// Workloads depend only on (pattern, rate); Dest pickers are
-		// stateless and safe to share across the cells of the
-		// topology × mode × seed fan-out.
-		ws := make([]traffic.Workload, len(sc.Rates))
-		for ri, rate := range sc.Rates {
-			w, err := sc.workload(pat, rate)
-			if err != nil {
-				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		for _, wmode := range sc.WorkloadModes {
+			if wmode == "closed" {
+				if err := sc.expandClosed(pat, add); err != nil {
+					return nil, err
+				}
+				continue
 			}
-			ws[ri] = w
-		}
-		for _, kind := range sc.Topologies {
-			for _, mode := range sc.Modes {
-				for _, seed := range sc.Seeds {
-					for ri, rate := range sc.Rates {
-						add(Point{Pattern: pat, Topology: kind, Mode: mode, Seed: seed, Rate: rate},
-							network.Config{
-								Kind: kind, Nodes: sc.Nodes,
-								QoS:      sc.qosConfig(mode, ws[ri].TotalFlows()),
-								Workload: ws[ri], Seed: seed,
-							})
+			// Workloads depend only on (pattern, rate); Dest pickers are
+			// stateless and safe to share across the cells of the
+			// topology × mode × seed fan-out.
+			ws := make([]traffic.Workload, len(sc.Rates))
+			actives := make([][]noc.FlowID, len(sc.Rates))
+			for ri, rate := range sc.Rates {
+				w, err := sc.workload(pat, rate)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+				}
+				ws[ri] = w
+				actives[ri] = activeFlows(w)
+			}
+			for _, kind := range sc.Topologies {
+				for _, mode := range sc.Modes {
+					for _, seed := range sc.Seeds {
+						for ri, rate := range sc.Rates {
+							add(Point{Pattern: pat, Topology: kind, Mode: mode, Seed: seed,
+								Rate: rate, Workload: "open"},
+								runner.Cell{Config: network.Config{
+									Kind: kind, Nodes: sc.Nodes,
+									QoS:      sc.qosConfig(mode, ws[ri].TotalFlows()),
+									Workload: ws[ri], Seed: seed,
+								}},
+								cellMeta{active: actives[ri]})
+						}
 					}
 				}
 			}
@@ -90,8 +141,97 @@ func (sc *Scenario) Grid() (*Grid, error) {
 	return g, nil
 }
 
+// expandClosed appends the closed-loop cells of one pattern: topology ×
+// qos × seed × outstanding × think_time, each with a Setup that attaches
+// a fresh client controller to the cell's reset network.
+func (sc *Scenario) expandClosed(patName string, add func(Point, runner.Cell, cellMeta)) error {
+	pattern, err := sc.pattern(patName)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	w := workload.ClientWorkload("closed-"+patName, sc.Nodes)
+	for _, kind := range sc.Topologies {
+		for _, mode := range sc.Modes {
+			for _, seed := range sc.Seeds {
+				for _, out := range sc.Outstanding {
+					for _, think := range sc.ThinkTimes {
+						ccfg := workload.ClientConfig{
+							Outstanding: out, ThinkMean: think,
+							Pattern: pattern, Seed: seed,
+							RequestFlits: sc.RequestFlits, ReplyFlits: sc.ReplyFlits,
+						}
+						add(Point{Pattern: patName, Topology: kind, Mode: mode, Seed: seed,
+							Workload: "closed", Outstanding: out, Think: think},
+							runner.Cell{
+								Config: network.Config{
+									Kind: kind, Nodes: sc.Nodes,
+									QoS:      sc.qosConfig(mode, w.TotalFlows()),
+									Workload: w, Seed: seed,
+								},
+								Setup: func(n *network.Network) any {
+									ct, err := workload.NewController(n, ccfg)
+									if err != nil {
+										panic(err)
+									}
+									return ct
+								},
+							},
+							cellMeta{closed: true})
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// expandTraces appends the replay cells: trace × topology × qos × seed,
+// each replaying the decoded injection stream verbatim. Relative trace
+// paths resolve against the scenario file's directory.
+func (sc *Scenario) expandTraces(add func(Point, runner.Cell, cellMeta)) error {
+	for _, trPath := range sc.Traces {
+		path := trPath
+		if !filepath.IsAbs(path) && sc.baseDir != "" {
+			path = filepath.Join(sc.baseDir, path)
+		}
+		tr, err := workload.ReadTraceFile(path)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		if tr.Header.Nodes != sc.Nodes {
+			return fmt.Errorf("scenario %s: trace %s recorded a %d-node column, scenario has %d",
+				sc.Name, trPath, tr.Header.Nodes, sc.Nodes)
+		}
+		label := "replay:" + strings.TrimSuffix(filepath.Base(trPath), filepath.Ext(trPath))
+		w, err := tr.Workload(label)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		active := activeFlows(w)
+		for _, kind := range sc.Topologies {
+			for _, mode := range sc.Modes {
+				for _, seed := range sc.Seeds {
+					add(Point{Pattern: "trace", Topology: kind, Mode: mode, Seed: seed, Workload: label},
+						runner.Cell{Config: network.Config{
+							Kind: kind, Nodes: sc.Nodes,
+							QoS:      sc.qosConfig(mode, w.TotalFlows()),
+							Workload: w, Seed: seed,
+						}},
+						cellMeta{active: active})
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Size returns the number of grid cells.
 func (g *Grid) Size() int { return len(g.cells) }
+
+// Cell returns a copy of grid cell i — the runner cell the sweep would
+// execute — for drivers that run cells individually (noctool trace
+// record).
+func (g *Grid) Cell(i int) runner.Cell { return g.cells[i] }
 
 // RunOpts carries the runtime knobs that never change results: worker
 // count (bit-identical for every value) and the idle-skip proof toggle.
@@ -116,6 +256,18 @@ type Result struct {
 	Delivered int64
 	// End is the cycle at the end of the measurement window.
 	End sim.Cycle
+	// Throughput fairness dispersion, Table-2 style: min/max/stddev of
+	// per-unit throughput as percentages of its mean, where the unit is
+	// a flow's delivered flits (open/flows/replay cells) or a client's
+	// completed requests (closed cells).
+	TputMinPct    float64
+	TputMaxPct    float64
+	TputStdDevPct float64
+	// Closed-loop metrics (zero elsewhere): completed round trips and
+	// their latency distribution over the measurement window.
+	Completed int64
+	MeanRTT   float64
+	P99RTT    float64
 }
 
 // Run executes every cell across the parallel runner and collects the
@@ -140,18 +292,46 @@ func (g *Grid) Run(opts RunOpts) []Result {
 			Delivered:     st.TotalDelivered,
 			End:           r.End,
 		}
+		m := g.meta[i]
+		var summary stats.Summary
+		if m.closed {
+			ct := r.Aux.(*workload.Controller)
+			summary = stats.Summarize(ct.RT.PerClient())
+			out[i].Completed = ct.RT.TotalCompleted()
+			out[i].MeanRTT = ct.RT.MeanRTT()
+			out[i].P99RTT = float64(ct.RT.Latencies.Percentile(99))
+		} else {
+			flits := st.FlitsByFlow()
+			vals := make([]float64, 0, len(m.active))
+			for _, f := range m.active {
+				vals = append(vals, float64(flits[f]))
+			}
+			summary = stats.Summarize(vals)
+		}
+		out[i].TputMinPct = summary.MinPctOfMean()
+		out[i].TputMaxPct = summary.MaxPctOfMean()
+		out[i].TputStdDevPct = summary.StdDevPctOfMean()
 	}
 	return out
 }
 
-// CSV renders results as one row per grid point.
+// CSV renders results as one row per grid point. Alongside the latency
+// and throughput aggregates, every row carries the Table-2-style fairness
+// dispersion of its cell (min/max/stddev of per-flow — or per-client —
+// throughput as % of mean), and closed-loop rows add round-trip columns.
 func CSV(name string, results []Result) string {
 	var b strings.Builder
-	b.WriteString("scenario,pattern,topology,qos,seed,rate,mean_latency_cycles,p99_latency_cycles,accepted_flits_per_cycle,preemption_pct,delivered_packets\n")
+	b.WriteString("scenario,workload,pattern,topology,qos,seed,rate,outstanding,think_time," +
+		"mean_latency_cycles,p99_latency_cycles,accepted_flits_per_cycle,preemption_pct,delivered_packets," +
+		"tput_min_pct_of_mean,tput_max_pct_of_mean,tput_stddev_pct_of_mean," +
+		"completed_requests,mean_rtt_cycles,p99_rtt_cycles\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%.4f,%.3f,%.0f,%.4f,%.4f,%d\n",
-			csvEscape(name), csvEscape(r.Pattern), csvEscape(r.Topology.String()), csvEscape(r.Mode.String()),
-			r.Seed, r.Rate, r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct, r.Delivered)
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%.4f,%d,%.1f,%.3f,%.0f,%.4f,%.4f,%d,%.2f,%.2f,%.2f,%d,%.3f,%.0f\n",
+			csvEscape(name), csvEscape(r.Workload), csvEscape(r.Pattern), csvEscape(r.Topology.String()), csvEscape(r.Mode.String()),
+			r.Seed, r.Rate, r.Outstanding, r.Think,
+			r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct, r.Delivered,
+			r.TputMinPct, r.TputMaxPct, r.TputStdDevPct,
+			r.Completed, r.MeanRTT, r.P99RTT)
 	}
 	return b.String()
 }
@@ -165,16 +345,25 @@ func csvEscape(s string) string {
 
 // resultJSON is the machine-readable per-point record of JSONReport.
 type resultJSON struct {
+	Workload      string  `json:"workload"`
 	Pattern       string  `json:"pattern"`
 	Topology      string  `json:"topology"`
 	QoS           string  `json:"qos"`
 	Seed          uint64  `json:"seed"`
 	Rate          float64 `json:"rate"`
+	Outstanding   int     `json:"outstanding,omitempty"`
+	Think         float64 `json:"think_time,omitempty"`
 	MeanLatency   float64 `json:"mean_latency_cycles"`
 	P99Latency    float64 `json:"p99_latency_cycles"`
 	Accepted      float64 `json:"accepted_flits_per_cycle"`
 	PreemptionPct float64 `json:"preemption_pct"`
 	Delivered     int64   `json:"delivered_packets"`
+	TputMinPct    float64 `json:"tput_min_pct_of_mean"`
+	TputMaxPct    float64 `json:"tput_max_pct_of_mean"`
+	TputStdDevPct float64 `json:"tput_stddev_pct_of_mean"`
+	Completed     int64   `json:"completed_requests,omitempty"`
+	MeanRTT       float64 `json:"mean_rtt_cycles,omitempty"`
+	P99RTT        float64 `json:"p99_rtt_cycles,omitempty"`
 }
 
 // JSONReport marshals a sweep's results.
@@ -182,10 +371,12 @@ func JSONReport(name string, results []Result) ([]byte, error) {
 	rows := make([]resultJSON, len(results))
 	for i, r := range results {
 		rows[i] = resultJSON{
-			Pattern: r.Pattern, Topology: r.Topology.String(), QoS: r.Mode.String(),
-			Seed: r.Seed, Rate: r.Rate,
+			Workload: r.Workload, Pattern: r.Pattern, Topology: r.Topology.String(), QoS: r.Mode.String(),
+			Seed: r.Seed, Rate: r.Rate, Outstanding: r.Outstanding, Think: r.Think,
 			MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
 			Accepted: r.Accepted, PreemptionPct: r.PreemptionPct, Delivered: r.Delivered,
+			TputMinPct: r.TputMinPct, TputMaxPct: r.TputMaxPct, TputStdDevPct: r.TputStdDevPct,
+			Completed: r.Completed, MeanRTT: r.MeanRTT, P99RTT: r.P99RTT,
 		}
 	}
 	blob, err := json.MarshalIndent(struct {
@@ -198,17 +389,26 @@ func JSONReport(name string, results []Result) ([]byte, error) {
 	return append(blob, '\n'), nil
 }
 
-// Render prints results as an aligned table, one row per point.
+// Render prints results as an aligned table, one row per point. Open and
+// replay rows show offered rate and packet latency; closed rows show the
+// window/think axes and round-trip metrics; every row shows its fairness
+// dispersion (stddev of per-flow or per-client throughput, % of mean).
 func Render(name string, results []Result) string {
 	var b strings.Builder
 	title := fmt.Sprintf("Sweep: %s (%d cells)", name, len(results))
 	b.WriteString(title + "\n" + strings.Repeat("-", len(title)) + "\n")
-	fmt.Fprintf(&b, "%-14s %-9s %-14s %10s %7s %10s %9s %9s %9s\n",
-		"pattern", "topology", "qos", "seed", "rate", "latency", "p99", "accepted", "preempt")
+	fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10s %11s %10s %9s %9s %9s %8s\n",
+		"workload", "pattern", "topology", "qos", "seed", "rate/window", "latency", "p99", "accepted", "preempt", "fair-sd")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-14s %-9s %-14s %10d %6.2f%% %10.1f %9.0f %9.3f %8.2f%%\n",
-			r.Pattern, r.Topology, r.Mode, r.Seed, r.Rate*100,
-			r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct)
+		axis := fmt.Sprintf("%6.2f%%", r.Rate*100)
+		lat, p99 := r.MeanLatency, r.P99Latency
+		if r.Workload == "closed" {
+			axis = fmt.Sprintf("w%d/t%.0f", r.Outstanding, r.Think)
+			lat, p99 = r.MeanRTT, r.P99RTT
+		}
+		fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s %10.1f %9.0f %9.3f %8.2f%% %7.2f%%\n",
+			r.Workload, r.Pattern, r.Topology, r.Mode, r.Seed, axis,
+			lat, p99, r.Accepted, r.PreemptionPct, r.TputStdDevPct)
 	}
 	return b.String()
 }

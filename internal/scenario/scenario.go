@@ -51,6 +51,33 @@ type Scenario struct {
 	// explicit injector list (the adversarial-workload shape).
 	Flows []FlowSpec
 
+	// The [workload] table: the workload-class axes. WorkloadModes fans
+	// cells out over injection regimes — "open" (the stochastic
+	// generators; the default) and "closed" (request–reply clients with
+	// a bounded outstanding window and geometric think time, driven by
+	// internal/workload). Closed cells additionally fan out over the
+	// Outstanding × ThinkTimes axes and use the pattern axis for request
+	// destinations; the rate axis does not apply to them (demand is
+	// feedback-driven).
+	WorkloadModes []string
+	Outstanding   []int
+	ThinkTimes    []float64
+	// RequestFlits/ReplyFlits select the closed-loop transaction shape
+	// (0 = the defaults: 1-flit requests, 4-flit replies; setting 4/1
+	// models write-shaped traffic whose bandwidth rides the request
+	// path).
+	RequestFlits int
+	ReplyFlits   int
+	// Traces is the trace-replay axis: each entry names a recorded
+	// binary trace (relative paths resolve against the scenario file's
+	// directory) replayed verbatim as the workload of trace × topology ×
+	// qos × seed cells. Mutually exclusive with patterns/rates/flows and
+	// the mode axes.
+	Traces []string
+	// baseDir anchors relative trace paths (set by Load; empty for
+	// in-memory scenarios, which resolve against the process CWD).
+	baseDir string
+
 	// QoS parameter overrides; zero values keep the defaults.
 	FrameCycles   sim.Cycle
 	WindowPackets int
@@ -90,6 +117,7 @@ func Load(pathOrName string) (*Scenario, error) {
 	if sc.Name == "" {
 		sc.Name = strings.TrimSuffix(filepath.Base(pathOrName), filepath.Ext(pathOrName))
 	}
+	sc.baseDir = filepath.Dir(pathOrName)
 	return sc, nil
 }
 
@@ -130,7 +158,7 @@ var scenarioKeys = map[string]bool{
 	"nodes": true, "warmup": true, "measure": true, "stop_at": true,
 	"request_fraction": true, "burst": true, "hotspot_weights": true,
 	"flows": true, "frame_cycles": true, "window_packets": true,
-	"quantum_flits": true, "margin_classes": true,
+	"quantum_flits": true, "margin_classes": true, "workload": true,
 }
 
 func fromRaw(raw map[string]any) (*Scenario, error) {
@@ -168,6 +196,26 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 		bd.allowOnly("mean_on", "mean_off")
 		if bd.err != nil {
 			return nil, bd.err
+		}
+	}
+	if wl, ok := raw["workload"]; ok {
+		wm, ok := wl.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("workload must be a table/object")
+		}
+		wd := decoder{raw: wm}
+		sc.WorkloadModes = wd.strList("mode", "modes")
+		for _, o := range wd.intList("outstanding", "") {
+			sc.Outstanding = append(sc.Outstanding, int(o))
+		}
+		sc.ThinkTimes = wd.floatList("think_time", "think_times")
+		sc.RequestFlits = wd.int("request_flits", 0)
+		sc.ReplyFlits = wd.int("reply_flits", 0)
+		sc.Traces = wd.strList("trace", "traces")
+		wd.allowOnly("mode", "modes", "outstanding", "think_time", "think_times",
+			"request_flits", "reply_flits", "trace", "traces")
+		if wd.err != nil {
+			return nil, fmt.Errorf("workload: %w", wd.err)
 		}
 	}
 	for _, name := range d.strList("topology", "topologies") {
@@ -249,6 +297,14 @@ func (sc *Scenario) Validate() error {
 	if err := sc.Burst.Validate(); err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
+	if err := sc.validateWorkloadAxes(); err != nil {
+		return err
+	}
+	if len(sc.Traces) > 0 {
+		// Replay cells carry their complete injection stream; the other
+		// workload descriptions cannot coexist with them.
+		return nil
+	}
 	if len(sc.Flows) > 0 {
 		if len(sc.Patterns) > 0 || len(sc.Rates) > 0 {
 			return fmt.Errorf("scenario %s: flows and pattern/rates are mutually exclusive", sc.Name)
@@ -271,8 +327,12 @@ func (sc *Scenario) Validate() error {
 		if len(sc.Patterns) == 0 {
 			sc.Patterns = []string{"uniform"}
 		}
-		if len(sc.Rates) == 0 {
-			return fmt.Errorf("scenario %s: empty sweep — no rates and no flows", sc.Name)
+		if sc.hasMode("open") {
+			if len(sc.Rates) == 0 {
+				return fmt.Errorf("scenario %s: empty sweep — no rates and no flows", sc.Name)
+			}
+		} else if len(sc.Rates) > 0 {
+			return fmt.Errorf("scenario %s: rates set but the workload mode axis has no open cells", sc.Name)
 		}
 		for _, r := range sc.Rates {
 			if r <= 0 || r > 1 {
@@ -280,14 +340,23 @@ func (sc *Scenario) Validate() error {
 			}
 		}
 		for _, name := range sc.Patterns {
-			if _, err := sc.pattern(name); err != nil {
+			p, err := sc.pattern(name)
+			if err != nil {
 				return fmt.Errorf("scenario %s: %w", sc.Name, err)
 			}
 			// Surface population incompatibilities (non-power-of-two
 			// columns under bit permutations, weight-vector mismatches)
 			// at load time rather than mid-grid.
-			if _, err := sc.workload(name, sc.Rates[0]); err != nil {
-				return fmt.Errorf("scenario %s: %w", sc.Name, err)
+			if len(sc.Rates) > 0 {
+				if _, err := sc.workload(name, sc.Rates[0]); err != nil {
+					return fmt.Errorf("scenario %s: %w", sc.Name, err)
+				}
+			} else {
+				for node := 0; node < sc.Nodes; node++ {
+					if _, err := p.DestFor(noc.NodeID(node), sc.Nodes); err != nil {
+						return fmt.Errorf("scenario %s: %w", sc.Name, err)
+					}
+				}
 			}
 		}
 	}
@@ -295,6 +364,111 @@ func (sc *Scenario) Validate() error {
 		if err := s.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
+	}
+	return nil
+}
+
+// rejectOpenOnlyFields errors when open-loop-only shaping fields are set
+// in a scenario with no open cells (closed-only mode axis, or the trace
+// axis): burst, stop_at and request_fraction only shape the stochastic
+// generators, and silently ignoring them would break the "typos fail
+// loudly" contract. kind names the workload class for the message.
+func (sc *Scenario) rejectOpenOnlyFields(kind string) error {
+	if sc.Burst.Enabled() {
+		return fmt.Errorf("scenario %s: burst only shapes open-loop injection; a %s scenario cannot set it", sc.Name, kind)
+	}
+	if sc.StopAt > 0 {
+		return fmt.Errorf("scenario %s: stop_at only bounds open-loop injection; a %s scenario cannot set it", sc.Name, kind)
+	}
+	if sc.RequestFraction != traffic.DefaultRequestFraction {
+		return fmt.Errorf("scenario %s: request_fraction only shapes open-loop packet mix; a %s scenario cannot set it (closed cells use request_flits/reply_flits)", sc.Name, kind)
+	}
+	return nil
+}
+
+// hasMode reports whether the workload mode axis includes the given mode.
+func (sc *Scenario) hasMode(mode string) bool {
+	for _, m := range sc.WorkloadModes {
+		if m == mode {
+			return true
+		}
+	}
+	return false
+}
+
+// validateWorkloadAxes defaults and checks the [workload] table: the mode
+// axis (default open-only), the closed-cell axes, and the trace axis's
+// exclusivity with every other workload description.
+func (sc *Scenario) validateWorkloadAxes() error {
+	if len(sc.Traces) > 0 {
+		if len(sc.WorkloadModes) > 0 {
+			return fmt.Errorf("scenario %s: the trace axis and the workload mode axis are mutually exclusive", sc.Name)
+		}
+		if len(sc.Patterns) > 0 || len(sc.Rates) > 0 || len(sc.Flows) > 0 {
+			return fmt.Errorf("scenario %s: traces carry their complete injection stream; patterns/rates/flows cannot be set with them", sc.Name)
+		}
+		for _, tr := range sc.Traces {
+			if tr == "" {
+				return fmt.Errorf("scenario %s: empty trace path", sc.Name)
+			}
+		}
+		if err := sc.rejectOpenOnlyFields("trace"); err != nil {
+			return err
+		}
+		return nil
+	}
+	if len(sc.WorkloadModes) == 0 {
+		sc.WorkloadModes = []string{"open"}
+	}
+	if !sc.hasMode("open") {
+		// No open cells anywhere: the open-loop shaping fields would be
+		// silently ignored, so reject them loudly like the other
+		// cross-axis conflicts.
+		if err := sc.rejectOpenOnlyFields("closed-only"); err != nil {
+			return err
+		}
+	}
+	seen := map[string]bool{}
+	for _, m := range sc.WorkloadModes {
+		if m != "open" && m != "closed" {
+			return fmt.Errorf("scenario %s: unknown workload mode %q (want open, closed)", sc.Name, m)
+		}
+		if seen[m] {
+			return fmt.Errorf("scenario %s: workload mode %q repeated", sc.Name, m)
+		}
+		seen[m] = true
+	}
+	if sc.hasMode("closed") && len(sc.Flows) > 0 {
+		return fmt.Errorf("scenario %s: closed-loop cells use the pattern axis; flows cannot be set with them", sc.Name)
+	}
+	if !sc.hasMode("closed") && (len(sc.Outstanding) > 0 || len(sc.ThinkTimes) > 0) {
+		return fmt.Errorf("scenario %s: outstanding/think_time set but the workload mode axis has no closed cells", sc.Name)
+	}
+	if sc.hasMode("closed") {
+		if len(sc.Outstanding) == 0 {
+			sc.Outstanding = []int{4}
+		}
+		if len(sc.ThinkTimes) == 0 {
+			sc.ThinkTimes = []float64{0}
+		}
+		for _, o := range sc.Outstanding {
+			if o < 1 {
+				return fmt.Errorf("scenario %s: outstanding %d below 1", sc.Name, o)
+			}
+		}
+		for _, th := range sc.ThinkTimes {
+			if th < 0 {
+				return fmt.Errorf("scenario %s: think_time %v negative", sc.Name, th)
+			}
+		}
+		for _, fl := range []int{sc.RequestFlits, sc.ReplyFlits} {
+			if fl != 0 && fl != noc.RequestFlits && fl != noc.ReplyFlits {
+				return fmt.Errorf("scenario %s: %d-flit packets not modeled (want %d or %d)",
+					sc.Name, fl, noc.RequestFlits, noc.ReplyFlits)
+			}
+		}
+	} else if sc.RequestFlits != 0 || sc.ReplyFlits != 0 {
+		return fmt.Errorf("scenario %s: request_flits/reply_flits set but the workload mode axis has no closed cells", sc.Name)
 	}
 	return nil
 }
@@ -389,37 +563,28 @@ func (sc *Scenario) qosConfig(mode qos.Mode, flows int) qos.Config {
 	return cfg
 }
 
-// topologyByName maps a scenario topology name ("all" fans out).
+// topologyByName maps a scenario topology name ("all" fans out;
+// single names resolve through topology.KindByName).
 func topologyByName(name string) ([]topology.Kind, error) {
 	if name == "all" {
 		return topology.Kinds(), nil
 	}
-	for _, k := range topology.Kinds() {
-		if k.String() == name {
-			return []topology.Kind{k}, nil
-		}
+	k, err := topology.KindByName(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown topology %q (want all, %s)", name, kindNames())
+	return []topology.Kind{k}, nil
 }
 
-func kindNames() string {
-	var names []string
-	for _, k := range topology.Kinds() {
-		names = append(names, k.String())
-	}
-	return strings.Join(names, ", ")
-}
-
-// modeByName maps a scenario QoS name ("all" fans out).
+// modeByName maps a scenario QoS name ("all" fans out; single names
+// resolve through qos.ModeByName).
 func modeByName(name string) ([]qos.Mode, error) {
-	all := []qos.Mode{qos.PVC, qos.PerFlowQueue, qos.NoQoS}
 	if name == "all" {
-		return all, nil
+		return qos.Modes(), nil
 	}
-	for _, m := range all {
-		if m.String() == name {
-			return []qos.Mode{m}, nil
-		}
+	m, err := qos.ModeByName(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown qos mode %q (want all, pvc, per-flow-queue, no-qos)", name)
+	return []qos.Mode{m}, nil
 }

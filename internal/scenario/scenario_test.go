@@ -276,8 +276,10 @@ func TestBuiltinQuickMatchesExampleFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Names differ (file base vs registry key); everything else must not.
+	// Names differ (file base vs registry key) and only files carry a
+	// base directory; everything else must not.
 	file.Name = builtin.Name
+	file.baseDir = builtin.baseDir
 	if !reflect.DeepEqual(file, builtin) {
 		t.Errorf("example file %+v != builtin %+v", file, builtin)
 	}
@@ -379,8 +381,11 @@ func TestCSVAndJSONEmission(t *testing.T) {
 	if lines := strings.Count(csv, "\n"); lines != 2 {
 		t.Errorf("CSV has %d lines, want header + 1 row:\n%s", lines, csv)
 	}
-	if !strings.Contains(csv, "emit-test,uniform,mesh_x1,pvc,42,0.0200") {
+	if !strings.Contains(csv, "emit-test,open,uniform,mesh_x1,pvc,42,0.0200") {
 		t.Errorf("CSV row malformed:\n%s", csv)
+	}
+	if !strings.Contains(csv, "tput_stddev_pct_of_mean") {
+		t.Errorf("CSV header missing fairness dispersion columns:\n%s", csv)
 	}
 	blob, err := JSONReport("emit-test", res)
 	if err != nil {

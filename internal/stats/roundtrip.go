@@ -1,0 +1,69 @@
+package stats
+
+// RoundTrip accumulates closed-loop transaction statistics: per-client
+// completed request–reply round trips and their latencies, measured from
+// request generation at the client to reply delivery back at it. The
+// per-client completion counts are the closed-loop analogue of Table 2's
+// per-flow throughput — feed PerClient into Summarize for the same
+// min/max/stddev dispersion report — and the histogram serves the tail
+// percentiles of the round-trip distribution.
+//
+// Like the Collector's counters, observations are charged by the caller
+// only inside the measurement window; all state is fixed-size after
+// construction, so observing is allocation-free.
+type RoundTrip struct {
+	// Completed and RTTSum are per-client: completed round trips and
+	// their summed latencies in cycles.
+	Completed []int64
+	RTTSum    []int64
+	// Latencies is the round-trip latency distribution across all
+	// clients.
+	Latencies Histogram
+}
+
+// NewRoundTrip creates a collector for the given client population.
+func NewRoundTrip(clients int) *RoundTrip {
+	return &RoundTrip{
+		Completed: make([]int64, clients),
+		RTTSum:    make([]int64, clients),
+	}
+}
+
+// Observe records one completed round trip of the given client.
+func (r *RoundTrip) Observe(client int, rtt int64) {
+	r.Completed[client]++
+	r.RTTSum[client] += rtt
+	r.Latencies.Observe(rtt)
+}
+
+// TotalCompleted returns the number of round trips across all clients.
+func (r *RoundTrip) TotalCompleted() int64 {
+	var total int64
+	for _, c := range r.Completed {
+		total += c
+	}
+	return total
+}
+
+// MeanRTT returns the mean round-trip latency in cycles.
+func (r *RoundTrip) MeanRTT() float64 {
+	var lat, n int64
+	for i, c := range r.Completed {
+		n += c
+		lat += r.RTTSum[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(lat) / float64(n)
+}
+
+// PerClient returns the per-client completion counts as floats — the
+// Summarize input for Table-2-style fairness dispersion over clients.
+func (r *RoundTrip) PerClient() []float64 {
+	out := make([]float64, len(r.Completed))
+	for i, c := range r.Completed {
+		out[i] = float64(c)
+	}
+	return out
+}

@@ -15,7 +15,10 @@
 // fifteen per-node injectors are QoS flows.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind enumerates the evaluated shared-region topologies.
 type Kind uint8
@@ -40,6 +43,25 @@ const (
 
 // Kinds lists all evaluated topologies in the paper's presentation order.
 func Kinds() []Kind { return []Kind{MeshX1, MeshX2, MeshX4, MECS, DPS} }
+
+// KindByName resolves a kind from its String name — the single
+// name-to-enum mapping shared by scenario files and trace headers.
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown kind %q (want %s)", name, kindNames())
+}
+
+func kindNames() string {
+	var names []string
+	for _, k := range Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}
 
 func (k Kind) String() string {
 	switch k {

@@ -44,13 +44,22 @@ type Spec struct {
 	// StopAt, when positive, halts generation at that cycle (used by
 	// the finite run-to-drain workloads of Figure 6).
 	StopAt sim.Cycle
+	// Replay, when set, drives this injector from a prerecorded event
+	// stream (see Replay): the stochastic fields above are ignored and
+	// the source consumes no randomness.
+	Replay *Replay
 }
 
 // Validate checks a spec's parameters: rates and fractions must be
 // probabilities, an active injector needs a destination picker, and a
 // bursty spec's peak (ON-window) demand may not exceed one packet per
-// cycle — the injection process it models has one trial per cycle.
+// cycle — the injection process it models has one trial per cycle. A
+// replay spec is validated through its event stream instead; the
+// stochastic fields are ignored.
 func (s Spec) Validate() error {
+	if s.Replay != nil {
+		return s.Replay.Validate()
+	}
 	if s.Rate < 0 || s.Rate > 1 {
 		return fmt.Errorf("traffic: injector flow %d rate %v outside [0,1]", s.Flow, s.Rate)
 	}

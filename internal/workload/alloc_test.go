@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"testing"
+
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+)
+
+// TestClosedLoopStepAllocationFree extends the engine's steady-state
+// allocation guarantee to the full closed-loop path: with a controller
+// attached — delivery hook firing per delivery, replies and think-time
+// requests riding ScheduleInjection, round trips observed into the
+// histogram — Step must still allocate exactly nothing once the pending-
+// injection pool and event spillways have reached their working set.
+func TestClosedLoopStepAllocationFree(t *testing.T) {
+	n, ct := closedCell(t, topology.MECS, qos.PVC,
+		ClientConfig{Outstanding: 4, ThinkMean: 50, Seed: 7}, 3, false)
+	n.Run(30_000)
+	if avg := testing.AllocsPerRun(5_000, n.Step); avg != 0 {
+		t.Errorf("%v allocs per Step in a closed-loop steady state, want exactly 0", avg)
+	}
+	if ct.Completed == 0 {
+		t.Fatal("closed loop made no progress")
+	}
+}

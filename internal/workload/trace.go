@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+
+	"tanoq/internal/network"
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// Trace binary format (little varints throughout, magic "TQTR" + version):
+//
+//	"TQTR" <version=1>
+//	uvarint nodes seed warmup measure
+//	uvarint frame_cycles window_packets quantum_flits margin_classes
+//	uvarint len(topology) <topology bytes> uvarint len(qos) <qos bytes>
+//	uvarint record_count
+//	record*: uvarint cycle_delta flow src dst flits
+//
+// Records are stored in generation order, so cycles are non-decreasing
+// and delta-encoding keeps the common record at five single-byte varints
+// (~5 bytes/packet). The header captures the recorded cell — topology,
+// QoS mode and overrides, seed and warmup/measure schedule — so a trace
+// is self-contained: `noctool trace replay` rebuilds the exact cell and
+// reproduces the recorded delivery fingerprint.
+
+const (
+	traceMagic   = "TQTR"
+	traceVersion = 1
+)
+
+// TraceHeader describes the cell a trace was recorded from.
+type TraceHeader struct {
+	// Nodes is the column height of the recorded network.
+	Nodes int
+	// Topology and QoS are the recorded cell's topology kind and QoS
+	// mode, by name (topology.Kind.String / qos.Mode.String).
+	Topology string
+	QoS      string
+	// Seed is the recorded cell's RNG seed (replay consumes no
+	// randomness, but reusing it keeps provenance and derived streams
+	// identical).
+	Seed uint64
+	// Warmup and Measure are the recorded schedule in cycles; replaying
+	// with the same schedule reproduces the measurement window.
+	Warmup  int
+	Measure int
+	// QoS parameter overrides of the recorded cell (0 = defaults), the
+	// same four knobs a scenario file can set.
+	FrameCycles   int
+	WindowPackets int
+	QuantumFlits  int
+	MarginClasses int
+}
+
+// Trace is a decoded (or to-be-encoded) injection-stream capture.
+type Trace struct {
+	Header  TraceHeader
+	Records []traffic.TraceRecord
+}
+
+// Encode renders the trace in the binary format.
+func (t *Trace) Encode() []byte {
+	out := make([]byte, 0, len(traceMagic)+1+32+len(t.Records)*5)
+	out = append(out, traceMagic...)
+	out = append(out, traceVersion)
+	out = binary.AppendUvarint(out, uint64(t.Header.Nodes))
+	out = binary.AppendUvarint(out, t.Header.Seed)
+	out = binary.AppendUvarint(out, uint64(t.Header.Warmup))
+	out = binary.AppendUvarint(out, uint64(t.Header.Measure))
+	out = binary.AppendUvarint(out, uint64(t.Header.FrameCycles))
+	out = binary.AppendUvarint(out, uint64(t.Header.WindowPackets))
+	out = binary.AppendUvarint(out, uint64(t.Header.QuantumFlits))
+	out = binary.AppendUvarint(out, uint64(t.Header.MarginClasses))
+	out = appendString(out, t.Header.Topology)
+	out = appendString(out, t.Header.QoS)
+	out = binary.AppendUvarint(out, uint64(len(t.Records)))
+	prev := sim.Cycle(0)
+	for _, r := range t.Records {
+		out = binary.AppendUvarint(out, uint64(r.At-prev))
+		prev = r.At
+		out = binary.AppendUvarint(out, uint64(r.Flow))
+		out = binary.AppendUvarint(out, uint64(r.Src))
+		out = binary.AppendUvarint(out, uint64(r.Dst))
+		out = binary.AppendUvarint(out, uint64(r.Class.Flits()))
+	}
+	return out
+}
+
+func appendString(out []byte, s string) []byte {
+	out = binary.AppendUvarint(out, uint64(len(s)))
+	return append(out, s...)
+}
+
+// traceReader walks an encoded trace, recording the first error.
+type traceReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *traceReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("workload: trace truncated reading %s", what)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *traceReader) str(what string) string {
+	n := int(r.uvarint(what + " length"))
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("workload: trace truncated reading %s", what)
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// DecodeTrace parses an encoded trace, validating the header and every
+// record (classes must be the 1- or 4-flit sizes, flows within the
+// header's population, sources within the column).
+func DecodeTrace(blob []byte) (*Trace, error) {
+	if len(blob) < len(traceMagic)+1 || string(blob[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file (bad magic)")
+	}
+	if v := blob[len(traceMagic)]; v != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d (want %d)", v, traceVersion)
+	}
+	r := &traceReader{buf: blob, pos: len(traceMagic) + 1}
+	t := &Trace{}
+	t.Header.Nodes = int(r.uvarint("nodes"))
+	t.Header.Seed = r.uvarint("seed")
+	t.Header.Warmup = int(r.uvarint("warmup"))
+	t.Header.Measure = int(r.uvarint("measure"))
+	t.Header.FrameCycles = int(r.uvarint("frame_cycles"))
+	t.Header.WindowPackets = int(r.uvarint("window_packets"))
+	t.Header.QuantumFlits = int(r.uvarint("quantum_flits"))
+	t.Header.MarginClasses = int(r.uvarint("margin_classes"))
+	t.Header.Topology = r.str("topology")
+	t.Header.QoS = r.str("qos")
+	count := r.uvarint("record count")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if t.Header.Nodes < 2 {
+		return nil, fmt.Errorf("workload: trace header nodes %d invalid", t.Header.Nodes)
+	}
+	flows := t.Header.Nodes * topology.InjectorsPerNode
+	t.Records = make([]traffic.TraceRecord, 0, count)
+	at := sim.Cycle(0)
+	for i := uint64(0); i < count; i++ {
+		at += sim.Cycle(r.uvarint("cycle delta"))
+		flow := r.uvarint("flow")
+		src := r.uvarint("src")
+		dst := r.uvarint("dst")
+		flits := r.uvarint("flits")
+		if r.err != nil {
+			return nil, r.err
+		}
+		var class noc.Class
+		switch flits {
+		case noc.RequestFlits:
+			class = noc.ClassRequest
+		case noc.ReplyFlits:
+			class = noc.ClassReply
+		default:
+			return nil, fmt.Errorf("workload: trace record %d has %d flits (want %d or %d)", i, flits, noc.RequestFlits, noc.ReplyFlits)
+		}
+		if flow >= uint64(flows) {
+			return nil, fmt.Errorf("workload: trace record %d flow %d outside population of %d", i, flow, flows)
+		}
+		if src >= uint64(t.Header.Nodes) || dst >= uint64(t.Header.Nodes) {
+			return nil, fmt.Errorf("workload: trace record %d node %d/%d outside column of %d", i, src, dst, t.Header.Nodes)
+		}
+		t.Records = append(t.Records, traffic.TraceRecord{
+			At: at, Flow: noc.FlowID(flow), Src: noc.NodeID(src), Dst: noc.NodeID(dst), Class: class,
+		})
+	}
+	if r.pos != len(blob) {
+		return nil, fmt.Errorf("workload: %d trailing bytes after trace records", len(blob)-r.pos)
+	}
+	return t, nil
+}
+
+// WriteTraceFile encodes the trace to path.
+func WriteTraceFile(path string, t *Trace) error {
+	return os.WriteFile(path, t.Encode(), 0o644)
+}
+
+// ReadTraceFile reads and decodes the trace at path.
+func ReadTraceFile(path string) (*Trace, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return DecodeTrace(blob)
+}
+
+// Workload turns the trace into a replayable workload: one injector per
+// recorded (flow, source node) pair carrying its record subsequence as a
+// Replay stream, in ascending (flow, node) order — for an ordinary
+// workload that is one spec per flow in exactly the relative order the
+// original constructors used, which is what makes an open-loop
+// record→replay reproduce generation order (and therefore packet IDs and
+// arbitration tie-breaks) exactly. Closed-loop captures may legitimately
+// carry one flow from two nodes (a client's requests plus the server's
+// replies charged to that client), so the pair is the grouping key.
+func (t *Trace) Workload(name string) (traffic.Workload, error) {
+	type streamKey struct {
+		flow noc.FlowID
+		src  noc.NodeID
+	}
+	perStream := map[streamKey]*traffic.Replay{}
+	for _, r := range t.Records {
+		k := streamKey{r.Flow, r.Src}
+		rp := perStream[k]
+		if rp == nil {
+			rp = &traffic.Replay{}
+			perStream[k] = rp
+		}
+		rp.Events = append(rp.Events, traffic.ReplayEvent{At: r.At, Dst: r.Dst, Class: r.Class})
+	}
+	keys := make([]streamKey, 0, len(perStream))
+	for k := range perStream {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].flow != keys[b].flow {
+			return keys[a].flow < keys[b].flow
+		}
+		return keys[a].src < keys[b].src
+	})
+	w := traffic.Workload{Name: name, Nodes: t.Header.Nodes}
+	for _, k := range keys {
+		w.Specs = append(w.Specs, traffic.Spec{
+			Flow:   k.flow,
+			Node:   k.src,
+			Replay: perStream[k],
+		})
+	}
+	return w, nil
+}
+
+// Cell rebuilds the recorded cell as a replay configuration: the header's
+// topology, QoS mode and overrides, seed and column height, with the
+// trace as the workload. The returned warmup/measure are the recorded
+// schedule; running them through WarmupAndMeasure reproduces the recorded
+// measurement window (and, for an open-loop recording, its delivery
+// fingerprint exactly).
+func (t *Trace) Cell(name string) (cfg network.Config, warmup, measure int, err error) {
+	kind, err := topology.KindByName(t.Header.Topology)
+	if err != nil {
+		return network.Config{}, 0, 0, fmt.Errorf("workload: trace header: %w", err)
+	}
+	mode, err := qos.ModeByName(t.Header.QoS)
+	if err != nil {
+		return network.Config{}, 0, 0, fmt.Errorf("workload: trace header: %w", err)
+	}
+	w, err := t.Workload(name)
+	if err != nil {
+		return network.Config{}, 0, 0, err
+	}
+	qcfg := qos.DefaultConfig(w.TotalFlows())
+	qcfg.Mode = mode
+	if t.Header.FrameCycles > 0 {
+		qcfg.FrameCycles = sim.Cycle(t.Header.FrameCycles)
+	}
+	if t.Header.WindowPackets > 0 {
+		qcfg.WindowPackets = t.Header.WindowPackets
+	}
+	if t.Header.QuantumFlits > 0 {
+		qcfg.QuantumFlits = t.Header.QuantumFlits
+	}
+	if t.Header.MarginClasses > 0 {
+		qcfg.MarginClasses = t.Header.MarginClasses
+	}
+	return network.Config{
+		Kind:     kind,
+		Nodes:    t.Header.Nodes,
+		QoS:      qcfg,
+		Workload: w,
+		Seed:     t.Header.Seed,
+	}, t.Header.Warmup, t.Header.Measure, nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+
+	"tanoq/internal/noc"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: TraceHeader{
+			Nodes: 8, Topology: "mesh_x2", QoS: "pvc", Seed: 99,
+			Warmup: 1_000, Measure: 5_000,
+			FrameCycles: 10_000, WindowPackets: 8, QuantumFlits: 16, MarginClasses: 32,
+		},
+		Records: []traffic.TraceRecord{
+			{At: 0, Flow: 0, Src: 0, Dst: 7, Class: noc.ClassRequest},
+			{At: 0, Flow: 57, Src: 7, Dst: 0, Class: noc.ClassReply},
+			{At: 3, Flow: 8, Src: 1, Dst: 2, Class: noc.ClassReply},
+			// A large cycle jump exercises multi-byte varint deltas.
+			{At: 1_000_000, Flow: 8, Src: 1, Dst: 5, Class: noc.ClassRequest},
+			{At: 1_000_000, Flow: 16, Src: 2, Dst: 1, Class: noc.ClassRequest},
+		},
+	}
+}
+
+// TestTraceEncodeDecodeRoundTrip pins the binary format: header and
+// records survive an encode/decode cycle bit-for-bit.
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	got, err := DecodeTrace(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != want.Header {
+		t.Errorf("header diverged: %+v vs %+v", got.Header, want.Header)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("decoded %d records, want %d", len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		if got.Records[i] != want.Records[i] {
+			t.Errorf("record %d diverged: %+v vs %+v", i, got.Records[i], want.Records[i])
+		}
+	}
+}
+
+// TestTraceDecodeRejectsGarbage pins the decoder's error surface: bad
+// magic, bad version, truncations at several depths, invalid record
+// fields and trailing bytes must all fail cleanly, never panic.
+func TestTraceDecodeRejectsGarbage(t *testing.T) {
+	valid := sampleTrace().Encode()
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     []byte("NOPE\x01"),
+		"bad version":   []byte("TQTR\x63"),
+		"header only":   valid[:6],
+		"mid header":    valid[:12],
+		"mid records":   valid[:len(valid)-3],
+		"trailing junk": append(append([]byte{}, valid...), 0x01),
+	}
+	for name, blob := range cases {
+		if _, err := DecodeTrace(blob); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+
+	// Field-level validation: a flow outside the population, nodes
+	// outside the column.
+	for name, rec := range map[string]traffic.TraceRecord{
+		"bad flow": {At: 1, Flow: 64, Src: 0, Dst: 1, Class: noc.ClassRequest},
+		"bad src":  {At: 1, Flow: 0, Src: 9, Dst: 1, Class: noc.ClassRequest},
+		"bad dst":  {At: 1, Flow: 0, Src: 0, Dst: 8, Class: noc.ClassRequest},
+	} {
+		tr := sampleTrace()
+		tr.Records = []traffic.TraceRecord{rec}
+		if _, err := DecodeTrace(tr.Encode()); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// TestTraceWorkloadGrouping pins the replay-workload construction: one
+// spec per flow in ascending flow order, each carrying its record
+// subsequence in order, and inconsistent source nodes rejected.
+func TestTraceWorkloadGrouping(t *testing.T) {
+	tr := sampleTrace()
+	w, err := tr.Workload("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Specs) != 4 {
+		t.Fatalf("%d specs, want 4 (flows 0, 8, 16, 57)", len(w.Specs))
+	}
+	wantFlows := []noc.FlowID{0, 8, 16, 57}
+	for i, s := range w.Specs {
+		if s.Flow != wantFlows[i] {
+			t.Errorf("spec %d is flow %d, want %d", i, s.Flow, wantFlows[i])
+		}
+		if s.Replay == nil || len(s.Replay.Events) == 0 {
+			t.Fatalf("spec %d has no replay stream", i)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d invalid: %v", i, err)
+		}
+	}
+	if evs := w.Specs[1].Replay.Events; len(evs) != 2 || evs[0].At != 3 || evs[1].At != 1_000_000 {
+		t.Errorf("flow 8 stream wrong: %+v", evs)
+	}
+
+	// One flow injected from two nodes (a closed-loop capture's carried
+	// charging: the client's requests plus the server's replies) becomes
+	// two independent replay streams.
+	carried := sampleTrace()
+	carried.Records = append(carried.Records, traffic.TraceRecord{At: 2_000_000, Flow: 8, Src: 3, Dst: 1, Class: noc.ClassRequest})
+	cw, err := carried.Workload("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw.Specs) != 5 {
+		t.Fatalf("%d specs for a carried-charge trace, want 5", len(cw.Specs))
+	}
+	if s := cw.Specs[2]; s.Flow != 8 || s.Node != 3 || len(s.Replay.Events) != 1 {
+		t.Errorf("carried-charge stream wrong: %+v", s)
+	}
+}
+
+// TestTraceFileRoundTrip pins the file I/O helpers.
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/t.trace"
+	want := sampleTrace()
+	if err := WriteTraceFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != want.Header || len(got.Records) != len(want.Records) {
+		t.Errorf("file round trip diverged")
+	}
+}
+
+// TestTraceCellHonorsHeader pins Cell(): the header's topology, QoS mode,
+// overrides and schedule come back in the rebuilt configuration.
+func TestTraceCellHonorsHeader(t *testing.T) {
+	cfg, warmup, measure, err := sampleTrace().Cell("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != topology.MeshX2 || cfg.Nodes != 8 || cfg.Seed != 99 {
+		t.Errorf("cell config wrong: %+v", cfg)
+	}
+	if warmup != 1_000 || measure != 5_000 {
+		t.Errorf("schedule %d/%d, want 1000/5000", warmup, measure)
+	}
+	if cfg.QoS.FrameCycles != sim.Cycle(10_000) || cfg.QoS.WindowPackets != 8 ||
+		cfg.QoS.QuantumFlits != 16 || cfg.QoS.MarginClasses != 32 {
+		t.Errorf("QoS overrides lost: %+v", cfg.QoS)
+	}
+	for _, bad := range []TraceHeader{
+		{Nodes: 8, Topology: "nope", QoS: "pvc"},
+		{Nodes: 8, Topology: "mesh_x1", QoS: "nope"},
+	} {
+		tr := &Trace{Header: bad}
+		if _, _, _, err := tr.Cell("x"); err == nil {
+			t.Errorf("Cell accepted header %+v", bad)
+		}
+	}
+}
