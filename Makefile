@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
 
-.PHONY: build test vet lint race determinism sweep-smoke trace-smoke fuzz-smoke bench bench-json
+.PHONY: build test vet lint race determinism audit sweep-smoke trace-smoke fuzz-smoke bench bench-json
 
 build:
 	go build ./...
@@ -32,15 +32,27 @@ race:
 determinism:
 	go test -run 'Equivalen|Determin' -count=2 ./...
 
+# audit reruns the robustness and determinism suites with the engine's
+# invariant auditor armed (TANOQ_AUDIT): every 256 cycles each network
+# walks its free lists, event census, VC pools and credit windows and
+# fails loudly on the first conservation violation, so silent state
+# corruption cannot hide behind a passing fingerprint (CI's audit job).
+audit:
+	TANOQ_AUDIT=256 go test -run 'Fault|Retry|Recover|Watchdog|Audit|Equivalen|Determin' -count=1 ./...
+
 # sweep-smoke exercises the declarative scenario path end to end: the
 # quick Figure 4 grid from a JSON file, the permutation-pattern grid from
-# a TOML file, the closed-loop client sweep, and a trace-replay sweep of
-# the committed example capture (CI's sweep step).
+# a TOML file, the closed-loop client sweep, a trace-replay sweep of the
+# committed example capture, the aggressor/victim DoS sweep (victim
+# slowdown column), and a fault-injection degradation sweep (CI's sweep
+# step).
 sweep-smoke:
 	go run ./cmd/noctool -quick sweep examples/sweep/fig4-quick.json
 	go run ./cmd/noctool sweep examples/sweep/patterns.toml
 	go run ./cmd/noctool sweep examples/sweep/closed-loop.toml
 	go run ./cmd/noctool sweep examples/sweep/replay.toml
+	go run ./cmd/noctool sweep examples/sweep/aggressor-victim.toml
+	go run ./cmd/noctool degrade examples/sweep/degrade.toml
 
 # trace-smoke proves the record→replay exactness contract end to end:
 # capture a short open-loop run's injection stream, replay the trace in

@@ -32,6 +32,13 @@
 //	            explicitly-set -seed/-warmup/-measure flags override the
 //	            file's values, and -out writes machine-readable JSON
 //
+//	degrade <scenario>
+//	            degradation sweep of a scenario with a [faults] table: run
+//	            the faulted grid and a fault-free baseline, and report per
+//	            point the delivered fraction, retry/drop counts, victim
+//	            slowdown and mean/p99 latency inflation per QoS mode
+//	            (-out writes the CSV rows)
+//
 //	trace record <scenario>   capture a single-cell scenario's injection
 //	            stream into a binary trace (-out names the file) and
 //	            print its delivery fingerprint
@@ -138,6 +145,15 @@ func main() {
 					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
 				})
 			}
+		case "degrade":
+			if i+1 >= len(args) {
+				err = fmt.Errorf("degrade needs a scenario file with a [faults] table")
+			} else {
+				i++
+				err = runDegrade(args[i], sweepOpts{
+					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
+				})
+			}
 		case "trace":
 			if i+2 >= len(args) {
 				err = fmt.Errorf("trace needs a verb and a target: trace record <scenario> | trace replay <file> | trace info <file>")
@@ -159,10 +175,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario> | trace record|replay|info <target>
+	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario> | degrade <scenario> | trace record|replay|info <target>
 
 experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate closed bench all
 sweep runs a declarative scenario file (.json/.toml) or built-in scenario
+degrade runs a faulted scenario against its fault-free baseline (delivered fraction, victim slowdown, p99 inflation)
 trace records a single-cell scenario's injection stream / replays a trace / prints its stats
 flags:
 `)

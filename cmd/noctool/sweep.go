@@ -23,13 +23,12 @@ type sweepOpts struct {
 	outPath  string
 }
 
-// runSweep loads a scenario file (or built-in scenario name), applies the
-// CLI layer, expands the sweep grid, runs it on the parallel runner and
-// emits a table or CSV to stdout (plus JSON to -out when given).
-func runSweep(pathOrName string, o sweepOpts) error {
+// loadScenario loads a scenario file or built-in name and applies the
+// CLI layer (quick scale, explicitly-set seed/warmup/measure flags).
+func loadScenario(pathOrName string, o sweepOpts) (*scenario.Scenario, error) {
 	sc, err := scenario.Load(pathOrName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if o.quick {
 		q := experiments.QuickParams()
@@ -45,6 +44,17 @@ func runSweep(pathOrName string, o sweepOpts) error {
 		sc.Measure = o.params.Measure
 	}
 	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// runSweep loads a scenario file (or built-in scenario name), applies the
+// CLI layer, expands the sweep grid, runs it on the parallel runner and
+// emits a table or CSV to stdout (plus JSON to -out when given).
+func runSweep(pathOrName string, o sweepOpts) error {
+	sc, err := loadScenario(pathOrName, o)
+	if err != nil {
 		return err
 	}
 	grid, err := sc.Grid()
@@ -69,6 +79,36 @@ func runSweep(pathOrName string, o sweepOpts) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", o.outPath)
+	}
+	return nil
+}
+
+// runDegrade runs the degradation sweep of a faulted scenario: the grid
+// as written plus a fault-free baseline, joined per point to report
+// delivered fraction, victim slowdown and latency inflation per QoS mode
+// (-out writes the CSV rows).
+func runDegrade(pathOrName string, o sweepOpts) error {
+	sc, err := loadScenario(pathOrName, o)
+	if err != nil {
+		return err
+	}
+	rows, err := scenario.Degrade(sc, scenario.RunOpts{
+		Workers:         o.params.Workers,
+		DisableIdleSkip: o.params.DisableIdleSkip,
+	})
+	if err != nil {
+		return err
+	}
+	if o.csv {
+		fmt.Print(scenario.DegradeCSV(sc.Name, rows))
+	} else {
+		fmt.Println(scenario.RenderDegrade(sc.Name, rows))
+	}
+	if o.outPath != "" {
+		if err := os.WriteFile(o.outPath, []byte(scenario.DegradeCSV(sc.Name, rows)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "degrade: wrote %s\n", o.outPath)
 	}
 	return nil
 }

@@ -94,6 +94,12 @@ func runTraceRecord(scenarioArg string, o traceOpts) error {
 		WindowPackets: sc.WindowPackets,
 		QuantumFlits:  sc.QuantumFlits,
 		MarginClasses: sc.MarginClasses,
+		// A faulted cell's configuration rides along in the version-2
+		// header, so replays reproduce the same fault schedule.
+		Faults:         cell.Config.Faults.Windows,
+		RetryTimeout:   cell.Config.Faults.RetryTimeout,
+		MaxRetries:     cell.Config.Faults.MaxRetries,
+		WatchdogCycles: cell.Config.WatchdogCycles,
 	})
 	out := o.outPath
 	if out == "" {
@@ -154,6 +160,13 @@ func runTraceInfo(path string) error {
 	if h.FrameCycles != 0 || h.WindowPackets != 0 || h.QuantumFlits != 0 || h.MarginClasses != 0 {
 		fmt.Printf("qos overrides: frame=%d window=%d quantum=%d margin=%d\n",
 			h.FrameCycles, h.WindowPackets, h.QuantumFlits, h.MarginClasses)
+	}
+	if h.RetryTimeout != 0 || h.MaxRetries != 0 || h.WatchdogCycles != 0 {
+		fmt.Printf("recovery: retry_timeout=%d max_retries=%d watchdog=%d\n",
+			h.RetryTimeout, h.MaxRetries, h.WatchdogCycles)
+	}
+	for _, w := range h.Faults {
+		fmt.Printf("fault: %s\n", w)
 	}
 	if len(tr.Records) == 0 {
 		return nil

@@ -88,6 +88,7 @@ func ablateSweep(kind topology.Kind, values []int64, mut func(int64, *qos.Config
 		cells[i] = hotspotCell(kind, func(c *qos.Config) { mut(v, c) }, p)
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	out := make([]AblationRow, len(values))
 	for i, v := range values {
 		out[i] = hotspotRow(res[i])
@@ -142,6 +143,7 @@ func AblateWindow(kind topology.Kind, windows []int, p Params) []AblationRow {
 		})
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	out := make([]AblationRow, len(windows))
 	for i, wnd := range windows {
 		st := res[i].Stats
@@ -186,6 +188,7 @@ func AblateMargin(kind topology.Kind, margins []int, p Params) []MarginAblationR
 		cells = append(cells, p.cell(adv), hotspotCell(kind, mut, p))
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	out := make([]MarginAblationRow, len(margins))
 	for i, m := range margins {
 		st := res[2*i].Stats
@@ -226,6 +229,7 @@ func AblateQuota(kind topology.Kind, p Params) []QuotaAblationRow {
 		}, p)
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	out := make([]QuotaAblationRow, len(toggles))
 	for i, enabled := range toggles {
 		st := res[i].Stats

@@ -84,6 +84,7 @@ func ClosedLoop(p Params) []ClosedLoopRow {
 		}
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	for i := range rows {
 		ct := res[i].Aux.(*workload.Controller)
 		rows[i].Summary = stats.Summarize(ct.RT.PerClient())

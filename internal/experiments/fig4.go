@@ -78,6 +78,7 @@ func Fig4(pattern Pattern, rates []float64, p Params) []Fig4Series {
 		}
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 
 	out := make([]Fig4Series, 0, len(kinds))
 	for ki, kind := range kinds {
@@ -137,6 +138,7 @@ func SaturationPreemptions(p Params) []SaturationPreemption {
 		cells[i] = p.cell(p.netConfig(kind, traffic.UniformRandom(topology.ColumnNodes, 0.15), qos.PVC))
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	out := make([]SaturationPreemption, len(kinds))
 	for i, kind := range kinds {
 		out[i] = SaturationPreemption{

@@ -57,6 +57,7 @@ func Fig5(a Adversarial, p Params) []Fig5Row {
 		cells[i] = p.cell(p.netConfig(kind, a.workload(0), qos.PVC))
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	out := make([]Fig5Row, len(kinds))
 	for i, kind := range kinds {
 		st := res[i].Stats

@@ -44,6 +44,7 @@ func Table2(p Params) []Table2Row {
 		cells[i] = p.cell(p.netConfig(kind, traffic.Hotspot(topology.ColumnNodes, hotspotRate), qos.PVC))
 	}
 	res := runner.RunCells(cells, p.Workers)
+	runner.MustOK(res)
 	out := make([]Table2Row, len(kinds))
 	for i, kind := range kinds {
 		st := res[i].Stats

@@ -58,6 +58,12 @@ func (n *Network) register(p *outPort, h pktH) {
 	}
 	p.waiters = append(p.waiters, h)
 	n.waiterCount++
+	if n.waiterCount == 1 {
+		// The watchdog's progress clock restarts when the network goes
+		// from no candidates to some: an idle stretch must not count
+		// against the first packet to arrive after it.
+		n.lastProgress = n.clock.Now()
+	}
 	if !p.inActive {
 		p.inActive = true
 		n.activePorts = append(n.activePorts, int32(p.id))
@@ -86,6 +92,12 @@ func (n *Network) unregister(p *outPort, h pktH) {
 // a strictly-lower-priority, non-compliant packet (Section 3.1).
 func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 	if len(port.waiters) == 0 {
+		return
+	}
+	if n.fltOn && n.portBlocked(port) {
+		// The link is down or the router stalled: no grant, and no
+		// preemption either — the port's allocation logic is what is
+		// modeled as failed. Candidates simply wait.
 		return
 	}
 	if now < port.nextArb {
@@ -288,6 +300,7 @@ func (n *Network) grant(port *outPort, h pktH, leg *topology.Leg, buf *inBuf, vc
 	if n.grantHook != nil {
 		n.grantHook(port, h)
 	}
+	n.lastProgress = now
 	w := &n.arena[h]
 	if !leg.Intermediate && port.table != nil {
 		w.Priority = prio
@@ -354,25 +367,14 @@ func (n *Network) preemptPacket(h pktH, siteNode int, now sim.Cycle) {
 
 	// Free the victim's residence and any allocation it holds ahead of
 	// itself; generation bumps turn the scheduled releases into no-ops.
-	if victim.state == stWaiting {
-		// Registered at its next leg's port: withdraw the bid.
-		n.unregister(&n.ports[victim.legs[victim.Hop()].Out], h)
-	}
-	if victim.curBuf != noBuf {
-		cb := &n.bufs[victim.curBuf]
-		cb.release(victim.curVC, cb.gen(victim.curVC))
-		victim.curBuf, victim.curVC = noBuf, -1
-	}
-	if victim.nxtBuf != noBuf {
-		nb := &n.bufs[victim.nxtBuf]
-		nb.release(victim.nxtVC, nb.gen(victim.nxtVC))
-		victim.nxtBuf, victim.nxtVC = noBuf, -1
-	}
+	n.releaseAttempt(h, victim)
 	victim.state = stDead
 	victim.weightedHops = 0
 	victim.ResetForRetransmit()
 
-	// NACK travels back to the source on the ACK network.
+	// NACK travels back to the source on the ACK network. Until it lands
+	// the victim's requeue belongs to it, not to any delivery timeout.
+	victim.nackPending = true
 	dist := sim.Cycle(topology.Distance(noc.NodeID(siteNode), victim.Src))
 	n.schedule(&event{kind: evNack, p: h, pgen: victim.gen}, now+dist+n.cfg.QoS.AckDelay, now)
 }

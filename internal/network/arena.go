@@ -87,6 +87,17 @@ type pkt struct {
 	weightedHops int32
 	wasPreempted bool
 
+	// retrySeq counts injections of this packet; a delivery-timeout event
+	// carries the sequence it was armed for, so a reinjection turns the
+	// previous injection's timer into a no-op. timeoutRetries counts
+	// timeout-driven retransmissions against FaultConfig.MaxRetries and
+	// indexes the RTO-doubling backoff. nackPending marks a preemption
+	// victim whose NACK is still on the ACK network — the NACK owns its
+	// requeue, and a concurrent delivery timeout must not double-queue it.
+	retrySeq       int32
+	timeoutRetries int32
+	nackPending    bool
+
 	// enq is when the packet became an arbitration candidate at its
 	// current position.
 	enq sim.Cycle

@@ -1,0 +1,260 @@
+package network
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"tanoq/internal/sim"
+)
+
+// This file is the opt-in invariant auditor: a read-only sweep over every
+// engine container that cross-checks the redundant encodings the
+// data-oriented core maintains — VC occupancy bitmaps against owner
+// arrays, packet residence against buffer ownership, source windows
+// against live attempt censuses, the free list against slot liveness —
+// and the event ring against the draining VCs and parked packets whose
+// only forward reference is a scheduled event. Any disagreement is a
+// state-corruption bug; the auditor turns it into an immediate, located
+// failure instead of a silently wrong simulation result.
+//
+// The auditor runs every Config.AuditEvery stepped cycles (Step checks
+// one comparison per cycle when disabled), or process-wide via the
+// TANOQ_AUDIT environment variable: set it to an integer interval, or to
+// any non-numeric value for the default interval. CI runs the
+// equivalence and determinism suites under TANOQ_AUDIT (make audit).
+
+// defaultAuditEvery is the audit interval when TANOQ_AUDIT is set
+// without a numeric value.
+const defaultAuditEvery = 1024
+
+// envAuditEvery is the process-wide audit interval from TANOQ_AUDIT
+// (zero = disabled).
+var envAuditEvery = func() sim.Cycle {
+	v, set := os.LookupEnv("TANOQ_AUDIT")
+	if !set {
+		return 0
+	}
+	if k, err := strconv.Atoi(v); err == nil && k > 0 {
+		return sim.Cycle(k)
+	}
+	return defaultAuditEvery
+}()
+
+// mustAudit runs the auditor and panics on the first violation.
+func (n *Network) mustAudit(now sim.Cycle) {
+	if err := n.AuditInvariants(); err != nil {
+		panic(fmt.Sprintf("network: invariant audit failed at cycle %d: %v", now, err))
+	}
+}
+
+// forEach visits every pending event: ring buckets, the late list and the
+// far-future spillway. Visit order is unspecified — audit use only.
+func (r *eventRing) forEach(fn func(*event)) {
+	for i := range r.buckets {
+		b := r.buckets[i]
+		for j := range b {
+			fn(&b[j])
+		}
+	}
+	for j := range r.late {
+		fn(&r.late[j])
+	}
+	for j := range r.far.items {
+		fn(&r.far.items[j])
+	}
+}
+
+// AuditInvariants cross-checks the engine's redundant state encodings and
+// returns the first violation found, or nil. It is read-only and safe to
+// call between Steps at any time. Checks that depend on packet-slot
+// recycling are skipped while a diagnostic hook suppresses it.
+func (n *Network) AuditInvariants() error {
+	// Free-list integrity, and the slot-liveness map every later check
+	// prices against.
+	isFree := make([]bool, len(n.arena))
+	for _, h := range n.free {
+		if h == noPkt || int(h) >= len(n.arena) {
+			return fmt.Errorf("free list holds invalid handle %d (arena %d)", h, len(n.arena))
+		}
+		if isFree[h] {
+			return fmt.Errorf("free list holds handle %d twice", h)
+		}
+		isFree[h] = true
+	}
+
+	// Pending-event census: per-packet events keyed by gen-current handle,
+	// scheduled releases keyed by (buf, vc, gen), and the bookkeeping
+	// events sysEvents claims are outstanding.
+	type relKey struct {
+		buf int32
+		vc  int16
+		gen uint32
+	}
+	pendingRel := make(map[relKey]bool)
+	pktEvents := make(map[pktH]bool)
+	sys := 0
+	n.events.forEach(func(ev *event) {
+		switch ev.kind {
+		case evRelease:
+			pendingRel[relKey{ev.buf, ev.vc, ev.gen}] = true
+		case evFault, evWatchdog:
+			sys++
+		case evInject:
+		default:
+			if ev.p != noPkt && int(ev.p) < len(n.arena) && n.arena[ev.p].gen == ev.pgen {
+				pktEvents[ev.p] = true
+			}
+		}
+	})
+	if sys != n.sysEvents {
+		return fmt.Errorf("sysEvents says %d bookkeeping events pending, ring holds %d", n.sysEvents, sys)
+	}
+
+	// VC pools: bitmap/owner/occupied agreement, owner liveness, and a
+	// justification for every draining VC (owned, but its packet has moved
+	// on: a scheduled release with the current generation must exist).
+	for bi := range n.bufs {
+		b := &n.bufs[bi]
+		occ := int32(0)
+		for i := int32(0); i < b.nvc; i++ {
+			free := b.freeW[i>>6]&(1<<uint(i&63)) != 0
+			h := b.owner[i]
+			if free != (h == noPkt) {
+				return fmt.Errorf("buf %d (%s) vc %d: free bit %v but owner %d", bi, b.spec.Name, i, free, h)
+			}
+			if h == noPkt {
+				continue
+			}
+			occ++
+			if int(h) >= len(n.arena) {
+				return fmt.Errorf("buf %d (%s) vc %d: owner handle %d outside arena", bi, b.spec.Name, i, h)
+			}
+			if isFree[h] {
+				// A freed owner is legitimate only for a draining VC: the
+				// packet was delivered and its slot recycled while the
+				// scheduled credit-loop release is still in flight. Without
+				// that release the VC is leaked to a dead slot.
+				if !pendingRel[relKey{int32(bi), int16(i), b.gens[i]}] {
+					return fmt.Errorf("buf %d (%s) vc %d: owned by recycled slot %d with no pending release", bi, b.spec.Name, i, h)
+				}
+				continue
+			}
+			p := &n.arena[h]
+			resident := (p.curBuf == int32(bi) && p.curVC == i) || (p.nxtBuf == int32(bi) && p.nxtVC == i)
+			if !resident && !pendingRel[relKey{int32(bi), int16(i), b.gens[i]}] {
+				return fmt.Errorf("buf %d (%s) vc %d: held by pkt %d (flow %d, %s) that neither resides nor drains (no pending release)",
+					bi, b.spec.Name, i, p.ID, p.Flow, p.state)
+			}
+		}
+		if occ != b.occupied {
+			return fmt.Errorf("buf %d (%s): occupied says %d, %d VCs actually owned", bi, b.spec.Name, b.occupied, occ)
+		}
+	}
+
+	// Residence symmetry for parked packets: a buffered arbitration
+	// candidate must own the VC it sits in and hold no next-hop claim.
+	// (A moving or just-delivered packet's claims can legitimately trail
+	// an early credit-loop release — the terminal's release fires before
+	// the tail arrives — so only the stWaiting direction is invariant.)
+	for h := pktH(1); int(h) < len(n.arena); h++ {
+		if isFree[h] {
+			continue
+		}
+		p := &n.arena[h]
+		if p.state != stWaiting {
+			continue
+		}
+		if p.curBuf == noBuf {
+			// The injection VC: an offered packet waits at its source.
+			continue
+		}
+		if n.bufs[p.curBuf].owner[p.curVC] != h {
+			return fmt.Errorf("waiting pkt %d (slot %d) claims buf %d vc %d, owned by %d",
+				p.ID, h, p.curBuf, p.curVC, n.bufs[p.curBuf].owner[p.curVC])
+		}
+		if p.nxtBuf != noBuf {
+			return fmt.Errorf("waiting pkt %d (slot %d) holds a next-hop claim on buf %d vc %d",
+				p.ID, h, p.nxtBuf, p.nxtVC)
+		}
+	}
+
+	// Candidate lists: waiterCount agreement, active-list membership, and
+	// live waiters only.
+	waiters := 0
+	for pi := range n.ports {
+		port := &n.ports[pi]
+		waiters += len(port.waiters)
+		if len(port.waiters) > 0 && !port.inActive {
+			return fmt.Errorf("port %d (%s) holds %d waiters but is not on the active list", pi, port.spec.Name, len(port.waiters))
+		}
+		for _, h := range port.waiters {
+			if int(h) >= len(n.arena) || isFree[h] {
+				return fmt.Errorf("port %d (%s) waiter %d is not a live slot", pi, port.spec.Name, h)
+			}
+		}
+	}
+	if waiters != n.waiterCount {
+		return fmt.Errorf("waiterCount says %d, ports hold %d", n.waiterCount, waiters)
+	}
+
+	// The remaining checks census window slots and slot reachability,
+	// which assume recycling is live; a diagnostic hook suppresses it.
+	if n.preemptHook != nil || n.grantHook != nil {
+		return nil
+	}
+
+	// Per-source window conservation: injected-unACKed slots (in network,
+	// delivered-awaiting-ACK, dead-awaiting-retry) plus the retransmission
+	// queue must equal the window count. Reachability: every live slot must
+	// be findable from a source container, a VC, or a pending event — an
+	// unreachable live slot is a leak.
+	inRetx := make(map[pktH]int32)
+	queued := make(map[pktH]bool)
+	for si := range n.srcs {
+		s := &n.srcs[si]
+		for i := s.retx.head; i < len(s.retx.items); i++ {
+			inRetx[s.retx.items[i]] = s.idx
+		}
+		for i := s.queue.head; i < len(s.queue.items); i++ {
+			queued[s.queue.items[i]] = true
+		}
+	}
+	held := make([]int, len(n.srcs))
+	for h := pktH(1); int(h) < len(n.arena); h++ {
+		if isFree[h] {
+			continue
+		}
+		p := &n.arena[h]
+		if _, retx := inRetx[h]; retx {
+			held[p.srcIdx]++
+			continue
+		}
+		if queued[h] {
+			continue
+		}
+		s := &n.srcs[p.srcIdx]
+		if s.offering == h {
+			continue
+		}
+		// Not parked at its source: the slot holds a window slot and must
+		// be anchored somewhere the engine will come back to.
+		held[p.srcIdx]++
+		anchored := p.curBuf != noBuf || p.nxtBuf != noBuf || pktEvents[h]
+		if p.state == stWaiting {
+			anchored = true // registered as a candidate (checked above)
+		}
+		if !anchored {
+			return fmt.Errorf("pkt %d (slot %d, flow %d, %s) is live but unreachable: not queued, offered, buffered or scheduled",
+				p.ID, h, p.Flow, p.state)
+		}
+	}
+	for si := range n.srcs {
+		s := &n.srcs[si]
+		if held[si] != s.window {
+			return fmt.Errorf("source %d (flow %d): window says %d outstanding, census finds %d",
+				si, s.spec.Flow, s.window, held[si])
+		}
+	}
+	return nil
+}

@@ -33,6 +33,18 @@ const (
 	// how the closed-loop workload layer issues client requests and
 	// server replies; making them events keeps idle-skip horizons exact.
 	evInject
+	// evFault: a fault window edge comes due (fault.go). The buf field
+	// names the window; attempt 1 is the strike edge, 0 the heal edge.
+	// Scheduled at Reset, so idle-skip horizons cover fault edges exactly.
+	evFault
+	// evRetry: a source-level delivery timeout fires (fault.go); the
+	// attempt field carries the injection sequence the timer was armed
+	// for, so reinjections supersede stale timers.
+	evRetry
+	// evWatchdog: the no-forward-progress watchdog checks in
+	// (watchdog.go); it reschedules itself against the last progress
+	// cycle and panics with a diagnostic report when the window lapses.
+	evWatchdog
 )
 
 // event is one scheduled occurrence. Packet-borne events carry the attempt
@@ -279,6 +291,14 @@ func (n *Network) dispatch(ev event, now sim.Cycle) {
 		n.generateScheduled(rec, now)
 		return
 	}
+	if ev.kind == evFault {
+		n.onFaultEdge(ev.buf, ev.attempt == 1, now)
+		return
+	}
+	if ev.kind == evWatchdog {
+		n.onWatchdog(now)
+		return
+	}
 	p := &n.arena[ev.p]
 	if p.gen != ev.pgen {
 		return // the packet was recycled; its slot moved on
@@ -293,6 +313,8 @@ func (n *Network) dispatch(ev event, now sim.Cycle) {
 		n.recycle(ev.p)
 	case evNack:
 		n.onNack(&n.srcs[p.srcIdx], ev.p)
+	case evRetry:
+		n.onRetryTimeout(ev.p, p, ev.attempt, now)
 	}
 }
 
@@ -334,7 +356,11 @@ func (n *Network) onDeliver(h pktH, p *pkt, attempt int, now sim.Cycle) {
 	}
 	p.state = stDelivered
 	n.inFlight--
+	n.lastProgress = now
 	n.coll.Delivered(p.Flow, p.Size, int64(now-p.Created), now)
+	if p.timeoutRetries > 0 {
+		n.coll.Recovered(int64(now - p.Created))
+	}
 	if n.deliveryHook != nil {
 		// Value copy: the hook may trigger recycling-adjacent work (it
 		// runs before the ACK that frees this slot) and must never hold

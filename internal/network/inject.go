@@ -148,5 +148,8 @@ func (n *Network) generateScheduled(rec pendingInj, now sim.Cycle) {
 	if n.genHook != nil {
 		n.genHook(traffic.TraceRecord{At: now, Flow: p.Flow, Src: s.spec.Node, Dst: rec.dst, Class: rec.class})
 	}
+	if n.wdWindow > 0 {
+		n.wdRecords = append(n.wdRecords, traffic.TraceRecord{At: now, Flow: p.Flow, Src: s.spec.Node, Dst: rec.dst, Class: rec.class})
+	}
 	n.markOfferable(s)
 }

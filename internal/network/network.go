@@ -106,6 +106,25 @@ type Config struct {
 	// way (TestIdleSkipMechanicallyEquivalent) — so the knob exists only
 	// for that proof and for debugging.
 	DisableIdleSkip bool
+
+	// Faults schedules hardware fault injection and configures end-to-end
+	// recovery (see fault.go). The zero value disables both, at zero
+	// cost: a fault-free run is fingerprint-identical to an engine
+	// without the subsystem.
+	Faults FaultConfig
+	// WatchdogCycles, when positive, arms the no-forward-progress
+	// watchdog: if candidates are waiting and no arbitration grant or
+	// delivery happens for this many cycles, the engine panics with a
+	// *WatchdogError carrying a structured diagnostic dump and a repro
+	// trace of every generation so far (see watchdog.go). Choose a window
+	// comfortably above the configured protocol delays (ACK round trips,
+	// retry backoff) to avoid tripping on legitimate waits.
+	WatchdogCycles sim.Cycle
+	// AuditEvery, when positive, runs the invariant auditor every
+	// AuditEvery stepped cycles and panics on the first violation (see
+	// audit.go). The TANOQ_AUDIT environment variable enables it
+	// process-wide for networks that leave this at zero.
+	AuditEvery sim.Cycle
 }
 
 // Network is one simulated shared-region column.
@@ -189,6 +208,31 @@ type Network struct {
 	// never touch them.
 	injPool []pendingInj
 	injFree []int32
+
+	// Fault-injection, recovery and self-check state (fault.go,
+	// watchdog.go, audit.go). fltDown/fltDead are per-port bitmaps (link
+	// currently unusable / permanently failed), fltStall a per-node stall
+	// bitmap; all are recomputed wholesale at every scheduled fault edge.
+	// sysEvents counts pending bookkeeping events (fault edges, the
+	// watchdog timer) that must not keep an otherwise-drained network
+	// looking busy.
+	fltOn        bool
+	fltHasDead   bool
+	fltDown      []uint64
+	fltDead      []uint64
+	fltStall     []uint64
+	retryTimeout sim.Cycle
+	maxRetries   int32
+	sysEvents    int
+	// wdWindow/lastProgress drive the no-forward-progress watchdog;
+	// wdRecords is its auto-captured repro trace (every generation of the
+	// run, recorded only while the watchdog is armed).
+	wdWindow     sim.Cycle
+	lastProgress sim.Cycle
+	wdRecords    []traffic.TraceRecord
+	// auditEvery/auditAt pace the invariant auditor.
+	auditEvery sim.Cycle
+	auditAt    sim.Cycle
 }
 
 // New builds a network from the configuration. It validates that the QoS
@@ -221,6 +265,15 @@ func (n *Network) Reset(cfg Config) error {
 	}
 	if err := cfg.QoS.Validate(); err != nil {
 		return err
+	}
+	if err := cfg.Faults.validate(cfg.Kind, cfg.Nodes); err != nil {
+		return err
+	}
+	if cfg.WatchdogCycles < 0 {
+		return fmt.Errorf("network: negative watchdog window %d", cfg.WatchdogCycles)
+	}
+	if cfg.AuditEvery < 0 {
+		return fmt.Errorf("network: negative audit interval %d", cfg.AuditEvery)
 	}
 	if want := cfg.Workload.TotalFlows(); len(cfg.QoS.Rates) != want {
 		return fmt.Errorf("network: QoS covers %d flows, workload needs %d", len(cfg.QoS.Rates), want)
@@ -364,6 +417,7 @@ func (n *Network) Reset(cfg Config) error {
 		s.reinit(&n.rng, spec, int32(i))
 		n.scheduleArrival(s)
 	}
+	n.reinitFaults(cfg)
 	return nil
 }
 
@@ -510,6 +564,10 @@ func (n *Network) Step() {
 		}
 	}
 	n.activePorts = live
+	if n.auditEvery > 0 && now >= n.auditAt {
+		n.auditAt = now + n.auditEvery
+		n.mustAudit(now)
+	}
 	n.clock.Tick()
 }
 
@@ -627,8 +685,10 @@ func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained 
 // next draw lands past StopAt), and no source holding an injectable
 // backlog. A source with outstanding window slots always has a pending
 // ACK/NACK somewhere in the event chain, so the event check covers
-// retransmission obligations too.
+// retransmission obligations too. Pending bookkeeping events — unfired
+// fault edges and the watchdog timer — act on no packet and are excluded:
+// a drained network with a fault scheduled next week is still drained.
 func (n *Network) idle() bool {
-	return n.inFlight == 0 && n.events.Len() == 0 && n.waiterCount == 0 &&
+	return n.inFlight == 0 && n.events.Len() == n.sysEvents && n.waiterCount == 0 &&
 		n.arrivals.Len() == 0 && len(n.offerSrcs) == 0
 }

@@ -3,6 +3,7 @@ package network
 import (
 	"testing"
 
+	"tanoq/internal/noc"
 	"tanoq/internal/qos"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
@@ -96,5 +97,57 @@ func TestResetRejectsInvalidConfig(t *testing.T) {
 	bad.QoS.Rates = bad.QoS.Rates[:4] // flow population mismatch
 	if err := n.Reset(bad); err == nil {
 		t.Fatal("Reset accepted a mismatched flow population")
+	}
+}
+
+// TestResetClearsFaultState pins the robustness-subsystem reuse
+// contract: a network torn down mid-outage — fault windows active, retry
+// timers pending, watchdog armed and capturing its repro trace, auditor
+// pacing — Reset to a fault-free configuration is bit-identical to a
+// fresh build, with no bookkeeping event, bitmap bit or captured record
+// leaking across.
+func TestResetClearsFaultState(t *testing.T) {
+	g := topology.NewGraph(topology.MeshX1, topology.ColumnNodes)
+	legs := g.Path(0, noc.NodeID(g.Nodes-1), 0)
+	faulted := resetCfg(topology.MeshX1, qos.PVC, 0.05, 19)
+	faulted.Faults = FaultConfig{
+		Windows: []noc.FaultWindow{
+			{Kind: noc.FaultLinkTransient, Port: int(legs[0].Out), From: 1_000, Until: 40_000},
+			{Kind: noc.FaultRouterStall, Node: 2, From: 2_000, Until: 50_000},
+		},
+		RetryTimeout: 400,
+		MaxRetries:   6,
+	}
+	faulted.WatchdogCycles = 60_000
+	faulted.AuditEvery = 256
+
+	dirty := MustNew(faulted)
+	dirty.Run(5_000) // mid-outage: down bits set, timers and records live
+	if dirty.sysEvents == 0 || len(dirty.wdRecords) == 0 {
+		t.Fatal("faulted run left no robustness state to clear; test is vacuous")
+	}
+
+	clean := resetCfg(topology.MECS, qos.PVC, 0.05, 17)
+	if err := dirty.Reset(clean); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.fltOn || dirty.fltHasDead || dirty.sysEvents != 0 ||
+		dirty.retryTimeout != 0 || dirty.wdWindow != 0 ||
+		len(dirty.wdRecords) != 0 || dirty.auditEvery != envAuditEvery {
+		t.Errorf("Reset left robustness state armed: fltOn=%v dead=%v sys=%d rto=%d wd=%d records=%d audit=%d",
+			dirty.fltOn, dirty.fltHasDead, dirty.sysEvents, dirty.retryTimeout,
+			dirty.wdWindow, len(dirty.wdRecords), dirty.auditEvery)
+	}
+	for _, bm := range [][]uint64{dirty.fltDown, dirty.fltDead, dirty.fltStall} {
+		for _, w := range bm {
+			if w != 0 {
+				t.Fatalf("Reset left fault bitmap bits set: %v %v %v", dirty.fltDown, dirty.fltDead, dirty.fltStall)
+			}
+		}
+	}
+	got := runFingerprint(dirty)
+	want := runFingerprint(MustNew(clean))
+	if !equalFingerprints(want, got) {
+		t.Errorf("reset out of a faulted run diverged from fresh build:\nfresh: %+v\nreset: %+v", want, got)
 	}
 }

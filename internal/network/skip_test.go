@@ -28,6 +28,10 @@ type skipFingerprint struct {
 	preemptions  int64
 	wastedHops   int64
 	totalHops    int64
+	retries      int64
+	drops        int64
+	faultDrops   int64
+	recovered    int64
 	lastDelivery sim.Cycle
 	frames       int
 	clock        sim.Cycle
@@ -44,6 +48,10 @@ func fingerprint(n *Network) skipFingerprint {
 		preemptions:  st.PreemptionEvents,
 		wastedHops:   st.WastedHops,
 		totalHops:    st.TotalHops,
+		retries:      st.TotalRetries,
+		drops:        st.TotalDropped,
+		faultDrops:   st.FaultDrops,
+		recovered:    st.RecoveredPackets,
 		lastDelivery: st.LastDelivery,
 		frames:       n.Frames(),
 		clock:        n.Now(),

@@ -168,6 +168,9 @@ func (n *Network) generate(s *source, t sim.Cycle) {
 	if n.genHook != nil {
 		n.genHook(traffic.TraceRecord{At: t, Flow: s.spec.Flow, Src: s.spec.Node, Dst: dst, Class: class})
 	}
+	if n.wdWindow > 0 {
+		n.wdRecords = append(n.wdRecords, traffic.TraceRecord{At: t, Flow: s.spec.Flow, Src: s.spec.Node, Dst: dst, Class: class})
+	}
 	n.markOfferable(s)
 	// Gaps are >= 1, so arrivals never bunch within a cycle and
 	// nextArrival strictly advances.
@@ -186,6 +189,9 @@ func (n *Network) generateReplay(s *source, t sim.Cycle) {
 	if n.genHook != nil {
 		n.genHook(traffic.TraceRecord{At: t, Flow: s.spec.Flow, Src: s.spec.Node, Dst: ev.Dst, Class: ev.Class})
 	}
+	if n.wdWindow > 0 {
+		n.wdRecords = append(n.wdRecords, traffic.TraceRecord{At: t, Flow: s.spec.Flow, Src: s.spec.Node, Dst: ev.Dst, Class: ev.Class})
+	}
 	n.markOfferable(s)
 	if int(s.replayPos) < len(s.replay.Events) {
 		s.nextArrival = s.replay.Events[s.replayPos].At
@@ -195,37 +201,58 @@ func (n *Network) generateReplay(s *source, t sim.Cycle) {
 // offer registers the next injectable packet as a first-leg arbitration
 // candidate. Retransmissions go first and already hold window slots; new
 // packets need a free slot in the outstanding-packet window (PVC mode).
+// With permanent link faults in effect, the route deterministically
+// avoids dead ports (probing replica channels in round-robin order), and
+// a destination no replica reaches is dropped as unroutable — the loop
+// then considers the next queued packet.
 func (n *Network) offer(s *source, t sim.Cycle) {
 	if s.offering != noPkt || t < s.busyUntil {
 		return
 	}
-	var h pktH
-	switch {
-	case !s.retx.empty():
-		h = s.retx.first()
-	case !s.queue.empty():
-		if n.windowCapped(s) {
+	for {
+		var h pktH
+		fromRetx := false
+		switch {
+		case !s.retx.empty():
+			h = s.retx.first()
+			fromRetx = true
+		case !s.queue.empty():
+			if n.windowCapped(s) {
+				return
+			}
+			h = s.queue.first()
+		default:
 			return
 		}
-		h = s.queue.first()
-	default:
+		p := &n.arena[h]
+		// (Re)compute the path; a retransmission may take a different
+		// replica channel.
+		p.legs = n.graph.Path(p.Src, p.Dst, s.replica)
+		s.replica++
+		if n.fltHasDead && n.legsCrossDead(p.legs, 0) && !n.reroute(s, p) {
+			if fromRetx {
+				s.retx.pop()
+				n.abandon(h)
+			} else {
+				s.queue.pop()
+				n.coll.Dropped(p.Flow)
+				p.state = stDead
+				n.recycle(h)
+			}
+			continue
+		}
+		// Rate compliance: the first rate x frame flits a source sends in a
+		// frame are protected. A retransmission may gain protection if the
+		// frame rolled over since the original attempt.
+		if n.quota != nil && !p.Reserved {
+			p.Reserved = n.quota.TryConsume(p.Flow, p.Size)
+		}
+		p.state = stAtSource
+		p.enq = t
+		s.offering = h
+		n.register(&n.ports[p.legs[0].Out], h)
 		return
 	}
-	p := &n.arena[h]
-	// (Re)compute the path; a retransmission may take a different
-	// replica channel.
-	p.legs = n.graph.Path(p.Src, p.Dst, s.replica)
-	s.replica++
-	// Rate compliance: the first rate x frame flits a source sends in a
-	// frame are protected. A retransmission may gain protection if the
-	// frame rolled over since the original attempt.
-	if n.quota != nil && !p.Reserved {
-		p.Reserved = n.quota.TryConsume(p.Flow, p.Size)
-	}
-	p.state = stAtSource
-	p.enq = t
-	s.offering = h
-	n.register(&n.ports[p.legs[0].Out], h)
 }
 
 // onInjected is called when the offered packet wins first-leg arbitration:
@@ -247,6 +274,13 @@ func (n *Network) onInjected(s *source, h pktH, tailDeparture sim.Cycle, now sim
 	p := &n.arena[h]
 	p.Injected = now
 	n.coll.Injected(p.Size)
+	// Each injection invalidates the previous attempt's delivery timer
+	// (the timer event carries the sequence it was armed for) and arms a
+	// fresh one when end-to-end recovery is configured.
+	p.retrySeq++
+	if n.retryTimeout > 0 {
+		n.armRetryTimer(h, p, now)
+	}
 	// Any remaining backlog goes back on the offerable list, to be
 	// offered once the injection VC frees at busyUntil.
 	n.markOfferable(s)
@@ -265,7 +299,9 @@ func (n *Network) onAck(s *source) {
 // onNack queues a preempted packet for retransmission. The packet keeps
 // its window slot — it is still unacknowledged.
 func (n *Network) onNack(s *source, h pktH) {
-	n.arena[h].state = stAtSource
+	p := &n.arena[h]
+	p.nackPending = false
+	p.state = stAtSource
 	s.retx.push(h)
 	n.markOfferable(s)
 }

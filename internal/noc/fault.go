@@ -1,0 +1,96 @@
+package noc
+
+import (
+	"fmt"
+
+	"tanoq/internal/sim"
+)
+
+// FaultKind distinguishes the three modelled hardware failures.
+type FaultKind uint8
+
+const (
+	// FaultLinkTransient takes one output port down for a window: flits
+	// in flight on the link when the fault strikes are dropped, waiting
+	// candidates stall until the window closes, and the port resumes
+	// untouched afterwards.
+	FaultLinkTransient FaultKind = iota
+	// FaultLinkPermanent kills an output port for the rest of the run:
+	// in-flight and queued traffic whose remaining route crosses the dead
+	// port is dropped, and sources deterministically recompute routes
+	// around it from the next injection on.
+	FaultLinkPermanent
+	// FaultRouterStall freezes every output port of one router for a
+	// window: no arbitration grants happen at the node, but no state is
+	// lost — traffic queues up and resumes when the stall lifts. A stall
+	// with Until == 0 never lifts, which is the canonical way to induce a
+	// deadlock for watchdog tests.
+	FaultRouterStall
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkTransient:
+		return "link-transient"
+	case FaultLinkPermanent:
+		return "link-permanent"
+	case FaultRouterStall:
+		return "router-stall"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// FaultWindow schedules one fault. Link faults name an output port (the
+// engine's dense port index); router stalls name a node. From is the cycle
+// the fault strikes; Until is the cycle it heals, exclusive, with 0 meaning
+// it never heals. Permanent link faults must leave Until at 0.
+type FaultWindow struct {
+	Kind  FaultKind
+	Port  int
+	Node  int
+	From  sim.Cycle
+	Until sim.Cycle
+}
+
+// Permanent reports whether the window never heals.
+func (w FaultWindow) Permanent() bool { return w.Until == 0 }
+
+func (w FaultWindow) String() string {
+	target := fmt.Sprintf("port %d", w.Port)
+	if w.Kind == FaultRouterStall {
+		target = fmt.Sprintf("node %d", w.Node)
+	}
+	if w.Permanent() {
+		return fmt.Sprintf("%s %s from cycle %d (permanent)", w.Kind, target, w.From)
+	}
+	return fmt.Sprintf("%s %s cycles [%d,%d)", w.Kind, target, w.From, w.Until)
+}
+
+// Validate checks the window's internal consistency: non-negative schedule,
+// a strictly positive span for healing windows, and Until == 0 for
+// permanent link faults. Range checks against a concrete topology (port and
+// node bounds) belong to the network that installs the window.
+func (w FaultWindow) Validate() error {
+	switch w.Kind {
+	case FaultLinkTransient, FaultLinkPermanent, FaultRouterStall:
+	default:
+		return fmt.Errorf("noc: unknown fault kind %d", uint8(w.Kind))
+	}
+	if w.From < 0 || w.Until < 0 {
+		return fmt.Errorf("noc: fault window %v has a negative cycle", w)
+	}
+	if w.Kind == FaultLinkPermanent && w.Until != 0 {
+		return fmt.Errorf("noc: permanent link fault must leave until at 0, got %d", w.Until)
+	}
+	if w.Kind == FaultLinkTransient && w.Until == 0 {
+		return fmt.Errorf("noc: transient link fault must heal; use %v for a dead link", FaultLinkPermanent)
+	}
+	if w.Until != 0 && w.Until <= w.From {
+		return fmt.Errorf("noc: fault window %v is empty (until <= from)", w)
+	}
+	if w.Port < 0 || w.Node < 0 {
+		return fmt.Errorf("noc: fault window %v names a negative target", w)
+	}
+	return nil
+}

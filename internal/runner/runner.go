@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,7 +33,7 @@ type Cell struct {
 // Result is the outcome of one cell.
 type Result struct {
 	// Stats is the cell's measurement collector, owned by the caller
-	// once RunCells returns.
+	// once RunCells returns. Nil when the cell failed (see Err).
 	Stats *stats.Collector
 	// End is the simulation cycle at the end of the measurement window
 	// (the `now` argument of rate metrics such as AcceptedFlitRate).
@@ -40,6 +41,29 @@ type Result struct {
 	// Aux is whatever the cell's Setup returned (nil without one) —
 	// typically the attached driver, read back for its statistics.
 	Aux any
+	// Err reports a cell that panicked on every attempt (an invalid
+	// configuration, a tripped watchdog, a failed invariant audit). A
+	// failed cell does not abort the rest of the sweep: its slot's
+	// engine is discarded, the cell is retried once on a fresh build,
+	// and only a second failure lands here.
+	Err error
+	// Attempts is how many times the cell ran (1 normally, 2 when the
+	// first attempt panicked).
+	Attempts int
+}
+
+// Failed reports whether the cell produced no result.
+func (r *Result) Failed() bool { return r.Err != nil }
+
+// MustOK panics on the first failed cell of a sweep — for experiment
+// drivers whose cells are all expected to succeed, keeping their
+// fail-fast behavior now that RunCells contains per-cell panics.
+func MustOK(results []Result) {
+	for i := range results {
+		if results[i].Err != nil {
+			panic(fmt.Sprintf("runner: cell %d failed after %d attempts: %v", i, results[i].Attempts, results[i].Err))
+		}
+	}
 }
 
 // Workers resolves a requested worker count: n <= 0 selects one worker
@@ -136,28 +160,65 @@ func Map[T any](jobs, workers int, fn func(job int) T) []T {
 // the first cell a slot runs builds it, and every later cell re-targets
 // it in place via Network.Reset, so a whole sweep grid reuses one packet
 // arena, event ring and router state per worker instead of reallocating
-// them per cell (invalid configurations panic, like network.MustNew).
-// Because each cell's randomness derives entirely from its own
-// Config.Seed — and a Reset network is bit-identical to a freshly built
-// one — the results are bit-identical for every worker count and
-// identical to building each cell from scratch.
+// them per cell. Because each cell's randomness derives entirely from
+// its own Config.Seed — and a Reset network is bit-identical to a
+// freshly built one — the results are bit-identical for every worker
+// count and identical to building each cell from scratch.
+//
+// A cell that panics — an invalid configuration, a tripped watchdog, a
+// failed invariant audit — does not take the sweep down: the slot's
+// engine (possibly corrupted mid-simulation) is discarded, the cell is
+// retried once on a freshly built network, and a second failure is
+// reported on Result.Err with the rest of the grid unaffected. Callers
+// that expect every cell to succeed assert with MustOK.
 func RunCells(cells []Cell, workers int) []Result {
 	out := make([]Result, len(cells))
 	nets := make([]*network.Network, Workers(workers))
 	DoWorker(len(cells), workers, func(i, slot int) {
-		n := nets[slot]
-		if n == nil {
-			n = network.MustNew(cells[i].Config)
-			nets[slot] = n
-		} else if err := n.Reset(cells[i].Config); err != nil {
-			panic(err)
+		const maxAttempts = 2
+		for attempt := 1; ; attempt++ {
+			res, err := runCell(&nets[slot], &cells[i])
+			res.Attempts = attempt
+			if err == nil {
+				out[i] = res
+				return
+			}
+			// The engine may have died mid-simulation; its state is not
+			// trustworthy for a Reset. Rebuild from scratch.
+			nets[slot] = nil
+			if attempt == maxAttempts {
+				out[i] = Result{Err: err, Attempts: attempt}
+				return
+			}
 		}
-		var aux any
-		if cells[i].Setup != nil {
-			aux = cells[i].Setup(n)
-		}
-		n.WarmupAndMeasure(cells[i].Warmup, cells[i].Measure)
-		out[i] = Result{Stats: n.Stats(), End: n.Now(), Aux: aux}
 	})
 	return out
+}
+
+// runCell runs one cell on the slot's engine (building or resetting it),
+// converting any panic into an error so a failed cell is a reportable
+// result instead of a dead sweep.
+func runCell(slot **network.Network, c *Cell) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("cell panicked: %w", e)
+			} else {
+				err = fmt.Errorf("cell panicked: %v", r)
+			}
+		}
+	}()
+	n := *slot
+	if n == nil {
+		n = network.MustNew(c.Config)
+		*slot = n
+	} else if rerr := n.Reset(c.Config); rerr != nil {
+		panic(rerr)
+	}
+	var aux any
+	if c.Setup != nil {
+		aux = c.Setup(n)
+	}
+	n.WarmupAndMeasure(c.Warmup, c.Measure)
+	return Result{Stats: n.Stats(), End: n.Now(), Aux: aux}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tanoq/internal/network"
+	"tanoq/internal/noc"
 	"tanoq/internal/qos"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
@@ -148,4 +149,59 @@ func TestRunCellsProducesLiveResults(t *testing.T) {
 			t.Errorf("cell %d reports no end cycle", i)
 		}
 	}
+}
+
+// TestRunCellsRecoversFailedCells pins the sweep-survival contract: a
+// cell that panics deterministically (here, a watchdog-caught deadlock
+// from a permanently stalled router) is retried once on a fresh engine,
+// reported on Result.Err, and the surrounding cells complete normally —
+// with results identical to a run that never saw the poisoned cell's
+// slot state.
+func TestRunCellsRecoversFailedCells(t *testing.T) {
+	good := func(seed uint64) Cell {
+		w := traffic.UniformRandom(topology.ColumnNodes, 0.03)
+		cfg := qos.DefaultConfig(w.TotalFlows())
+		return Cell{
+			Config:  network.Config{Kind: topology.MeshX1, QoS: cfg, Workload: w, Seed: seed},
+			Warmup:  500,
+			Measure: 2_000,
+		}
+	}
+	bad := good(99)
+	bad.Config.Faults = network.FaultConfig{
+		Windows: []noc.FaultWindow{{Kind: noc.FaultRouterStall, Node: 3, From: 100}},
+	}
+	bad.Config.WatchdogCycles = 400
+
+	cells := []Cell{good(1), bad, good(2)}
+	res := RunCells(cells, 1)
+	if res[1].Err == nil {
+		t.Fatal("deadlocked cell reported no error")
+	}
+	if res[1].Attempts != 2 {
+		t.Errorf("failed cell ran %d attempts, want 2", res[1].Attempts)
+	}
+	if !res[1].Failed() || res[1].Stats != nil {
+		t.Errorf("failed cell carries a result: %+v", res[1])
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil || res[i].Stats == nil || res[i].Stats.TotalDelivered == 0 {
+			t.Errorf("healthy cell %d did not survive its neighbor's failure: %+v", i, res[i])
+		}
+	}
+	// The healthy cells must match a sweep that never contained the
+	// poisoned cell (slot discard and rebuild preserves determinism).
+	clean := RunCells([]Cell{good(1), good(2)}, 1)
+	MustOK(clean)
+	if clean[0].Stats.TotalDelivered != res[0].Stats.TotalDelivered ||
+		clean[1].Stats.TotalDelivered != res[2].Stats.TotalDelivered {
+		t.Error("failure recovery perturbed neighboring cells")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOK did not panic on a failed cell")
+		}
+	}()
+	MustOK(res)
 }

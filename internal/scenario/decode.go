@@ -80,6 +80,19 @@ func (d *decoder) int(key string, def int) int {
 	return int(f)
 }
 
+func (d *decoder) boolean(key string, def bool) bool {
+	v, ok := d.raw[key]
+	if !ok {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		d.fail("%s must be a boolean, got %T", key, v)
+		return def
+	}
+	return b
+}
+
 // asList normalizes a scalar-or-list value to a list.
 func asList(v any) []any {
 	if l, ok := v.([]any); ok {

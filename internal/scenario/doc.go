@@ -32,8 +32,11 @@
 //	burst             { mean_on, mean_off }: MMPP-style on/off windows in
 //	                  cycles; rate stays the long-run mean
 //	flows             explicit injector list replacing pattern × rates:
-//	                  each { node, injector, rate, dest, stop_at } with
-//	                  dest a node index or "hotspot"
+//	                  each { node, injector, rate, dest, stop_at, role }
+//	                  with dest a node index or "hotspot"; role tags a
+//	                  flow "victim" or "aggressor" — any victim makes
+//	                  every row report the victims' mean-latency slowdown
+//	                  versus a hidden victim-only reference cell
 //	frame_cycles, window_packets, quantum_flits, margin_classes
 //	                  QoS parameter overrides (defaults from package qos)
 //
@@ -56,6 +59,30 @@
 //	                  resolve against the scenario file) replayed verbatim
 //	                  as trace × topology × qos × seed cells; mutually
 //	                  exclusive with patterns/rates/flows and mode
+//
+// The [faults] table schedules hardware fault injection and arms
+// end-to-end recovery (open-loop cells only; see internal/network's
+// FaultConfig). Windows are dotted array-of-tables — the [faults] header
+// must precede its [[faults.link]]/[[faults.router]] entries:
+//
+//	retry_timeout(s)  source delivery-timeout axis in cycles (0 = no
+//	                  recovery; fault-killed packets become final drops).
+//	                  Timeouts back off exponentially per retransmission.
+//	max_retries       retransmissions per packet before it is abandoned,
+//	                  an axis (default 3 when any retry_timeout is set)
+//	watchdog_cycles   no-forward-progress watchdog budget (0 = disarmed);
+//	                  a trip fails the cell with a structured dump and an
+//	                  auto-captured repro trace
+//	[[faults.link]]   { port, from, until, permanent }: output port loses
+//	                  its flits in flight and stalls for [from, until), or
+//	                  dies for good with permanent = true (until omitted)
+//	[[faults.router]] { node, from, until }: every output of one router
+//	                  freezes for the window — nothing is lost, traffic
+//	                  queues and resumes; omit until for a permanent wedge
+//
+// Faulted rows add delivered fraction, retry/drop counts and mean
+// recovery latency; Degrade additionally joins each faulted point
+// against its fault-free baseline (noctool's degrade subcommand).
 //
 // Unknown keys are rejected, so typos fail loudly instead of silently
 // dropping an axis. See examples/sweep/ for runnable files and

@@ -24,6 +24,21 @@ func FuzzScenarioDecode(f *testing.F) {
 		"[[flows]]\nnode = 1\nrate = 0.2\n[[flows]]\nnode = 2\nrate = 0.1\ndest = 0\n",
 		"name = \"esc \\\"q\\\" # not a comment\" # comment\nrate = 1_000e-4\n",
 		"seed = [1, 2, 3]\nqos = [\"pvc\", \"no-qos\"]\nmeasure = 5000\n",
+		// The [faults] table and its dotted array-of-tables windows — a
+		// healthy mix plus malformed schedules the validator must reject
+		// cleanly (zero-length windows, unbounded transients, out-of-range
+		// ports, bad dotted headers, recovery knobs on closed loops).
+		"rate = 0.05\n[faults]\nretry_timeouts = [0, 400]\nmax_retries = 6\nwatchdog_cycles = 50_000\n" +
+			"[[faults.link]]\nport = 3\nfrom = 1000\nuntil = 2000\n" +
+			"[[faults.link]]\nport = 4\nfrom = 2500\npermanent = true\n" +
+			"[[faults.router]]\nnode = 2\nfrom = 3000\nuntil = 3500\n",
+		"rate = 0.05\n[[faults.link]]\nport = 1\nfrom = 20\nuntil = 20\n",
+		"rate = 0.05\n[[faults.link]]\nport = 99\nfrom = 10\n",
+		"rate = 0.05\n[[faults.router]]\nnode = -1\nfrom = 10\nuntil = 5\n",
+		"[[faults..link]]\nport = 1\n",
+		"[faults]\nlink = 3\n",
+		"[workload]\nmode = \"closed\"\n[faults]\nretry_timeout = 500\n",
+		`{"faults":{"retry_timeout":400,"link":[{"port":3,"from":10,"until":20}]},"rates":[0.05]}`,
 	}
 	// Every shipped example file is a seed: the fuzzer starts from the
 	// real surface users feed the decoder.

@@ -35,6 +35,10 @@ type Point struct {
 	// Outstanding and Think are the closed-loop axes (zero elsewhere).
 	Outstanding int
 	Think       float64
+	// RetryTimeout and MaxRetries are the end-to-end recovery axes from
+	// the [faults] table (zero when the scenario arms no recovery).
+	RetryTimeout sim.Cycle
+	MaxRetries   int
 }
 
 // Grid is a fully-expanded scenario: the cross product of the sweep axes
@@ -47,14 +51,23 @@ type Grid struct {
 	Points   []Point
 	cells    []runner.Cell
 	meta     []cellMeta
+	// refCells are hidden victim-only reference cells (one per topology ×
+	// qos × seed when the scenario declares victim roles), run alongside
+	// the grid to anchor the victim-slowdown metric. They produce no
+	// result rows of their own.
+	refCells []runner.Cell
 }
 
 // cellMeta carries what Run needs beyond the cell itself: the flows the
 // fairness dispersion is computed over (open/flows/replay cells) or the
-// closed-loop marker (dispersion over clients instead).
+// closed-loop marker (dispersion over clients instead), plus the victim
+// flows and the reference cell their slowdown is measured against.
 type cellMeta struct {
-	active []noc.FlowID
-	closed bool
+	active  []noc.FlowID
+	closed  bool
+	victims []noc.FlowID
+	// ref indexes refCells; only consulted when victims is non-empty.
+	ref int
 }
 
 // activeFlows lists the flows a workload actually injects on.
@@ -83,17 +96,43 @@ func (sc *Scenario) Grid() (*Grid, error) {
 	if len(sc.Flows) > 0 {
 		w := sc.flowWorkload()
 		active := activeFlows(w)
+		victims := sc.victimFlows()
+		var vw traffic.Workload
+		if len(victims) > 0 {
+			vw = sc.victimWorkload()
+		}
 		for _, kind := range sc.Topologies {
 			for _, mode := range sc.Modes {
 				for _, seed := range sc.Seeds {
-					add(Point{Pattern: "flows", Topology: kind, Mode: mode, Seed: seed,
-						Rate: w.OfferedLoad(), Workload: "open"},
-						runner.Cell{Config: network.Config{
-							Kind: kind, Nodes: sc.Nodes,
-							QoS:      sc.qosConfig(mode, w.TotalFlows()),
-							Workload: w, Seed: seed,
-						}},
-						cellMeta{active: active})
+					ref := -1
+					if len(victims) > 0 {
+						// One clean victim-only reference per topology ×
+						// qos × seed, shared across that point's fault axes.
+						ref = len(g.refCells)
+						g.refCells = append(g.refCells, runner.Cell{
+							Config: network.Config{
+								Kind: kind, Nodes: sc.Nodes,
+								QoS:      sc.qosConfig(mode, vw.TotalFlows()),
+								Workload: vw, Seed: seed,
+							},
+							Warmup: sc.Warmup, Measure: sc.Measure,
+						})
+					}
+					for _, rto := range sc.RetryTimeouts {
+						for _, mr := range sc.MaxRetriesAxis {
+							add(Point{Pattern: "flows", Topology: kind, Mode: mode, Seed: seed,
+								Rate: w.OfferedLoad(), Workload: "open",
+								RetryTimeout: rto, MaxRetries: mr},
+								runner.Cell{Config: network.Config{
+									Kind: kind, Nodes: sc.Nodes,
+									QoS:      sc.qosConfig(mode, w.TotalFlows()),
+									Workload: w, Seed: seed,
+									Faults:         sc.faultConfig(rto, mr),
+									WatchdogCycles: sc.WatchdogCycles,
+								}},
+								cellMeta{active: active, victims: victims, ref: ref})
+						}
+					}
 				}
 			}
 		}
@@ -124,14 +163,21 @@ func (sc *Scenario) Grid() (*Grid, error) {
 				for _, mode := range sc.Modes {
 					for _, seed := range sc.Seeds {
 						for ri, rate := range sc.Rates {
-							add(Point{Pattern: pat, Topology: kind, Mode: mode, Seed: seed,
-								Rate: rate, Workload: "open"},
-								runner.Cell{Config: network.Config{
-									Kind: kind, Nodes: sc.Nodes,
-									QoS:      sc.qosConfig(mode, ws[ri].TotalFlows()),
-									Workload: ws[ri], Seed: seed,
-								}},
-								cellMeta{active: actives[ri]})
+							for _, rto := range sc.RetryTimeouts {
+								for _, mr := range sc.MaxRetriesAxis {
+									add(Point{Pattern: pat, Topology: kind, Mode: mode, Seed: seed,
+										Rate: rate, Workload: "open",
+										RetryTimeout: rto, MaxRetries: mr},
+										runner.Cell{Config: network.Config{
+											Kind: kind, Nodes: sc.Nodes,
+											QoS:      sc.qosConfig(mode, ws[ri].TotalFlows()),
+											Workload: ws[ri], Seed: seed,
+											Faults:         sc.faultConfig(rto, mr),
+											WatchdogCycles: sc.WatchdogCycles,
+										}},
+										cellMeta{active: actives[ri]})
+								}
+							}
 						}
 					}
 				}
@@ -225,6 +271,12 @@ func (sc *Scenario) expandTraces(add func(Point, runner.Cell, cellMeta)) error {
 	return nil
 }
 
+// faultConfig assembles one cell's fault configuration: the scenario's
+// shared windows plus the cell's recovery axes.
+func (sc *Scenario) faultConfig(rto sim.Cycle, mr int) network.FaultConfig {
+	return network.FaultConfig{Windows: sc.FaultWindows, RetryTimeout: rto, MaxRetries: mr}
+}
+
 // Size returns the number of grid cells.
 func (g *Grid) Size() int { return len(g.cells) }
 
@@ -268,30 +320,57 @@ type Result struct {
 	Completed int64
 	MeanRTT   float64
 	P99RTT    float64
+	// Robustness columns: the delivered fraction (1.0 on a healthy run),
+	// timeout-driven end-to-end retransmissions, packets abandoned for
+	// good, and the mean end-to-end latency of packets that needed at
+	// least one retransmission (0 when none did).
+	DeliveredFraction float64
+	Retries           int64
+	Drops             int64
+	MeanRecovery      float64
+	// VictimSlowdown is the victim flows' mean-latency inflation versus
+	// the hidden victim-only reference cell (0 when the scenario declares
+	// no victim roles, or when either side delivered nothing).
+	VictimSlowdown float64
+	// Error reports a cell that failed on every attempt (tripped
+	// watchdog, failed invariant audit, invalid configuration); the
+	// metric columns of a failed row are zero.
+	Error string
 }
 
 // Run executes every cell across the parallel runner and collects the
 // results in grid order — deterministic and bit-identical for any worker
-// count, with or without idle skipping.
+// count, with or without idle skipping. Hidden victim-only reference
+// cells ride the same pool after the visible grid. A cell that fails on
+// every runner attempt (tripped watchdog, failed audit) yields a row with
+// its Error set and the rest of the grid intact.
 func (g *Grid) Run(opts RunOpts) []Result {
-	cells := make([]runner.Cell, len(g.cells))
-	copy(cells, g.cells)
+	cells := make([]runner.Cell, 0, len(g.cells)+len(g.refCells))
+	cells = append(cells, g.cells...)
+	cells = append(cells, g.refCells...)
 	for i := range cells {
 		cells[i].Config.DisableIdleSkip = opts.DisableIdleSkip
 	}
 	res := runner.RunCells(cells, opts.Workers)
-	out := make([]Result, len(res))
-	for i, r := range res {
-		st := r.Stats
-		out[i] = Result{
-			Point:         g.Points[i],
-			MeanLatency:   st.MeanLatency(),
-			P99Latency:    float64(st.Latencies.Percentile(99)),
-			Accepted:      st.AcceptedFlitRate(r.End),
-			PreemptionPct: st.PreemptionPacketRate(),
-			Delivered:     st.TotalDelivered,
-			End:           r.End,
+	refRes := res[len(g.cells):]
+	out := make([]Result, len(g.cells))
+	for i, r := range res[:len(g.cells)] {
+		out[i] = Result{Point: g.Points[i]}
+		if r.Failed() {
+			out[i].Error = r.Err.Error()
+			continue
 		}
+		st := r.Stats
+		out[i].MeanLatency = st.MeanLatency()
+		out[i].P99Latency = float64(st.Latencies.Percentile(99))
+		out[i].Accepted = st.AcceptedFlitRate(r.End)
+		out[i].PreemptionPct = st.PreemptionPacketRate()
+		out[i].Delivered = st.TotalDelivered
+		out[i].End = r.End
+		out[i].DeliveredFraction = st.DeliveredFraction()
+		out[i].Retries = st.TotalRetries
+		out[i].Drops = st.TotalDropped
+		out[i].MeanRecovery = st.MeanRecoveryLatency()
 		m := g.meta[i]
 		var summary stats.Summary
 		if m.closed {
@@ -311,8 +390,28 @@ func (g *Grid) Run(opts RunOpts) []Result {
 		out[i].TputMinPct = summary.MinPctOfMean()
 		out[i].TputMaxPct = summary.MaxPctOfMean()
 		out[i].TputStdDevPct = summary.StdDevPctOfMean()
+		if len(m.victims) > 0 && !refRes[m.ref].Failed() {
+			base := victimMeanLatency(refRes[m.ref].Stats, m.victims)
+			if mean := victimMeanLatency(st, m.victims); base > 0 && mean > 0 {
+				out[i].VictimSlowdown = mean / base
+			}
+		}
 	}
 	return out
+}
+
+// victimMeanLatency averages delivered-packet latency over the victim
+// flows of one cell.
+func victimMeanLatency(st *stats.Collector, victims []noc.FlowID) float64 {
+	var pkts, lat int64
+	for _, f := range victims {
+		pkts += st.DeliveredPackets[f]
+		lat += st.LatencySumByFlow[f]
+	}
+	if pkts == 0 {
+		return 0
+	}
+	return float64(lat) / float64(pkts)
 }
 
 // CSV renders results as one row per grid point. Alongside the latency
@@ -321,17 +420,19 @@ func (g *Grid) Run(opts RunOpts) []Result {
 // throughput as % of mean), and closed-loop rows add round-trip columns.
 func CSV(name string, results []Result) string {
 	var b strings.Builder
-	b.WriteString("scenario,workload,pattern,topology,qos,seed,rate,outstanding,think_time," +
+	b.WriteString("scenario,workload,pattern,topology,qos,seed,rate,outstanding,think_time,retry_timeout,max_retries," +
 		"mean_latency_cycles,p99_latency_cycles,accepted_flits_per_cycle,preemption_pct,delivered_packets," +
 		"tput_min_pct_of_mean,tput_max_pct_of_mean,tput_stddev_pct_of_mean," +
-		"completed_requests,mean_rtt_cycles,p99_rtt_cycles\n")
+		"completed_requests,mean_rtt_cycles,p99_rtt_cycles," +
+		"delivered_fraction,retries,drops,mean_recovery_cycles,victim_slowdown,error\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%.4f,%d,%.1f,%.3f,%.0f,%.4f,%.4f,%d,%.2f,%.2f,%.2f,%d,%.3f,%.0f\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%.4f,%d,%.1f,%d,%d,%.3f,%.0f,%.4f,%.4f,%d,%.2f,%.2f,%.2f,%d,%.3f,%.0f,%.6f,%d,%d,%.1f,%.3f,%s\n",
 			csvEscape(name), csvEscape(r.Workload), csvEscape(r.Pattern), csvEscape(r.Topology.String()), csvEscape(r.Mode.String()),
-			r.Seed, r.Rate, r.Outstanding, r.Think,
+			r.Seed, r.Rate, r.Outstanding, r.Think, r.RetryTimeout, r.MaxRetries,
 			r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct, r.Delivered,
 			r.TputMinPct, r.TputMaxPct, r.TputStdDevPct,
-			r.Completed, r.MeanRTT, r.P99RTT)
+			r.Completed, r.MeanRTT, r.P99RTT,
+			r.DeliveredFraction, r.Retries, r.Drops, r.MeanRecovery, r.VictimSlowdown, csvEscape(r.Error))
 	}
 	return b.String()
 }
@@ -345,25 +446,33 @@ func csvEscape(s string) string {
 
 // resultJSON is the machine-readable per-point record of JSONReport.
 type resultJSON struct {
-	Workload      string  `json:"workload"`
-	Pattern       string  `json:"pattern"`
-	Topology      string  `json:"topology"`
-	QoS           string  `json:"qos"`
-	Seed          uint64  `json:"seed"`
-	Rate          float64 `json:"rate"`
-	Outstanding   int     `json:"outstanding,omitempty"`
-	Think         float64 `json:"think_time,omitempty"`
-	MeanLatency   float64 `json:"mean_latency_cycles"`
-	P99Latency    float64 `json:"p99_latency_cycles"`
-	Accepted      float64 `json:"accepted_flits_per_cycle"`
-	PreemptionPct float64 `json:"preemption_pct"`
-	Delivered     int64   `json:"delivered_packets"`
-	TputMinPct    float64 `json:"tput_min_pct_of_mean"`
-	TputMaxPct    float64 `json:"tput_max_pct_of_mean"`
-	TputStdDevPct float64 `json:"tput_stddev_pct_of_mean"`
-	Completed     int64   `json:"completed_requests,omitempty"`
-	MeanRTT       float64 `json:"mean_rtt_cycles,omitempty"`
-	P99RTT        float64 `json:"p99_rtt_cycles,omitempty"`
+	Workload          string  `json:"workload"`
+	Pattern           string  `json:"pattern"`
+	Topology          string  `json:"topology"`
+	QoS               string  `json:"qos"`
+	Seed              uint64  `json:"seed"`
+	Rate              float64 `json:"rate"`
+	Outstanding       int     `json:"outstanding,omitempty"`
+	Think             float64 `json:"think_time,omitempty"`
+	RetryTimeout      int64   `json:"retry_timeout,omitempty"`
+	MaxRetries        int     `json:"max_retries,omitempty"`
+	MeanLatency       float64 `json:"mean_latency_cycles"`
+	P99Latency        float64 `json:"p99_latency_cycles"`
+	Accepted          float64 `json:"accepted_flits_per_cycle"`
+	PreemptionPct     float64 `json:"preemption_pct"`
+	Delivered         int64   `json:"delivered_packets"`
+	TputMinPct        float64 `json:"tput_min_pct_of_mean"`
+	TputMaxPct        float64 `json:"tput_max_pct_of_mean"`
+	TputStdDevPct     float64 `json:"tput_stddev_pct_of_mean"`
+	Completed         int64   `json:"completed_requests,omitempty"`
+	MeanRTT           float64 `json:"mean_rtt_cycles,omitempty"`
+	P99RTT            float64 `json:"p99_rtt_cycles,omitempty"`
+	DeliveredFraction float64 `json:"delivered_fraction"`
+	Retries           int64   `json:"retries,omitempty"`
+	Drops             int64   `json:"drops,omitempty"`
+	MeanRecovery      float64 `json:"mean_recovery_cycles,omitempty"`
+	VictimSlowdown    float64 `json:"victim_slowdown,omitempty"`
+	Error             string  `json:"error,omitempty"`
 }
 
 // JSONReport marshals a sweep's results.
@@ -373,10 +482,13 @@ func JSONReport(name string, results []Result) ([]byte, error) {
 		rows[i] = resultJSON{
 			Workload: r.Workload, Pattern: r.Pattern, Topology: r.Topology.String(), QoS: r.Mode.String(),
 			Seed: r.Seed, Rate: r.Rate, Outstanding: r.Outstanding, Think: r.Think,
+			RetryTimeout: int64(r.RetryTimeout), MaxRetries: r.MaxRetries,
 			MeanLatency: r.MeanLatency, P99Latency: r.P99Latency,
 			Accepted: r.Accepted, PreemptionPct: r.PreemptionPct, Delivered: r.Delivered,
 			TputMinPct: r.TputMinPct, TputMaxPct: r.TputMaxPct, TputStdDevPct: r.TputStdDevPct,
 			Completed: r.Completed, MeanRTT: r.MeanRTT, P99RTT: r.P99RTT,
+			DeliveredFraction: r.DeliveredFraction, Retries: r.Retries, Drops: r.Drops,
+			MeanRecovery: r.MeanRecovery, VictimSlowdown: r.VictimSlowdown, Error: r.Error,
 		}
 	}
 	blob, err := json.MarshalIndent(struct {
@@ -397,8 +509,8 @@ func Render(name string, results []Result) string {
 	var b strings.Builder
 	title := fmt.Sprintf("Sweep: %s (%d cells)", name, len(results))
 	b.WriteString(title + "\n" + strings.Repeat("-", len(title)) + "\n")
-	fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10s %11s %10s %9s %9s %9s %8s\n",
-		"workload", "pattern", "topology", "qos", "seed", "rate/window", "latency", "p99", "accepted", "preempt", "fair-sd")
+	fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10s %11s %10s %9s %9s %9s %8s %8s %7s\n",
+		"workload", "pattern", "topology", "qos", "seed", "rate/window", "latency", "p99", "accepted", "preempt", "fair-sd", "dlv", "vslow")
 	for _, r := range results {
 		axis := fmt.Sprintf("%6.2f%%", r.Rate*100)
 		lat, p99 := r.MeanLatency, r.P99Latency
@@ -406,9 +518,19 @@ func Render(name string, results []Result) string {
 			axis = fmt.Sprintf("w%d/t%.0f", r.Outstanding, r.Think)
 			lat, p99 = r.MeanRTT, r.P99RTT
 		}
-		fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s %10.1f %9.0f %9.3f %8.2f%% %7.2f%%\n",
+		if r.Error != "" {
+			fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s  FAILED: %s\n",
+				r.Workload, r.Pattern, r.Topology, r.Mode, r.Seed, axis, r.Error)
+			continue
+		}
+		vslow := "-"
+		if r.VictimSlowdown > 0 {
+			vslow = fmt.Sprintf("%.2fx", r.VictimSlowdown)
+		}
+		fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s %10.1f %9.0f %9.3f %8.2f%% %7.2f%% %7.2f%% %7s\n",
 			r.Workload, r.Pattern, r.Topology, r.Mode, r.Seed, axis,
-			lat, p99, r.Accepted, r.PreemptionPct, r.TputStdDevPct)
+			lat, p99, r.Accepted, r.PreemptionPct, r.TputStdDevPct,
+			100*r.DeliveredFraction, vslow)
 	}
 	return b.String()
 }

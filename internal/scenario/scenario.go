@@ -78,6 +78,17 @@ type Scenario struct {
 	// in-memory scenarios, which resolve against the process CWD).
 	baseDir string
 
+	// The [faults] table: hardware fault schedules and end-to-end
+	// recovery (internal/network's fault subsystem). FaultWindows are
+	// installed on every cell; RetryTimeouts and MaxRetriesAxis are sweep
+	// axes (the grid fans out over retry_timeout × max_retries), and
+	// WatchdogCycles arms the no-forward-progress watchdog per cell.
+	// Open-loop cells only.
+	FaultWindows   []noc.FaultWindow
+	RetryTimeouts  []sim.Cycle
+	MaxRetriesAxis []int
+	WatchdogCycles sim.Cycle
+
 	// QoS parameter overrides; zero values keep the defaults.
 	FrameCycles   sim.Cycle
 	WindowPackets int
@@ -97,6 +108,10 @@ type FlowSpec struct {
 	Dest int
 	// StopAt optionally overrides the scenario-level injection stop.
 	StopAt sim.Cycle
+	// Role optionally tags the flow "victim" or "aggressor". When any
+	// flow is a victim, every result row reports the victims'
+	// mean-latency slowdown versus a hidden victim-only reference cell.
+	Role string
 }
 
 // Load reads a scenario from a .json or .toml file, or — when the
@@ -159,6 +174,7 @@ var scenarioKeys = map[string]bool{
 	"request_fraction": true, "burst": true, "hotspot_weights": true,
 	"flows": true, "frame_cycles": true, "window_packets": true,
 	"quantum_flits": true, "margin_classes": true, "workload": true,
+	"faults": true,
 }
 
 func fromRaw(raw map[string]any) (*Scenario, error) {
@@ -218,6 +234,30 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 			return nil, fmt.Errorf("workload: %w", wd.err)
 		}
 	}
+	if fv, ok := raw["faults"]; ok {
+		fm, ok := fv.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("faults must be a table/object")
+		}
+		fd := decoder{raw: fm}
+		for _, t := range fd.intList("retry_timeout", "retry_timeouts") {
+			sc.RetryTimeouts = append(sc.RetryTimeouts, sim.Cycle(t))
+		}
+		for _, m := range fd.intList("max_retries", "") {
+			sc.MaxRetriesAxis = append(sc.MaxRetriesAxis, int(m))
+		}
+		sc.WatchdogCycles = sim.Cycle(fd.int("watchdog_cycles", 0))
+		fd.allowOnly("link", "router", "retry_timeout", "retry_timeouts",
+			"max_retries", "watchdog_cycles")
+		if fd.err != nil {
+			return nil, fmt.Errorf("faults: %w", fd.err)
+		}
+		windows, err := faultWindows(fm)
+		if err != nil {
+			return nil, err
+		}
+		sc.FaultWindows = windows
+	}
 	for _, name := range d.strList("topology", "topologies") {
 		kinds, err := topologyByName(name)
 		if err != nil {
@@ -248,6 +288,7 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 				Injector: fd.int("injector", 0),
 				Rate:     fd.float("rate", 0),
 				StopAt:   sim.Cycle(fd.int("stop_at", 0)),
+				Role:     fd.str("role", ""),
 			}
 			switch dv := fm["dest"].(type) {
 			case nil:
@@ -260,7 +301,7 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 			default:
 				f.Dest = fd.int("dest", 0)
 			}
-			fd.allowOnly("node", "injector", "rate", "dest", "stop_at")
+			fd.allowOnly("node", "injector", "rate", "dest", "stop_at", "role")
 			if fd.err != nil {
 				return nil, fmt.Errorf("flows[%d]: %w", i, fd.err)
 			}
@@ -271,6 +312,58 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 		return nil, d.err
 	}
 	return sc, nil
+}
+
+// faultWindows decodes the [[faults.link]] and [[faults.router]] lists
+// into fault windows: link entries name a dense output-port index and
+// default to transient (permanent = true kills the port for good), router
+// entries name a node whose every output stalls for the window.
+func faultWindows(fm map[string]any) ([]noc.FaultWindow, error) {
+	var out []noc.FaultWindow
+	decode := func(key string, kind noc.FaultKind) error {
+		lv, ok := fm[key]
+		if !ok {
+			return nil
+		}
+		list, ok := lv.([]any)
+		if !ok {
+			return fmt.Errorf("faults.%s must be a list of tables ([[faults.%s]])", key, key)
+		}
+		for i, el := range list {
+			wm, ok := el.(map[string]any)
+			if !ok {
+				return fmt.Errorf("faults.%s[%d] must be a table/object", key, i)
+			}
+			wd := decoder{raw: wm}
+			w := noc.FaultWindow{
+				Kind:  kind,
+				From:  sim.Cycle(wd.int("from", 0)),
+				Until: sim.Cycle(wd.int("until", 0)),
+			}
+			if kind == noc.FaultRouterStall {
+				w.Node = wd.int("node", 0)
+				wd.allowOnly("node", "from", "until")
+			} else {
+				w.Port = wd.int("port", 0)
+				if wd.boolean("permanent", false) {
+					w.Kind = noc.FaultLinkPermanent
+				}
+				wd.allowOnly("port", "from", "until", "permanent")
+			}
+			if wd.err != nil {
+				return fmt.Errorf("faults.%s[%d]: %w", key, i, wd.err)
+			}
+			out = append(out, w)
+		}
+		return nil
+	}
+	if err := decode("link", noc.FaultLinkTransient); err != nil {
+		return nil, err
+	}
+	if err := decode("router", noc.FaultRouterStall); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Validate checks cross-field consistency and applies defaults for the
@@ -300,6 +393,9 @@ func (sc *Scenario) Validate() error {
 	if err := sc.validateWorkloadAxes(); err != nil {
 		return err
 	}
+	if err := sc.validateFaults(); err != nil {
+		return err
+	}
 	if len(sc.Traces) > 0 {
 		// Replay cells carry their complete injection stream; the other
 		// workload descriptions cannot coexist with them.
@@ -321,6 +417,11 @@ func (sc *Scenario) Validate() error {
 			}
 			if f.Rate <= 0 || f.Rate > 1 {
 				return fmt.Errorf("scenario %s: flows[%d] rate %v outside (0,1]", sc.Name, i, f.Rate)
+			}
+			switch f.Role {
+			case "", "victim", "aggressor":
+			default:
+				return fmt.Errorf("scenario %s: flows[%d] role %q (want victim or aggressor)", sc.Name, i, f.Role)
 			}
 		}
 	} else {
@@ -473,6 +574,90 @@ func (sc *Scenario) validateWorkloadAxes() error {
 	return nil
 }
 
+// validateFaults defaults and checks the [faults] table: windows against
+// the smallest topology on the axis, non-negative recovery axes (defaults
+// retry_timeout 0 = recovery off; max_retries 3 when recovery is armed),
+// and exclusivity with the workload classes the fault subsystem does not
+// model (closed-loop clients, trace replay).
+func (sc *Scenario) validateFaults() error {
+	if len(sc.RetryTimeouts) == 0 {
+		sc.RetryTimeouts = []sim.Cycle{0}
+	}
+	if len(sc.MaxRetriesAxis) == 0 {
+		sc.MaxRetriesAxis = []int{0}
+		for _, t := range sc.RetryTimeouts {
+			if t > 0 {
+				sc.MaxRetriesAxis = []int{3}
+				break
+			}
+		}
+	}
+	for _, t := range sc.RetryTimeouts {
+		if t < 0 {
+			return fmt.Errorf("scenario %s: negative retry_timeout %d", sc.Name, t)
+		}
+	}
+	for _, m := range sc.MaxRetriesAxis {
+		if m < 0 {
+			return fmt.Errorf("scenario %s: negative max_retries %d", sc.Name, m)
+		}
+	}
+	if sc.WatchdogCycles < 0 {
+		return fmt.Errorf("scenario %s: negative watchdog_cycles %d", sc.Name, sc.WatchdogCycles)
+	}
+	if !sc.faultsEnabled() {
+		return nil
+	}
+	if len(sc.Traces) > 0 || sc.hasMode("closed") {
+		return fmt.Errorf("scenario %s: the [faults] table only applies to open-loop cells (no traces or closed workload mode)", sc.Name)
+	}
+	for i, w := range sc.FaultWindows {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: faults window %d: %w", sc.Name, i, err)
+		}
+		if w.Kind == noc.FaultRouterStall {
+			if w.Node >= sc.Nodes {
+				return fmt.Errorf("scenario %s: faults window %d stalls node %d outside column of %d", sc.Name, i, w.Node, sc.Nodes)
+			}
+			continue
+		}
+		// The port index must exist on every topology of the axis, so the
+		// grid cannot fail mid-run on the smallest port count.
+		for _, kind := range sc.Topologies {
+			if ports := topology.NumPorts(kind, sc.Nodes); w.Port >= ports {
+				return fmt.Errorf("scenario %s: faults window %d names port %d, topology %v has %d",
+					sc.Name, i, w.Port, kind, ports)
+			}
+		}
+	}
+	return nil
+}
+
+// faultsEnabled reports whether the scenario schedules faults, arms
+// recovery, or arms the watchdog on its cells.
+func (sc *Scenario) faultsEnabled() bool {
+	if len(sc.FaultWindows) > 0 || sc.WatchdogCycles > 0 {
+		return true
+	}
+	for _, t := range sc.RetryTimeouts {
+		if t > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// victimFlows lists the flow IDs of flows declared role = "victim".
+func (sc *Scenario) victimFlows() []noc.FlowID {
+	var out []noc.FlowID
+	for _, f := range sc.Flows {
+		if f.Role == "victim" {
+			out = append(out, traffic.FlowOf(noc.NodeID(f.Node), f.Injector))
+		}
+	}
+	return out
+}
+
 // specsOf samples one representative spec set for validation: the first
 // pattern at the highest rate (peak burst demand scales with rate), or
 // the explicit flows.
@@ -524,9 +709,25 @@ func (sc *Scenario) workload(patternName string, rate float64) (traffic.Workload
 }
 
 // flowWorkload builds the workload of an explicit-flows scenario.
-func (sc *Scenario) flowWorkload() traffic.Workload {
-	w := traffic.Workload{Name: sc.Name, Nodes: sc.Nodes}
+func (sc *Scenario) flowWorkload() traffic.Workload { return sc.flowWorkloadOf(sc.Flows) }
+
+// victimWorkload builds the victim-only workload of the hidden reference
+// cells the victim-slowdown metric compares against. The flow population
+// (Nodes) is unchanged, so victim flow IDs and QoS tables line up with
+// the full scenario's.
+func (sc *Scenario) victimWorkload() traffic.Workload {
+	var victims []FlowSpec
 	for _, f := range sc.Flows {
+		if f.Role == "victim" {
+			victims = append(victims, f)
+		}
+	}
+	return sc.flowWorkloadOf(victims)
+}
+
+func (sc *Scenario) flowWorkloadOf(flows []FlowSpec) traffic.Workload {
+	w := traffic.Workload{Name: sc.Name, Nodes: sc.Nodes}
+	for _, f := range flows {
 		stop := f.StopAt
 		if stop == 0 {
 			stop = sc.StopAt

@@ -9,11 +9,13 @@ import (
 // parseTOML parses the TOML subset scenario files use into the same
 // map[string]any shape encoding/json produces, so one decoder serves both
 // formats. Supported: `key = value` pairs, `[table]` headers, `[[array]]`
-// array-of-tables headers, `#` comments, and values that are basic
-// strings ("..."), integers, floats, booleans, or single-line arrays of
-// those. Unsupported TOML (dotted keys, multi-line strings, dates, inline
-// tables, nested arrays of tables) is rejected with a line-numbered
-// error rather than misread. Numbers decode to float64, like JSON.
+// array-of-tables headers — including one dotted level, `[[parent.child]]`,
+// which appends to a list inside the parent table — `#` comments, and
+// values that are basic strings ("..."), integers, floats, booleans, or
+// single-line arrays of those. Unsupported TOML (dotted keys in key/value
+// position, multi-line strings, dates, inline tables, deeper nesting) is
+// rejected with a line-numbered error rather than misread. Numbers decode
+// to float64, like JSON.
 func parseTOML(src string) (map[string]any, error) {
 	root := map[string]any{}
 	cur := root
@@ -27,15 +29,31 @@ func parseTOML(src string) (map[string]any, error) {
 		case strings.HasPrefix(line, "[["):
 			name, ok := strings.CutSuffix(strings.TrimPrefix(line, "[["), "]]")
 			name = strings.TrimSpace(name)
+			parent := root
+			if head, rest, dotted := strings.Cut(name, "."); ok && dotted {
+				if !validKey(head) || !validKey(rest) {
+					return nil, tomlErr(ln, "malformed array-of-tables header %q (one dotted level supported)", line)
+				}
+				sub, exists := root[head]
+				if !exists {
+					sub = map[string]any{}
+					root[head] = sub
+				}
+				m, isTable := sub.(map[string]any)
+				if !isTable {
+					return nil, tomlErr(ln, "key %q redefined as a table by %q", head, line)
+				}
+				parent, name = m, rest
+			}
 			if !ok || !validKey(name) {
 				return nil, tomlErr(ln, "malformed array-of-tables header %q", line)
 			}
 			t := map[string]any{}
-			arr, _ := root[name].([]any)
-			if _, exists := root[name]; exists && arr == nil {
+			arr, _ := parent[name].([]any)
+			if _, exists := parent[name]; exists && arr == nil {
 				return nil, tomlErr(ln, "key %q redefined as array of tables", name)
 			}
-			root[name] = append(arr, any(t))
+			parent[name] = append(arr, any(t))
 			cur = t
 		case strings.HasPrefix(line, "["):
 			name, ok := strings.CutSuffix(strings.TrimPrefix(line, "["), "]")

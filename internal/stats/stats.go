@@ -23,6 +23,12 @@ type Collector struct {
 	DeliveredPackets []int64
 	DeliveredFlits   []int64
 	LatencySumByFlow []int64
+	// RetriesByFlow counts timeout-driven end-to-end retransmissions
+	// charged to each flow; DropsByFlow counts packets the flow abandoned
+	// for good (retry budget exhausted, unroutable destination, or loss
+	// with recovery disabled).
+	RetriesByFlow []int64
+	DropsByFlow   []int64
 
 	// Aggregates, measurement window only.
 	TotalDelivered   int64
@@ -36,6 +42,17 @@ type Collector struct {
 	Retransmits      int64
 	LastDelivery     sim.Cycle
 	MaxLatency       int64
+	// Fault-injection and end-to-end recovery aggregates: TotalRetries
+	// and TotalDropped sum the per-flow counters above; FaultDrops counts
+	// in-network transmission attempts killed by a fault (each such
+	// attempt either retries or becomes a drop); RecoveredPackets and
+	// RecoveryLatencySum track deliveries that needed at least one
+	// timeout retransmission and their end-to-end latencies.
+	TotalRetries       int64
+	TotalDropped       int64
+	FaultDrops         int64
+	RecoveredPackets   int64
+	RecoveryLatencySum int64
 
 	// Latencies is the delivered-packet latency distribution, for tail
 	// percentiles (p50/p99 of the load-latency curves).
@@ -55,6 +72,8 @@ func (c *Collector) alloc() {
 	c.DeliveredPackets = make([]int64, c.flows)
 	c.DeliveredFlits = make([]int64, c.flows)
 	c.LatencySumByFlow = make([]int64, c.flows)
+	c.RetriesByFlow = make([]int64, c.flows)
+	c.DropsByFlow = make([]int64, c.flows)
 }
 
 // Flows returns the flow population size.
@@ -71,6 +90,8 @@ func (c *Collector) Reset(now sim.Cycle) {
 	c.Retransmits = 0
 	c.LastDelivery = 0
 	c.MaxLatency = 0
+	c.TotalRetries, c.TotalDropped, c.FaultDrops = 0, 0, 0
+	c.RecoveredPackets, c.RecoveryLatencySum = 0, 0
 	c.Latencies.Reset()
 	c.start = now
 	c.measuring = true
@@ -126,6 +147,45 @@ func (c *Collector) Preempted(wastedHops int, firstForPacket bool) {
 	if firstForPacket {
 		c.PreemptedUnique++
 	}
+}
+
+// TimeoutRetry records one timeout-driven end-to-end retransmission
+// charged to the owning flow.
+func (c *Collector) TimeoutRetry(f noc.FlowID) {
+	if !c.measuring {
+		return
+	}
+	c.RetriesByFlow[f]++
+	c.TotalRetries++
+}
+
+// Dropped records a packet abandoned for good: its retry budget ran out,
+// its destination became unroutable, or it was lost with recovery disabled.
+func (c *Collector) Dropped(f noc.FlowID) {
+	if !c.measuring {
+		return
+	}
+	c.DropsByFlow[f]++
+	c.TotalDropped++
+}
+
+// FaultDropped records one in-network transmission attempt killed by a
+// link fault or stall.
+func (c *Collector) FaultDropped() {
+	if !c.measuring {
+		return
+	}
+	c.FaultDrops++
+}
+
+// Recovered records a delivery that needed at least one timeout
+// retransmission, with its end-to-end latency (creation to delivery).
+func (c *Collector) Recovered(latency int64) {
+	if !c.measuring {
+		return
+	}
+	c.RecoveredPackets++
+	c.RecoveryLatencySum += latency
 }
 
 // HopTraversed records weight completed hop traversals (useful or not);
@@ -184,6 +244,26 @@ func (c *Collector) WastedHopRate() float64 {
 		return 0
 	}
 	return 100 * float64(c.WastedHops) / float64(c.TotalHops)
+}
+
+// MeanRecoveryLatency returns the average end-to-end latency of packets
+// that needed at least one timeout retransmission.
+func (c *Collector) MeanRecoveryLatency() float64 {
+	if c.RecoveredPackets == 0 {
+		return 0
+	}
+	return float64(c.RecoveryLatencySum) / float64(c.RecoveredPackets)
+}
+
+// DeliveredFraction returns delivered packets over resolved packets
+// (delivered plus dropped): the headline degradation metric. 1.0 when
+// nothing was resolved.
+func (c *Collector) DeliveredFraction() float64 {
+	total := c.TotalDelivered + c.TotalDropped
+	if total == 0 {
+		return 1
+	}
+	return float64(c.TotalDelivered) / float64(total)
 }
 
 // FlitsByFlow returns a copy of the per-flow delivered flit counts.

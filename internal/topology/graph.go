@@ -102,6 +102,30 @@ func NewGraph(kind Kind, nodes int) *Graph {
 // packets over (mesh xK replication; 1 elsewhere).
 func (g *Graph) NumReplicas() int { return g.Kind.Replication() }
 
+// NumPorts returns the number of output ports NewGraph(kind, nodes) creates,
+// in O(1) and without building the graph: n terminal ports plus the
+// topology's channel ports. Fault-schedule validation uses it to range-check
+// port ids cheaply. Returns 0 for configurations NewGraph would reject.
+func NumPorts(kind Kind, nodes int) int {
+	if nodes < 2 {
+		return 0
+	}
+	switch kind {
+	case MeshX1, MeshX2, MeshX4:
+		// Per interior direction, Replication() channels out of each of
+		// the n-1 upstream nodes.
+		return nodes + 2*kind.Replication()*(nodes-1)
+	case MECS:
+		// One express channel per direction per non-edge endpoint.
+		return nodes + 2*(nodes-1)
+	case DPS:
+		// Subnet d has an output at every node but d.
+		return nodes + nodes*(nodes-1)
+	default:
+		return 0
+	}
+}
+
 // Path returns the leg sequence from src to dst using the given replica
 // (ignored by unreplicated topologies). The returned slice is shared and
 // must not be mutated.

@@ -28,6 +28,19 @@ func TestKindString(t *testing.T) {
 	}
 }
 
+func TestNumPortsMatchesBuiltGraphs(t *testing.T) {
+	for _, nodes := range []int{2, 3, 4, 8} {
+		for k, g := range allGraphs(t, nodes) {
+			if got, want := NumPorts(k, nodes), len(g.Ports); got != want {
+				t.Errorf("NumPorts(%v, %d) = %d, graph has %d ports", k, nodes, got, want)
+			}
+		}
+	}
+	if NumPorts(MeshX1, 1) != 0 {
+		t.Error("NumPorts must return 0 for configurations NewGraph rejects")
+	}
+}
+
 func TestReplication(t *testing.T) {
 	if MeshX1.Replication() != 1 || MeshX2.Replication() != 2 || MeshX4.Replication() != 4 {
 		t.Error("mesh replication degrees wrong")

@@ -16,10 +16,13 @@ import (
 
 // Trace binary format (little varints throughout, magic "TQTR" + version):
 //
-//	"TQTR" <version=1>
+//	"TQTR" <version=1|2>
 //	uvarint nodes seed warmup measure
 //	uvarint frame_cycles window_packets quantum_flits margin_classes
 //	uvarint len(topology) <topology bytes> uvarint len(qos) <qos bytes>
+//	version 2 only (fault section):
+//	  uvarint retry_timeout max_retries watchdog_cycles window_count
+//	  window*: uvarint kind port node from until
 //	uvarint record_count
 //	record*: uvarint cycle_delta flow src dst flits
 //
@@ -29,10 +32,18 @@ import (
 // QoS mode and overrides, seed and warmup/measure schedule — so a trace
 // is self-contained: `noctool trace replay` rebuilds the exact cell and
 // reproduces the recorded delivery fingerprint.
+//
+// Version 2 adds the cell's fault configuration (scheduled fault windows,
+// retry timeout and bound, watchdog arming), so a trace captured from a
+// faulted cell — including the repro trace a watchdog dump carries —
+// replays with the same faults striking at the same cycles. Encode emits
+// version 1 bytes whenever the fault section would be empty, so
+// fault-free traces stay byte-identical to the original format.
 
 const (
-	traceMagic   = "TQTR"
-	traceVersion = 1
+	traceMagic     = "TQTR"
+	traceVersion   = 1
+	traceVersionV2 = 2
 )
 
 // TraceHeader describes the cell a trace was recorded from.
@@ -57,6 +68,19 @@ type TraceHeader struct {
 	WindowPackets int
 	QuantumFlits  int
 	MarginClasses int
+	// Fault configuration of the recorded cell: scheduled fault windows,
+	// end-to-end recovery knobs and the watchdog window. All zero for a
+	// healthy cell, in which case Encode emits version-1 bytes.
+	Faults         []noc.FaultWindow
+	RetryTimeout   sim.Cycle
+	MaxRetries     int
+	WatchdogCycles sim.Cycle
+}
+
+// faulted reports whether the header carries any fault-section state and
+// therefore needs the version-2 encoding.
+func (h *TraceHeader) faulted() bool {
+	return len(h.Faults) > 0 || h.RetryTimeout > 0 || h.MaxRetries > 0 || h.WatchdogCycles > 0
 }
 
 // Trace is a decoded (or to-be-encoded) injection-stream capture.
@@ -65,11 +89,16 @@ type Trace struct {
 	Records []traffic.TraceRecord
 }
 
-// Encode renders the trace in the binary format.
+// Encode renders the trace in the binary format: version 1 when the
+// header carries no fault state, version 2 otherwise.
 func (t *Trace) Encode() []byte {
-	out := make([]byte, 0, len(traceMagic)+1+32+len(t.Records)*5)
+	version := byte(traceVersion)
+	if t.Header.faulted() {
+		version = traceVersionV2
+	}
+	out := make([]byte, 0, len(traceMagic)+1+32+len(t.Header.Faults)*6+len(t.Records)*5)
 	out = append(out, traceMagic...)
-	out = append(out, traceVersion)
+	out = append(out, version)
 	out = binary.AppendUvarint(out, uint64(t.Header.Nodes))
 	out = binary.AppendUvarint(out, t.Header.Seed)
 	out = binary.AppendUvarint(out, uint64(t.Header.Warmup))
@@ -80,6 +109,19 @@ func (t *Trace) Encode() []byte {
 	out = binary.AppendUvarint(out, uint64(t.Header.MarginClasses))
 	out = appendString(out, t.Header.Topology)
 	out = appendString(out, t.Header.QoS)
+	if version == traceVersionV2 {
+		out = binary.AppendUvarint(out, uint64(t.Header.RetryTimeout))
+		out = binary.AppendUvarint(out, uint64(t.Header.MaxRetries))
+		out = binary.AppendUvarint(out, uint64(t.Header.WatchdogCycles))
+		out = binary.AppendUvarint(out, uint64(len(t.Header.Faults)))
+		for _, w := range t.Header.Faults {
+			out = binary.AppendUvarint(out, uint64(w.Kind))
+			out = binary.AppendUvarint(out, uint64(w.Port))
+			out = binary.AppendUvarint(out, uint64(w.Node))
+			out = binary.AppendUvarint(out, uint64(w.From))
+			out = binary.AppendUvarint(out, uint64(w.Until))
+		}
+	}
 	out = binary.AppendUvarint(out, uint64(len(t.Records)))
 	prev := sim.Cycle(0)
 	for _, r := range t.Records {
@@ -139,8 +181,9 @@ func DecodeTrace(blob []byte) (*Trace, error) {
 	if len(blob) < len(traceMagic)+1 || string(blob[:len(traceMagic)]) != traceMagic {
 		return nil, fmt.Errorf("workload: not a trace file (bad magic)")
 	}
-	if v := blob[len(traceMagic)]; v != traceVersion {
-		return nil, fmt.Errorf("workload: unsupported trace version %d (want %d)", v, traceVersion)
+	version := blob[len(traceMagic)]
+	if version != traceVersion && version != traceVersionV2 {
+		return nil, fmt.Errorf("workload: unsupported trace version %d (want %d or %d)", version, traceVersion, traceVersionV2)
 	}
 	r := &traceReader{buf: blob, pos: len(traceMagic) + 1}
 	t := &Trace{}
@@ -154,6 +197,28 @@ func DecodeTrace(blob []byte) (*Trace, error) {
 	t.Header.MarginClasses = int(r.uvarint("margin_classes"))
 	t.Header.Topology = r.str("topology")
 	t.Header.QoS = r.str("qos")
+	if version == traceVersionV2 {
+		t.Header.RetryTimeout = sim.Cycle(r.uvarint("retry timeout"))
+		t.Header.MaxRetries = int(r.uvarint("max retries"))
+		t.Header.WatchdogCycles = sim.Cycle(r.uvarint("watchdog cycles"))
+		windows := r.uvarint("fault window count")
+		for i := uint64(0); i < windows && r.err == nil; i++ {
+			w := noc.FaultWindow{
+				Kind:  noc.FaultKind(r.uvarint("fault kind")),
+				Port:  int(r.uvarint("fault port")),
+				Node:  int(r.uvarint("fault node")),
+				From:  sim.Cycle(r.uvarint("fault from")),
+				Until: sim.Cycle(r.uvarint("fault until")),
+			}
+			if r.err != nil {
+				break
+			}
+			if err := w.Validate(); err != nil {
+				return nil, fmt.Errorf("workload: trace fault window %d: %w", i, err)
+			}
+			t.Header.Faults = append(t.Header.Faults, w)
+		}
+	}
 	count := r.uvarint("record count")
 	if r.err != nil {
 		return nil, r.err
@@ -259,10 +324,12 @@ func (t *Trace) Workload(name string) (traffic.Workload, error) {
 
 // Cell rebuilds the recorded cell as a replay configuration: the header's
 // topology, QoS mode and overrides, seed and column height, with the
-// trace as the workload. The returned warmup/measure are the recorded
-// schedule; running them through WarmupAndMeasure reproduces the recorded
-// measurement window (and, for an open-loop recording, its delivery
-// fingerprint exactly).
+// trace as the workload. A version-2 header also restores the recorded
+// fault configuration — windows, recovery knobs, watchdog — so faults
+// strike the replay at the same cycles. The returned warmup/measure are
+// the recorded schedule; running them through WarmupAndMeasure reproduces
+// the recorded measurement window (and, for an open-loop recording, its
+// delivery fingerprint exactly).
 func (t *Trace) Cell(name string) (cfg network.Config, warmup, measure int, err error) {
 	kind, err := topology.KindByName(t.Header.Topology)
 	if err != nil {
@@ -296,5 +363,11 @@ func (t *Trace) Cell(name string) (cfg network.Config, warmup, measure int, err 
 		QoS:      qcfg,
 		Workload: w,
 		Seed:     t.Header.Seed,
+		Faults: network.FaultConfig{
+			Windows:      t.Header.Faults,
+			RetryTimeout: t.Header.RetryTimeout,
+			MaxRetries:   t.Header.MaxRetries,
+		},
+		WatchdogCycles: t.Header.WatchdogCycles,
 	}, t.Header.Warmup, t.Header.Measure, nil
 }

@@ -1,9 +1,12 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
+	"tanoq/internal/network"
 	"tanoq/internal/noc"
+	"tanoq/internal/qos"
 	"tanoq/internal/sim"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
@@ -35,7 +38,7 @@ func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Header != want.Header {
+	if !reflect.DeepEqual(got.Header, want.Header) {
 		t.Errorf("header diverged: %+v vs %+v", got.Header, want.Header)
 	}
 	if len(got.Records) != len(want.Records) {
@@ -45,6 +48,139 @@ func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
 		if got.Records[i] != want.Records[i] {
 			t.Errorf("record %d diverged: %+v vs %+v", i, got.Records[i], want.Records[i])
 		}
+	}
+}
+
+// TestTraceV1ByteCompat pins that a trace without fault state still
+// encodes as version 1, byte-identical to the original format — old
+// traces and new fault-free captures are the same bytes.
+func TestTraceV1ByteCompat(t *testing.T) {
+	blob := sampleTrace().Encode()
+	if blob[4] != traceVersion {
+		t.Fatalf("fault-free trace encoded as version %d, want %d", blob[4], traceVersion)
+	}
+}
+
+// TestTraceV2RoundTrip pins the fault section: a faulted header flips the
+// version byte to 2 and survives encode/decode exactly, and the rebuilt
+// cell carries the recorded fault configuration.
+func TestTraceV2RoundTrip(t *testing.T) {
+	want := sampleTrace()
+	want.Header.Faults = []noc.FaultWindow{
+		{Kind: noc.FaultLinkTransient, Port: 3, From: 100, Until: 900},
+		{Kind: noc.FaultLinkPermanent, Port: 9, From: 2_000},
+		{Kind: noc.FaultRouterStall, Node: 5, From: 1_500, Until: 1_600},
+	}
+	want.Header.RetryTimeout = 400
+	want.Header.MaxRetries = 6
+	want.Header.WatchdogCycles = 50_000
+	blob := want.Encode()
+	if blob[4] != traceVersionV2 {
+		t.Fatalf("faulted trace encoded as version %d, want %d", blob[4], traceVersionV2)
+	}
+	got, err := DecodeTrace(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Header, want.Header) {
+		t.Errorf("header diverged: %+v vs %+v", got.Header, want.Header)
+	}
+	cfg, _, _, err := got.Cell("v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Faults.Windows, want.Header.Faults) ||
+		cfg.Faults.RetryTimeout != 400 || cfg.Faults.MaxRetries != 6 || cfg.WatchdogCycles != 50_000 {
+		t.Errorf("cell dropped fault config: %+v wd=%d", cfg.Faults, cfg.WatchdogCycles)
+	}
+}
+
+// TestTraceV2RejectsBadFaults pins that malformed fault sections fail
+// decoding instead of installing nonsense windows.
+func TestTraceV2RejectsBadFaults(t *testing.T) {
+	mk := func(w noc.FaultWindow) []byte {
+		tr := sampleTrace()
+		tr.Header.Faults = []noc.FaultWindow{w}
+		return tr.Encode()
+	}
+	cases := map[string][]byte{
+		"unknown kind":        mk(noc.FaultWindow{Kind: 99, Port: 1, From: 10, Until: 20}),
+		"empty window":        mk(noc.FaultWindow{Kind: noc.FaultLinkTransient, Port: 1, From: 20, Until: 20}),
+		"unbounded transient": mk(noc.FaultWindow{Kind: noc.FaultLinkTransient, Port: 1, From: 10}),
+	}
+	for name, blob := range cases {
+		if _, err := DecodeTrace(blob); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// catchWatchdog runs fn and returns the watchdog trip it panics with, or
+// nil if it runs to completion. Any other panic propagates.
+func catchWatchdog(fn func()) (we *network.WatchdogError) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, ok := r.(*network.WatchdogError)
+			if !ok {
+				panic(r)
+			}
+			we = e
+		}
+	}()
+	fn()
+	return nil
+}
+
+// TestWatchdogReproTraceReplays pins the watchdog's headline debugging
+// contract end to end: wedge a column with a permanent router stall, catch
+// the dump, wrap its auto-captured repro trace in a version-2 trace
+// carrying the same fault schedule, round-trip it through the binary
+// encoding, and replay — the rebuilt cell must wedge identically, tripping
+// the watchdog at the same cycle.
+func TestWatchdogReproTraceReplays(t *testing.T) {
+	w := traffic.UniformRandom(topology.ColumnNodes, 0.05)
+	qcfg := qos.DefaultConfig(w.TotalFlows())
+	cfg := network.Config{
+		Kind: topology.MeshX1, QoS: qcfg, Workload: w, Seed: 23,
+		Faults: network.FaultConfig{Windows: []noc.FaultWindow{
+			{Kind: noc.FaultRouterStall, Node: 3, From: 500}, // never lifts
+		}},
+		WatchdogCycles: 1_500,
+	}
+	n := network.MustNew(cfg)
+	we := catchWatchdog(func() { n.WarmupAndMeasure(0, 10_000) })
+	if we == nil {
+		t.Fatal("permanent router stall did not trip the watchdog")
+	}
+	if len(we.Report.Records) == 0 {
+		t.Fatal("watchdog dump carries no repro trace")
+	}
+
+	tr := &Trace{
+		Header: TraceHeader{
+			Nodes: topology.ColumnNodes, Topology: cfg.Kind.String(), QoS: qcfg.Mode.String(),
+			Seed: cfg.Seed, Warmup: 0, Measure: 10_000,
+			Faults:         cfg.Faults.Windows,
+			WatchdogCycles: cfg.WatchdogCycles,
+		},
+		Records: we.Report.Records,
+	}
+	decoded, err := DecodeTrace(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg, warmup, measure, err := decoded.Cell("repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := network.MustNew(rcfg)
+	again := catchWatchdog(func() { rn.WarmupAndMeasure(warmup, measure) })
+	if again == nil {
+		t.Fatal("replayed repro trace did not trip the watchdog")
+	}
+	if again.Report.At != we.Report.At || again.Report.LastProgress != we.Report.LastProgress {
+		t.Errorf("replayed trip diverged: cycle %d/progress %d, recorded %d/%d",
+			again.Report.At, again.Report.LastProgress, we.Report.At, we.Report.LastProgress)
 	}
 }
 
@@ -139,7 +275,7 @@ func TestTraceFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Header != want.Header || len(got.Records) != len(want.Records) {
+	if !reflect.DeepEqual(got.Header, want.Header) || len(got.Records) != len(want.Records) {
 		t.Errorf("file round trip diverged")
 	}
 }
