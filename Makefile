@@ -1,9 +1,16 @@
 # Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
 
-.PHONY: build test vet lint race determinism audit sweep-smoke trace-smoke fuzz-smoke bench bench-json
+.PHONY: build test vet lint race determinism audit sweep-smoke trace-smoke fuzz-smoke resume-smoke bench bench-json
+
+# The engine version stamp: embedded in `noctool version`, cache keys,
+# BENCH_*.json and v2 trace headers, so results name the engine that made
+# them (a new stamp retires every cached sweep row). Binaries built
+# without the ldflags report "dev".
+VERSION := $(shell git describe --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X tanoq/internal/network.buildVersion=$(VERSION)
 
 build:
-	go build ./...
+	go build -ldflags "$(LDFLAGS)" ./...
 
 vet:
 	go vet ./...
@@ -65,6 +72,27 @@ trace-smoke:
 	@grep '^fingerprint: ' /tmp/tanoq-trace-rep.txt > /tmp/tanoq-trace-rep.fp
 	diff /tmp/tanoq-trace-rec.fp /tmp/tanoq-trace-rep.fp
 	@echo "trace-smoke: record and replay fingerprints match"
+
+# resume-smoke proves durable sweep execution end to end: run the grid
+# uninterrupted for reference, SIGINT a cached sequential run mid-grid
+# (finished cells checkpoint to the content-addressed store as they
+# land), resume with -resume and require the resumed table to diff
+# bit-identical against the reference, then re-run fully cached with
+# verification and grep the "executed 0" accounting line — a warm cache
+# runs zero simulations. The kill is timing-tolerant by construction:
+# wherever the signal lands, the resumed output must still match.
+resume-smoke:
+	rm -rf /tmp/tanoq-resume-cache
+	go build -ldflags "$(LDFLAGS)" -o /tmp/tanoq-resume-noctool ./cmd/noctool
+	/tmp/tanoq-resume-noctool -csv sweep examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-ref.csv
+	( /tmp/tanoq-resume-noctool -parallel 1 -csv -cache -cache-dir /tmp/tanoq-resume-cache sweep examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-int.csv 2> /tmp/tanoq-resume-int.err & \
+	  pid=$$!; sleep 2; kill -INT $$pid 2>/dev/null; wait $$pid ) || true
+	@echo "resume-smoke: interrupted run said:"; tail -n 2 /tmp/tanoq-resume-int.err
+	/tmp/tanoq-resume-noctool -csv -resume -cache-dir /tmp/tanoq-resume-cache sweep examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-res.csv 2> /tmp/tanoq-resume-res.err
+	diff /tmp/tanoq-resume-ref.csv /tmp/tanoq-resume-res.csv
+	/tmp/tanoq-resume-noctool -csv -resume -cache-dir /tmp/tanoq-resume-cache -cache-verify 2 sweep examples/sweep/resume-smoke.toml > /dev/null 2> /tmp/tanoq-resume-full.err
+	grep 'executed 0' /tmp/tanoq-resume-full.err
+	@echo "resume-smoke: interrupted sweep resumed bit-identically; warm cache executed zero cells"
 
 # fuzz-smoke runs the scenario-decoder fuzzer for a short budget (CI's
 # fuzz step); `go test -fuzz FuzzScenarioDecode ./internal/scenario` runs

@@ -32,6 +32,7 @@ type benchReport struct {
 	// machines or revisions are never compared blind: the commit the
 	// binary was built from, the measuring host, and its CPU model.
 	GitHead       string      `json:"git_head,omitempty"`
+	EngineVersion string      `json:"engine_version,omitempty"`
 	Hostname      string      `json:"hostname,omitempty"`
 	CPUModel      string      `json:"cpu_model,omitempty"`
 	EngineStep    []stepBench `json:"engine_step"`
@@ -121,14 +122,15 @@ func runBench(p experiments.Params, o benchOpts) error {
 		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
 	}
 	rep := benchReport{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       p.Seed,
-		Note:       o.note,
-		GitHead:    gitHead(),
-		Hostname:   hostname(),
-		CPUModel:   cpuModel(),
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seed:          p.Seed,
+		Note:          o.note,
+		GitHead:       gitHead(),
+		EngineVersion: network.EngineVersion(),
+		Hostname:      hostname(),
+		CPUModel:      cpuModel(),
 	}
 
 	fmt.Println("bench: engine Step cost per topology (steady state + near-saturation)")

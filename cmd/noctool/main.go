@@ -30,7 +30,20 @@
 //	            expand and run a declarative scenario file (.json/.toml,
 //	            see internal/scenario) or built-in scenario name; the
 //	            explicitly-set -seed/-warmup/-measure flags override the
-//	            file's values, and -out writes machine-readable JSON
+//	            file's values, and -out writes machine-readable JSON.
+//	            With -cache (or a [run] table with cache = true) the
+//	            sweep runs durably: each cell's result is memoized in a
+//	            content-addressed store under -cache-dir, completed cells
+//	            are journaled as they finish, SIGINT/SIGTERM drains
+//	            in-flight cells and checkpoints before exiting, and
+//	            -resume serves the finished rows from the cache and runs
+//	            only what is missing — bit-identical to an uninterrupted
+//	            run. -cache-verify N re-executes N cached hits and fails
+//	            on any divergence.
+//
+//	version     print the engine version stamp (set at build time via
+//	            -ldflags; "dev" otherwise) that is embedded in cache
+//	            keys, BENCH_*.json and v2 trace headers
 //
 //	degrade <scenario>
 //	            degradation sweep of a scenario with a [faults] table: run
@@ -73,6 +86,19 @@
 //	           benchmark run to the given file
 //	-memprofile  bench only: write a heap profile at the end of the run
 //	           to the given file
+//	-cache     sweep only: memoize cell results in the content-addressed
+//	           store and serve hits without simulating
+//	-cache-dir sweep only: result store directory (default .tanoq-cache)
+//	-resume    sweep only: resume an interrupted sweep from the cache
+//	           (implies -cache)
+//	-cache-verify  sweep only: re-execute up to N cached hits and fail
+//	           the run if any recomputed row diverges from its cache
+//	-deadline  sweep only: wall-clock budget per simulation cell (0 =
+//	           none); a cell that exceeds it is aborted and retried
+//	-retries   sweep only: extra attempts per failed cell (default 1;
+//	           0 disables retries)
+//	-backoff   sweep only: base delay before retrying a failed cell,
+//	           doubling per attempt
 package main
 
 import (
@@ -82,6 +108,8 @@ import (
 	"strings"
 
 	"tanoq/internal/experiments"
+	"tanoq/internal/network"
+	"tanoq/internal/store"
 	"tanoq/internal/topology"
 )
 
@@ -100,6 +128,13 @@ func main() {
 	engineOnly := flag.Bool("engine-only", false, "bench: measure only the per-topology engine step cost")
 	cpuProfile := flag.String("cpuprofile", "", "bench: write a CPU profile of the benchmark run to this file")
 	memProfile := flag.String("memprofile", "", "bench: write a heap profile at the end of the run to this file")
+	cache := flag.Bool("cache", false, "sweep: memoize cell results in the content-addressed store")
+	cacheDir := flag.String("cache-dir", store.DefaultDir, "sweep: result store directory")
+	resume := flag.Bool("resume", false, "sweep: resume an interrupted sweep from the cache (implies -cache)")
+	cacheVerify := flag.Int("cache-verify", 0, "sweep: re-execute up to N cached hits and fail on divergence")
+	deadline := flag.Duration("deadline", 0, "sweep: wall-clock budget per cell (0 = none)")
+	retries := flag.Int("retries", 1, "sweep: extra attempts per failed cell (0 disables retries)")
+	backoff := flag.Duration("backoff", 0, "sweep: base retry delay, doubling per attempt")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -143,6 +178,8 @@ func main() {
 				i++
 				err = runSweep(args[i], sweepOpts{
 					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
+					cache: *cache, cacheDir: *cacheDir, resume: *resume, verify: *cacheVerify,
+					deadline: *deadline, retries: *retries, backoff: *backoff,
 				})
 			}
 		case "degrade":
@@ -154,6 +191,8 @@ func main() {
 					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
 				})
 			}
+		case "version":
+			fmt.Printf("tanoq engine %s\n", network.EngineVersion())
 		case "trace":
 			if i+2 >= len(args) {
 				err = fmt.Errorf("trace needs a verb and a target: trace record <scenario> | trace replay <file> | trace info <file>")
@@ -175,12 +214,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario> | degrade <scenario> | trace record|replay|info <target>
+	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario> | degrade <scenario> | trace record|replay|info <target> | version
 
 experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate closed bench all
-sweep runs a declarative scenario file (.json/.toml) or built-in scenario
+sweep runs a declarative scenario file (.json/.toml) or built-in scenario;
+  -cache/-resume make it durable (content-addressed result store, checkpoint
+  on SIGINT/SIGTERM, bit-identical resume), -deadline/-retries/-backoff bound
+  wedged cells, -cache-verify audits cached rows against re-execution
 degrade runs a faulted scenario against its fault-free baseline (delivered fraction, victim slowdown, p99 inflation)
 trace records a single-cell scenario's injection stream / replays a trace / prints its stats
+version prints the engine version stamp embedded in cache keys and reports
 flags:
 `)
 	flag.PrintDefaults()

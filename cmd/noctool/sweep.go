@@ -1,11 +1,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
 	"tanoq/internal/experiments"
 	"tanoq/internal/scenario"
+	"tanoq/internal/store"
 )
 
 // sweepOpts carries the CLI state the sweep subcommand layers over a
@@ -21,6 +28,16 @@ type sweepOpts struct {
 	quick    bool
 	csv      bool
 	outPath  string
+	// Durable-execution knobs: the result cache and the per-cell
+	// deadline/retry budget. These never change results, only whether and
+	// how cells execute, so they stay out of cache keys.
+	cache    bool
+	cacheDir string
+	resume   bool
+	verify   int
+	deadline time.Duration
+	retries  int
+	backoff  time.Duration
 }
 
 // loadScenario loads a scenario file or built-in name and applies the
@@ -50,8 +67,15 @@ func loadScenario(pathOrName string, o sweepOpts) (*scenario.Scenario, error) {
 }
 
 // runSweep loads a scenario file (or built-in scenario name), applies the
-// CLI layer, expands the sweep grid, runs it on the parallel runner and
-// emits a table or CSV to stdout (plus JSON to -out when given).
+// CLI layer, expands the sweep grid, runs it through the durable runner
+// and emits a table or CSV to stdout (plus JSON to -out when given).
+//
+// Every sweep goes through Grid.RunDurable: without -cache it behaves
+// exactly like the plain grid runner (plus the deadline/retry knobs and
+// graceful SIGINT draining); with -cache (or cache = true in the
+// scenario's [run] table) finished rows are checkpointed to the
+// content-addressed store as they land, and -resume serves them back
+// without simulating.
 func runSweep(pathOrName string, o sweepOpts) error {
 	sc, err := loadScenario(pathOrName, o)
 	if err != nil {
@@ -61,24 +85,112 @@ func runSweep(pathOrName string, o sweepOpts) error {
 	if err != nil {
 		return err
 	}
-	results := grid.Run(scenario.RunOpts{
-		Workers:         o.params.Workers,
-		DisableIdleSkip: o.params.DisableIdleSkip,
-	})
+
+	// Layer the durable knobs: the scenario's [run] table below the
+	// explicitly-set flags (same precedence as seed/warmup/measure). An
+	// explicit `-retries 0` means "no retries", which the runner spells
+	// as a negative budget; 0 there means "use the default single retry".
+	opts := scenario.DurableOpts{
+		RunOpts: scenario.RunOpts{
+			Workers:         o.params.Workers,
+			DisableIdleSkip: o.params.DisableIdleSkip,
+		},
+		Deadline:     sc.Deadline,
+		Retries:      sc.Retries,
+		Backoff:      sc.Backoff,
+		VerifySample: o.verify,
+	}
+	if o.explicit["deadline"] {
+		opts.Deadline = o.deadline
+	}
+	if o.explicit["retries"] {
+		opts.Retries = o.retries
+		if o.retries == 0 {
+			opts.Retries = -1
+		}
+	}
+	if o.explicit["backoff"] {
+		opts.Backoff = o.backoff
+	}
+
+	if o.cache || o.resume || sc.Cache {
+		st, err := store.Open(o.cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = st
+		jr, err := store.OpenJournal(filepath.Join(o.cacheDir, "journal"))
+		if err != nil {
+			return err
+		}
+		defer jr.Close()
+		opts.Journal = jr
+	}
+
+	// First SIGINT/SIGTERM cancels the grid: no new cells are issued,
+	// in-flight cells drain and checkpoint, and the partial table is
+	// printed. A second signal exits immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "sweep: interrupt — draining in-flight cells and checkpointing (interrupt again to exit now)")
+		cancel()
+		<-sig
+		os.Exit(130)
+	}()
+
+	rep, err := grid.RunDurable(ctx, opts)
+	if err != nil {
+		return err
+	}
+	results := rep.Results
+
 	if o.csv {
 		fmt.Print(scenario.CSV(sc.Name, results))
 	} else {
 		fmt.Println(scenario.Render(sc.Name, results))
 	}
+	if rep.Interrupted {
+		// The marker rides only on interrupted output: a resumed run
+		// finishes clean, so its table diffs bit-identical against an
+		// uninterrupted one.
+		fmt.Println("# interrupted: partial results — finished cells are checkpointed, re-run with -resume")
+	}
 	if o.outPath != "" {
-		blob, err := scenario.JSONReport(sc.Name, results)
-		if err != nil {
-			return err
+		if rep.Interrupted {
+			fmt.Fprintf(os.Stderr, "sweep: not writing %s (sweep interrupted)\n", o.outPath)
+		} else {
+			blob, err := scenario.JSONReport(sc.Name, results)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(o.outPath, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", o.outPath)
 		}
-		if err := os.WriteFile(o.outPath, blob, 0o644); err != nil {
-			return err
+	}
+	if opts.Store != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells: %d cached, executed %d, skipped %d (cache %s)\n",
+			len(results), rep.Hits, rep.Executed, rep.Skipped, o.cacheDir)
+		if o.verify > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: cache-verify: %d verified, %d diverged\n",
+				rep.Verified, len(rep.VerifyBad))
 		}
-		fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", o.outPath)
+	}
+	if len(rep.VerifyBad) > 0 {
+		return fmt.Errorf("cache verification failed:\n  %s", strings.Join(rep.VerifyBad, "\n  "))
+	}
+	if rep.Interrupted {
+		done := len(results) - rep.Skipped
+		if opts.Store != nil {
+			return fmt.Errorf("sweep interrupted: %d of %d cells finished and checkpointed; re-run with -resume to continue", done, len(results))
+		}
+		return fmt.Errorf("sweep interrupted: %d of %d cells finished (run with -cache to make interruptions resumable)", done, len(results))
 	}
 	return nil
 }

@@ -100,6 +100,9 @@ func runTraceRecord(scenarioArg string, o traceOpts) error {
 		RetryTimeout:   cell.Config.Faults.RetryTimeout,
 		MaxRetries:     cell.Config.Faults.MaxRetries,
 		WatchdogCycles: cell.Config.WatchdogCycles,
+		// The recording engine's version stamp rides in the version-2
+		// header; fault-free captures encode as version 1 and drop it.
+		Engine: network.EngineVersion(),
 	})
 	out := o.outPath
 	if out == "" {

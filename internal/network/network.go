@@ -82,6 +82,7 @@ package network
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tanoq/internal/noc"
 	"tanoq/internal/qos"
@@ -202,6 +203,11 @@ type Network struct {
 	// and Reset clears them — workload drivers re-attach per cell.
 	deliveryHook func(Delivery)
 	genHook      func(traffic.TraceRecord)
+	// abortFlag, when non-nil, is polled at every Run/RunUntilDrained
+	// iteration: a set flag aborts the run with *AbortError (see
+	// abort.go). Installed per cell by deadline-armed runners; Reset
+	// clears it.
+	abortFlag *atomic.Bool
 	// injPool parks externally scheduled injections between
 	// ScheduleInjection and their evInject firing; injFree is its
 	// recycled-slot stack. Both are lazily allocated: open-loop runs
@@ -391,6 +397,7 @@ func (n *Network) Reset(cfg Config) error {
 	n.free = n.free[:0]
 	n.deliveryHook = nil
 	n.genHook = nil
+	n.abortFlag = nil
 	n.injPool = n.injPool[:0]
 	n.injFree = n.injFree[:0]
 	n.events.reset()
@@ -577,6 +584,7 @@ func (n *Network) Step() {
 func (n *Network) Run(cycles int) {
 	end := n.clock.Now() + sim.Cycle(cycles)
 	for now := n.clock.Now(); now < end; now = n.clock.Now() {
+		n.checkAbort(now)
 		if !n.cfg.DisableIdleSkip {
 			if wake, ok := n.nextWake(now); ok {
 				if wake > end {
@@ -652,6 +660,7 @@ func (n *Network) WarmupAndMeasure(warmup, measure int) {
 func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained bool) {
 	end := n.clock.Now() + sim.Cycle(maxCycles)
 	for now := n.clock.Now(); now < end; now = n.clock.Now() {
+		n.checkAbort(now)
 		if !n.cfg.DisableIdleSkip {
 			if n.idle() {
 				// Only reachable on the first iteration (a Step that

@@ -1,10 +1,13 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tanoq/internal/network"
 	"tanoq/internal/sim"
@@ -28,6 +31,27 @@ type Cell struct {
 	// cell). Whatever it returns is surfaced on Result.Aux. Setup runs
 	// on the worker goroutine and must touch only per-cell state.
 	Setup func(*network.Network) any
+
+	// Retries is the cell's failure budget: how many times a panicked
+	// attempt (invalid configuration, tripped watchdog, failed audit,
+	// missed deadline) is re-run on a freshly built network before the
+	// cell is reported failed. 0 inherits Options.Retries (RunCells
+	// defaults to 1, the historical behavior); negative disables
+	// retrying entirely.
+	Retries int
+	// Backoff is the base delay slept before the first retry; each later
+	// retry doubles it (exponential backoff, capped at 30s). 0 inherits
+	// Options.Backoff; negative disables backoff for this cell.
+	Backoff time.Duration
+	// Deadline is the cell's wall-clock budget per attempt. When it
+	// expires the engine is aborted at the next cycle boundary and the
+	// attempt fails with ErrDeadline (counting against the retry
+	// budget). It complements the cycle-based watchdog: the watchdog
+	// catches stalled simulated progress, the deadline catches
+	// host-level livelock — a wedged workload hook, a pathological cell
+	// that crawls in wall time. 0 inherits Options.Deadline; negative
+	// disables the deadline for this cell.
+	Deadline time.Duration
 }
 
 // Result is the outcome of one cell.
@@ -41,19 +65,26 @@ type Result struct {
 	// Aux is whatever the cell's Setup returned (nil without one) —
 	// typically the attached driver, read back for its statistics.
 	Aux any
-	// Err reports a cell that panicked on every attempt (an invalid
-	// configuration, a tripped watchdog, a failed invariant audit). A
-	// failed cell does not abort the rest of the sweep: its slot's
-	// engine is discarded, the cell is retried once on a fresh build,
-	// and only a second failure lands here.
+	// Err reports a cell that produced no result: every attempt panicked
+	// (an invalid configuration, a tripped watchdog, a failed invariant
+	// audit), every attempt missed its wall-clock deadline (ErrDeadline),
+	// or the sweep was cancelled before the cell was issued (ErrSkipped).
+	// A failed cell does not abort the rest of the sweep.
 	Err error
-	// Attempts is how many times the cell ran (1 normally, 2 when the
-	// first attempt panicked).
+	// Attempts is how many times the cell ran (1 normally, more after
+	// retries, 0 when cancellation skipped it entirely).
 	Attempts int
 }
 
 // Failed reports whether the cell produced no result.
 func (r *Result) Failed() bool { return r.Err != nil }
+
+// ErrDeadline marks an attempt killed by its wall-clock deadline.
+var ErrDeadline = errors.New("wall-clock deadline exceeded")
+
+// ErrSkipped marks a cell never issued because the sweep's context was
+// cancelled first. Its Result carries Attempts == 0 and no stats.
+var ErrSkipped = errors.New("cell skipped: sweep cancelled")
 
 // MustOK panics on the first failed cell of a sweep — for experiment
 // drivers whose cells are all expected to succeed, keeping their
@@ -91,6 +122,15 @@ func Do(jobs, workers int, fn func(job int)) {
 // slot via Network.Reset) without any locking — a slot never runs two
 // jobs concurrently.
 func DoWorker(jobs, workers int, fn func(job, worker int)) {
+	DoWorkerCtx(context.Background(), jobs, workers, fn)
+}
+
+// DoWorkerCtx is DoWorker with cooperative cancellation: once ctx is
+// done, workers stop claiming new jobs, but jobs already claimed run to
+// completion — a drain, not a kill. Jobs never issued are simply never
+// run; callers that need to know which ones must track it themselves
+// (RunCellsCtx marks them ErrSkipped via Attempts == 0).
+func DoWorkerCtx(ctx context.Context, jobs, workers int, fn func(job, worker int)) {
 	if jobs <= 0 {
 		return
 	}
@@ -100,6 +140,9 @@ func DoWorker(jobs, workers int, fn func(job, worker int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < jobs; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i, 0)
 		}
 		return
@@ -114,7 +157,7 @@ func DoWorker(jobs, workers int, fn func(job, worker int)) {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			for panicked.Load() == nil {
+			for panicked.Load() == nil && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= jobs {
 					return
@@ -155,53 +198,133 @@ func Map[T any](jobs, workers int, fn func(job int) T) []T {
 	return out
 }
 
+// Options tunes RunCellsCtx. The zero value means: one worker per CPU,
+// no retries, no backoff, no deadline.
+type Options struct {
+	// Workers is the pool size (see Workers).
+	Workers int
+	// Retries is the default per-cell failure budget, overridden by
+	// Cell.Retries (there, negative disables; here, 0 simply means no
+	// retries).
+	Retries int
+	// Backoff is the default base retry delay (exponential per extra
+	// attempt, capped at 30s), overridden by Cell.Backoff.
+	Backoff time.Duration
+	// Deadline is the default per-attempt wall-clock budget, overridden
+	// by Cell.Deadline. 0 = unlimited.
+	Deadline time.Duration
+	// OnResult, when non-nil, observes every finished cell — success or
+	// failure — as soon as its result lands, on the worker goroutine
+	// that ran it. This is the checkpoint surface: a durable sweep
+	// persists each row the moment it exists, so an interrupted process
+	// loses at most its in-flight cells. It must be safe for concurrent
+	// calls from different workers; cells skipped by cancellation are
+	// NOT reported through it.
+	OnResult func(job int, r *Result)
+}
+
+// maxBackoff caps the exponential retry delay.
+const maxBackoff = 30 * time.Second
+
+// resolve layers a cell override on an option default: 0 inherits,
+// negative disables.
+func resolve[T int | time.Duration](cell, opt T) T {
+	switch {
+	case cell < 0:
+		return 0
+	case cell > 0:
+		return cell
+	default:
+		return opt
+	}
+}
+
 // RunCells executes every cell across the worker pool and returns the
-// results in input order. Each worker slot keeps one reusable Network:
-// the first cell a slot runs builds it, and every later cell re-targets
-// it in place via Network.Reset, so a whole sweep grid reuses one packet
+// results in input order, retrying each failed cell once (the historical
+// default; use RunCellsCtx for configurable budgets, deadlines and
+// cancellation). Each worker slot keeps one reusable Network: the first
+// cell a slot runs builds it, and every later cell re-targets it in
+// place via Network.Reset, so a whole sweep grid reuses one packet
 // arena, event ring and router state per worker instead of reallocating
 // them per cell. Because each cell's randomness derives entirely from
 // its own Config.Seed — and a Reset network is bit-identical to a
 // freshly built one — the results are bit-identical for every worker
 // count and identical to building each cell from scratch.
-//
-// A cell that panics — an invalid configuration, a tripped watchdog, a
-// failed invariant audit — does not take the sweep down: the slot's
-// engine (possibly corrupted mid-simulation) is discarded, the cell is
-// retried once on a freshly built network, and a second failure is
-// reported on Result.Err with the rest of the grid unaffected. Callers
-// that expect every cell to succeed assert with MustOK.
 func RunCells(cells []Cell, workers int) []Result {
+	return RunCellsCtx(context.Background(), cells, Options{Workers: workers, Retries: 1})
+}
+
+// RunCellsCtx is the durable variant of RunCells: per-cell wall-clock
+// deadlines, configurable retry budgets with exponential backoff, an
+// OnResult checkpoint callback, and cooperative cancellation.
+//
+// A cell that fails an attempt — a panic (invalid configuration, tripped
+// watchdog, failed invariant audit) or a missed deadline — does not take
+// the sweep down: the slot's engine (possibly corrupted mid-simulation)
+// is discarded, the cell is retried on a freshly built network up to its
+// retry budget, and the final failure is reported on Result.Err with the
+// rest of the grid unaffected. Deadlines are enforced by arming the
+// engine's cooperative abort flag from a timer (network.SetAbort): the
+// run dies at the next cycle boundary, and host-level loops in workload
+// hooks are expected to poll Network.Aborted.
+//
+// Once ctx is cancelled, no new cells are issued; in-flight cells drain
+// to completion (their results are still reported and checkpointed), and
+// every never-issued cell comes back with Err == ErrSkipped and
+// Attempts == 0 — partial results, not a dead sweep.
+func RunCellsCtx(ctx context.Context, cells []Cell, opts Options) []Result {
 	out := make([]Result, len(cells))
-	nets := make([]*network.Network, Workers(workers))
-	DoWorker(len(cells), workers, func(i, slot int) {
-		const maxAttempts = 2
+	nets := make([]*network.Network, Workers(opts.Workers))
+	DoWorkerCtx(ctx, len(cells), opts.Workers, func(i, slot int) {
+		c := &cells[i]
+		retries := resolve(c.Retries, opts.Retries)
+		backoff := resolve(c.Backoff, opts.Backoff)
+		deadline := resolve(c.Deadline, opts.Deadline)
 		for attempt := 1; ; attempt++ {
-			res, err := runCell(&nets[slot], &cells[i])
+			res, err := runCell(&nets[slot], c, deadline)
 			res.Attempts = attempt
 			if err == nil {
 				out[i] = res
-				return
+				break
 			}
 			// The engine may have died mid-simulation; its state is not
 			// trustworthy for a Reset. Rebuild from scratch.
 			nets[slot] = nil
-			if attempt == maxAttempts {
+			if attempt > retries {
 				out[i] = Result{Err: err, Attempts: attempt}
-				return
+				break
+			}
+			if backoff > 0 {
+				d := backoff << (attempt - 1)
+				if d > maxBackoff || d <= 0 {
+					d = maxBackoff
+				}
+				time.Sleep(d)
 			}
 		}
+		if opts.OnResult != nil {
+			opts.OnResult(i, &out[i])
+		}
 	})
+	for i := range out {
+		if out[i].Attempts == 0 {
+			out[i] = Result{Err: ErrSkipped}
+		}
+	}
 	return out
 }
 
-// runCell runs one cell on the slot's engine (building or resetting it),
-// converting any panic into an error so a failed cell is a reportable
-// result instead of a dead sweep.
-func runCell(slot **network.Network, c *Cell) (res Result, err error) {
+// runCell runs one attempt of a cell on the slot's engine (building or
+// resetting it), converting any panic into an error so a failed cell is
+// a reportable result instead of a dead sweep. A positive deadline arms
+// a wall-clock timer that aborts the engine cooperatively; the resulting
+// *network.AbortError panic is reported as ErrDeadline.
+func runCell(slot **network.Network, c *Cell, deadline time.Duration) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
+			if abort, ok := r.(*network.AbortError); ok {
+				err = fmt.Errorf("%w after %v (aborted at cycle %d)", ErrDeadline, deadline, abort.Cycle)
+			} else if e, ok := r.(error); ok {
 				err = fmt.Errorf("cell panicked: %w", e)
 			} else {
 				err = fmt.Errorf("cell panicked: %v", r)
@@ -214,6 +337,12 @@ func runCell(slot **network.Network, c *Cell) (res Result, err error) {
 		*slot = n
 	} else if rerr := n.Reset(c.Config); rerr != nil {
 		panic(rerr)
+	}
+	if deadline > 0 {
+		var flag atomic.Bool
+		n.SetAbort(&flag)
+		timer := time.AfterFunc(deadline, func() { flag.Store(true) })
+		defer timer.Stop()
 	}
 	var aux any
 	if c.Setup != nil {

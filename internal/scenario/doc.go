@@ -84,6 +84,32 @@
 // recovery latency; Degrade additionally joins each faulted point
 // against its fault-free baseline (noctool's degrade subcommand).
 //
+// The [run] table tunes durable execution. None of its knobs can change
+// a result — only whether and how cells execute — so they stay out of
+// the cells' cache keys:
+//
+//	deadline_ms       wall-clock budget per cell (must be positive when
+//	                  present; a cell past its deadline is aborted
+//	                  cooperatively at a cycle boundary and retried)
+//	retries           extra attempts per failed cell (default 1; an
+//	                  explicit 0 disables retries)
+//	backoff_ms        base delay before retrying a failed cell, doubling
+//	                  per attempt (default 0 = immediate)
+//	cache             opt the scenario into the content-addressed result
+//	                  cache (noctool's -cache/-resume flags also enable
+//	                  it; see Grid.RunDurable and internal/store)
+//
+// Grid.Keys content-addresses every cell — a SHA-256 over the canonical
+// encoding of everything that can change its result, including a replay
+// cell's trace-file bytes and the engine version stamp — and
+// Grid.RunDurable runs a grid through the cache: hits are served without
+// simulating, misses execute with the deadline/retry budget and are
+// checkpointed (store entry + journal line) the moment they finish, and
+// cancelling the context drains in-flight cells and returns the partial
+// grid with never-issued cells marked skipped. Because cells are
+// deterministic, a resumed sweep's table is byte-identical to an
+// uninterrupted one and a fully cached sweep executes zero simulations.
+//
 // Unknown keys are rejected, so typos fail loudly instead of silently
 // dropping an axis. See examples/sweep/ for runnable files and
 // cmd/noctool's sweep subcommand for the CLI entry point, which layers

@@ -39,6 +39,18 @@ func FuzzScenarioDecode(f *testing.F) {
 		"[faults]\nlink = 3\n",
 		"[workload]\nmode = \"closed\"\n[faults]\nretry_timeout = 500\n",
 		`{"faults":{"retry_timeout":400,"link":[{"port":3,"from":10,"until":20}]},"rates":[0.05]}`,
+		// The [run] table: durable-execution knobs — valid shapes plus the
+		// nonsense the decoder must reject (zero/negative deadlines,
+		// negative retries or backoff, non-table values, unknown keys).
+		"rate = 0.05\n[run]\ndeadline_ms = 60_000\nretries = 2\nbackoff_ms = 250\ncache = true\n",
+		"rate = 0.05\n[run]\nretries = 0\ncache = false\n",
+		"rate = 0.05\n[run]\ndeadline_ms = 0\n",
+		"rate = 0.05\n[run]\ndeadline_ms = -5\n",
+		"rate = 0.05\n[run]\nretries = -1\n",
+		"rate = 0.05\n[run]\nbackoff_ms = -10\n",
+		"rate = 0.05\n[run]\nwall_clock = 9\n",
+		"rate = 0.05\nrun = 3\n",
+		`{"rates":[0.05],"run":{"deadline_ms":1000,"retries":1,"cache":true}}`,
 	}
 	// Every shipped example file is a seed: the fuzzer starts from the
 	// real surface users feed the decoder.

@@ -68,6 +68,9 @@ type cellMeta struct {
 	victims []noc.FlowID
 	// ref indexes refCells; only consulted when victims is non-empty.
 	ref int
+	// trace is the resolved trace-file path of a replay cell (empty
+	// elsewhere); the result cache digests the file into the cell's key.
+	trace string
 }
 
 // activeFlows lists the flows a workload actually injects on.
@@ -263,7 +266,7 @@ func (sc *Scenario) expandTraces(add func(Point, runner.Cell, cellMeta)) error {
 							QoS:      sc.qosConfig(mode, w.TotalFlows()),
 							Workload: w, Seed: seed,
 						}},
-						cellMeta{active: active})
+						cellMeta{active: active, trace: path})
 				}
 			}
 		}
@@ -333,9 +336,14 @@ type Result struct {
 	// no victim roles, or when either side delivered nothing).
 	VictimSlowdown float64
 	// Error reports a cell that failed on every attempt (tripped
-	// watchdog, failed invariant audit, invalid configuration); the
+	// watchdog, failed invariant audit, invalid configuration, missed
+	// wall-clock deadline) or was skipped by a cancelled sweep; the
 	// metric columns of a failed row are zero.
 	Error string
+	// Attempts is how many times the cell executed (1 normally, more
+	// after retries, 0 when cancellation skipped it). Cache-served rows
+	// report the attempts of the run that produced them.
+	Attempts int
 }
 
 // Run executes every cell across the parallel runner and collects the
@@ -354,47 +362,60 @@ func (g *Grid) Run(opts RunOpts) []Result {
 	res := runner.RunCells(cells, opts.Workers)
 	refRes := res[len(g.cells):]
 	out := make([]Result, len(g.cells))
-	for i, r := range res[:len(g.cells)] {
-		out[i] = Result{Point: g.Points[i]}
-		if r.Failed() {
-			out[i].Error = r.Err.Error()
-			continue
+	for i := range res[:len(g.cells)] {
+		base := 0.0
+		if m := g.meta[i]; len(m.victims) > 0 && !refRes[m.ref].Failed() {
+			base = victimMeanLatency(refRes[m.ref].Stats, m.victims)
 		}
-		st := r.Stats
-		out[i].MeanLatency = st.MeanLatency()
-		out[i].P99Latency = float64(st.Latencies.Percentile(99))
-		out[i].Accepted = st.AcceptedFlitRate(r.End)
-		out[i].PreemptionPct = st.PreemptionPacketRate()
-		out[i].Delivered = st.TotalDelivered
-		out[i].End = r.End
-		out[i].DeliveredFraction = st.DeliveredFraction()
-		out[i].Retries = st.TotalRetries
-		out[i].Drops = st.TotalDropped
-		out[i].MeanRecovery = st.MeanRecoveryLatency()
-		m := g.meta[i]
-		var summary stats.Summary
-		if m.closed {
-			ct := r.Aux.(*workload.Controller)
-			summary = stats.Summarize(ct.RT.PerClient())
-			out[i].Completed = ct.RT.TotalCompleted()
-			out[i].MeanRTT = ct.RT.MeanRTT()
-			out[i].P99RTT = float64(ct.RT.Latencies.Percentile(99))
-		} else {
-			flits := st.FlitsByFlow()
-			vals := make([]float64, 0, len(m.active))
-			for _, f := range m.active {
-				vals = append(vals, float64(flits[f]))
-			}
-			summary = stats.Summarize(vals)
+		out[i] = g.row(i, &res[i], base)
+	}
+	return out
+}
+
+// row computes the result row of grid point i from its runner result and
+// the victim-reference latency baseline (0 when the point has no victims
+// or the reference failed). It is the single row-derivation path shared
+// by Run and the durable sweep, so cached and freshly-computed rows can
+// never drift.
+func (g *Grid) row(i int, r *runner.Result, base float64) Result {
+	out := Result{Point: g.Points[i], Attempts: r.Attempts}
+	if r.Failed() {
+		out.Error = r.Err.Error()
+		return out
+	}
+	st := r.Stats
+	out.MeanLatency = st.MeanLatency()
+	out.P99Latency = float64(st.Latencies.Percentile(99))
+	out.Accepted = st.AcceptedFlitRate(r.End)
+	out.PreemptionPct = st.PreemptionPacketRate()
+	out.Delivered = st.TotalDelivered
+	out.End = r.End
+	out.DeliveredFraction = st.DeliveredFraction()
+	out.Retries = st.TotalRetries
+	out.Drops = st.TotalDropped
+	out.MeanRecovery = st.MeanRecoveryLatency()
+	m := g.meta[i]
+	var summary stats.Summary
+	if m.closed {
+		ct := r.Aux.(*workload.Controller)
+		summary = stats.Summarize(ct.RT.PerClient())
+		out.Completed = ct.RT.TotalCompleted()
+		out.MeanRTT = ct.RT.MeanRTT()
+		out.P99RTT = float64(ct.RT.Latencies.Percentile(99))
+	} else {
+		flits := st.FlitsByFlow()
+		vals := make([]float64, 0, len(m.active))
+		for _, f := range m.active {
+			vals = append(vals, float64(flits[f]))
 		}
-		out[i].TputMinPct = summary.MinPctOfMean()
-		out[i].TputMaxPct = summary.MaxPctOfMean()
-		out[i].TputStdDevPct = summary.StdDevPctOfMean()
-		if len(m.victims) > 0 && !refRes[m.ref].Failed() {
-			base := victimMeanLatency(refRes[m.ref].Stats, m.victims)
-			if mean := victimMeanLatency(st, m.victims); base > 0 && mean > 0 {
-				out[i].VictimSlowdown = mean / base
-			}
+		summary = stats.Summarize(vals)
+	}
+	out.TputMinPct = summary.MinPctOfMean()
+	out.TputMaxPct = summary.MaxPctOfMean()
+	out.TputStdDevPct = summary.StdDevPctOfMean()
+	if len(m.victims) > 0 {
+		if mean := victimMeanLatency(st, m.victims); base > 0 && mean > 0 {
+			out.VictimSlowdown = mean / base
 		}
 	}
 	return out
@@ -424,15 +445,15 @@ func CSV(name string, results []Result) string {
 		"mean_latency_cycles,p99_latency_cycles,accepted_flits_per_cycle,preemption_pct,delivered_packets," +
 		"tput_min_pct_of_mean,tput_max_pct_of_mean,tput_stddev_pct_of_mean," +
 		"completed_requests,mean_rtt_cycles,p99_rtt_cycles," +
-		"delivered_fraction,retries,drops,mean_recovery_cycles,victim_slowdown,error\n")
+		"delivered_fraction,retries,drops,mean_recovery_cycles,victim_slowdown,attempts,error\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%.4f,%d,%.1f,%d,%d,%.3f,%.0f,%.4f,%.4f,%d,%.2f,%.2f,%.2f,%d,%.3f,%.0f,%.6f,%d,%d,%.1f,%.3f,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%.4f,%d,%.1f,%d,%d,%.3f,%.0f,%.4f,%.4f,%d,%.2f,%.2f,%.2f,%d,%.3f,%.0f,%.6f,%d,%d,%.1f,%.3f,%d,%s\n",
 			csvEscape(name), csvEscape(r.Workload), csvEscape(r.Pattern), csvEscape(r.Topology.String()), csvEscape(r.Mode.String()),
 			r.Seed, r.Rate, r.Outstanding, r.Think, r.RetryTimeout, r.MaxRetries,
 			r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct, r.Delivered,
 			r.TputMinPct, r.TputMaxPct, r.TputStdDevPct,
 			r.Completed, r.MeanRTT, r.P99RTT,
-			r.DeliveredFraction, r.Retries, r.Drops, r.MeanRecovery, r.VictimSlowdown, csvEscape(r.Error))
+			r.DeliveredFraction, r.Retries, r.Drops, r.MeanRecovery, r.VictimSlowdown, r.Attempts, csvEscape(r.Error))
 	}
 	return b.String()
 }
@@ -472,6 +493,7 @@ type resultJSON struct {
 	Drops             int64   `json:"drops,omitempty"`
 	MeanRecovery      float64 `json:"mean_recovery_cycles,omitempty"`
 	VictimSlowdown    float64 `json:"victim_slowdown,omitempty"`
+	Attempts          int     `json:"attempts"`
 	Error             string  `json:"error,omitempty"`
 }
 
@@ -488,7 +510,8 @@ func JSONReport(name string, results []Result) ([]byte, error) {
 			TputMinPct: r.TputMinPct, TputMaxPct: r.TputMaxPct, TputStdDevPct: r.TputStdDevPct,
 			Completed: r.Completed, MeanRTT: r.MeanRTT, P99RTT: r.P99RTT,
 			DeliveredFraction: r.DeliveredFraction, Retries: r.Retries, Drops: r.Drops,
-			MeanRecovery: r.MeanRecovery, VictimSlowdown: r.VictimSlowdown, Error: r.Error,
+			MeanRecovery: r.MeanRecovery, VictimSlowdown: r.VictimSlowdown,
+			Attempts: r.Attempts, Error: r.Error,
 		}
 	}
 	blob, err := json.MarshalIndent(struct {
@@ -519,8 +542,8 @@ func Render(name string, results []Result) string {
 			lat, p99 = r.MeanRTT, r.P99RTT
 		}
 		if r.Error != "" {
-			fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s  FAILED: %s\n",
-				r.Workload, r.Pattern, r.Topology, r.Mode, r.Seed, axis, r.Error)
+			fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s  FAILED (%d attempts): %s\n",
+				r.Workload, r.Pattern, r.Topology, r.Mode, r.Seed, axis, r.Attempts, r.Error)
 			continue
 		}
 		vslow := "-"

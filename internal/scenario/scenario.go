@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"tanoq/internal/noc"
 	"tanoq/internal/qos"
@@ -94,6 +95,20 @@ type Scenario struct {
 	WindowPackets int
 	QuantumFlits  int
 	MarginClasses int
+
+	// The [run] table: durable-execution knobs. None of them changes
+	// results — they bound and retry the execution of cells, so they stay
+	// out of cache keys. Deadline is the per-attempt wall-clock budget of
+	// every cell (0 = unlimited); Retries the per-cell failure budget
+	// (0 = inherit the runner default of one retry, -1 = no retries —
+	// decoded from `retries = 0`); Backoff the base delay before a retry
+	// (exponential per extra attempt). Cache asks the sweep to memoize
+	// rows through the content-addressed result store (noctool's -cache
+	// flag overrides).
+	Deadline time.Duration
+	Retries  int
+	Backoff  time.Duration
+	Cache    bool
 }
 
 // FlowSpec is one explicitly-declared injector.
@@ -174,7 +189,7 @@ var scenarioKeys = map[string]bool{
 	"request_fraction": true, "burst": true, "hotspot_weights": true,
 	"flows": true, "frame_cycles": true, "window_packets": true,
 	"quantum_flits": true, "margin_classes": true, "workload": true,
-	"faults": true,
+	"faults": true, "run": true,
 }
 
 func fromRaw(raw map[string]any) (*Scenario, error) {
@@ -232,6 +247,43 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 			"request_flits", "reply_flits", "trace", "traces")
 		if wd.err != nil {
 			return nil, fmt.Errorf("workload: %w", wd.err)
+		}
+	}
+	if rv, ok := raw["run"]; ok {
+		rm, ok := rv.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("run must be a table/object")
+		}
+		rd := decoder{raw: rm}
+		if _, set := rm["deadline_ms"]; set {
+			ms := rd.int("deadline_ms", 0)
+			if ms <= 0 {
+				return nil, fmt.Errorf("run: deadline_ms %d must be positive (omit the key for no deadline)", ms)
+			}
+			sc.Deadline = time.Duration(ms) * time.Millisecond
+		}
+		if _, set := rm["retries"]; set {
+			r := rd.int("retries", 0)
+			if r < 0 {
+				return nil, fmt.Errorf("run: negative retries %d", r)
+			}
+			if r == 0 {
+				sc.Retries = -1 // explicit zero: no retries (0 means "default")
+			} else {
+				sc.Retries = r
+			}
+		}
+		if _, set := rm["backoff_ms"]; set {
+			ms := rd.int("backoff_ms", 0)
+			if ms < 0 {
+				return nil, fmt.Errorf("run: negative backoff_ms %d", ms)
+			}
+			sc.Backoff = time.Duration(ms) * time.Millisecond
+		}
+		sc.Cache = rd.boolean("cache", false)
+		rd.allowOnly("deadline_ms", "retries", "backoff_ms", "cache")
+		if rd.err != nil {
+			return nil, fmt.Errorf("run: %w", rd.err)
 		}
 	}
 	if fv, ok := raw["faults"]; ok {

@@ -1,0 +1,158 @@
+// Package store is a content-addressed, on-disk result cache for sweep
+// cells, plus the append-only journal that makes sweeps resumable.
+//
+// The cache maps a canonical description of a simulation cell — produced
+// by the caller, typically internal/scenario's canonical cell encoding
+// including the engine version stamp — to the cell's full result row.
+// Keys are SHA-256 over the canonical bytes, so any semantic change to a
+// cell (topology, QoS mode, rate, seed, faults, engine version, ...)
+// addresses a different entry, while re-describing the same cell always
+// lands on the same one. Because the simulator is deterministic and
+// bit-identical across worker counts, a cached row is indistinguishable
+// from a re-executed one; a false miss merely costs a re-run, and a
+// false hit cannot happen short of a hash collision.
+//
+// Layout on disk, under the cache directory (default .tanoq-cache/):
+//
+//	v1/<key[:2]>/<key>.json   one entry per cell, atomically written
+//	journal                   append-only log of completed keys (resume)
+//
+// Every entry is a JSON envelope {format, key, payload}: format names
+// the payload schema version, key echoes the content address so an
+// entry misfiled by hand is detected, and payload is the caller's row,
+// stored verbatim. Entries are written via temp file + rename in the
+// same directory, so a crash mid-write leaves either the old entry or
+// none — a corrupt or truncated entry reads as a miss, never as data.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Format is the on-disk envelope schema version. Bump it when the
+// envelope itself (not the payload) changes shape; old entries then
+// read as misses.
+const Format = "tanoq-cache/v1"
+
+// DefaultDir is the conventional cache directory name, created in the
+// working directory when the caller does not choose another location.
+const DefaultDir = ".tanoq-cache"
+
+// KeyOf content-addresses a canonical cell description: the lowercase
+// hex SHA-256 of the bytes. Callers are responsible for canonical
+// encoding (stable field order, no incidental fields); KeyOf itself is
+// deliberately oblivious to structure.
+func KeyOf(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is an open cache directory. Methods are safe for concurrent use
+// by multiple goroutines; concurrent processes sharing a directory are
+// also safe because entries are immutable once renamed into place and
+// two writers of the same key write identical bytes.
+type Store struct {
+	dir string
+}
+
+// envelope is the on-disk entry wrapper.
+type envelope struct {
+	Format  string          `json:"format"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Open opens (creating if needed) a cache rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultDir
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "v1"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file, sharded by the first key byte so
+// no single directory accumulates every entry.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, "v1", key[:2], key+".json")
+}
+
+// Get looks a key up and returns its payload. The second result is
+// false on a miss — absent, unreadable, corrupt, wrong format, or
+// mislabeled entries all count as misses, because a miss is always safe
+// (the cell simply re-runs) while trusting a damaged entry never is.
+func (s *Store) Get(key string) (json.RawMessage, bool) {
+	if len(key) < 2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if json.Unmarshal(data, &env) != nil || env.Format != Format || env.Key != key || len(env.Payload) == 0 {
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// Put stores payload under key, atomically: the envelope is written to
+// a temp file in the entry's directory and renamed into place, so
+// readers (including other processes) only ever observe complete
+// entries. Overwriting an existing entry is allowed and idempotent.
+func (s *Store) Put(key string, payload json.RawMessage) error {
+	if len(key) < 2 {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if !json.Valid(payload) {
+		return fmt.Errorf("store: payload for %s is not valid JSON", key)
+	}
+	data, err := json.Marshal(envelope{Format: Format, Key: key, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", key, err)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key[:8]+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", key, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len counts valid entries — a maintenance/introspection helper, not a
+// hot path.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(filepath.Join(s.dir, "v1"), func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

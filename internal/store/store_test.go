@@ -1,0 +1,210 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestKeyOfIsStableAndSensitive(t *testing.T) {
+	a := KeyOf([]byte(`{"kind":"mesh","rate":0.1}`))
+	if b := KeyOf([]byte(`{"kind":"mesh","rate":0.1}`)); b != a {
+		t.Fatal("identical canonical bytes produced different keys")
+	}
+	if len(a) != 64 || !validKey(a) {
+		t.Fatalf("key %q is not lowercase hex SHA-256", a)
+	}
+	if c := KeyOf([]byte(`{"kind":"mesh","rate":0.2}`)); c == a {
+		t.Fatal("different canonical bytes collided")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf([]byte("cell-one"))
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	row := json.RawMessage(`{"mean_latency":12.5,"p99":40}`)
+	if err := s.Put(key, row); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("miss immediately after Put")
+	}
+	if string(got) != string(row) {
+		t.Fatalf("payload %s round-tripped as %s", row, got)
+	}
+	// Idempotent overwrite.
+	if err := s.Put(key, row); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d after one key", s.Len())
+	}
+	// Reopening the same directory sees the entry.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("entry lost across reopen")
+	}
+}
+
+// TestCorruptEntriesReadAsMisses pins the safety contract: any damaged
+// entry — truncated, non-JSON, wrong format, wrong key echo — is a
+// miss, never served data.
+func TestCorruptEntriesReadAsMisses(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf([]byte("victim"))
+	if err := s.Put(key, json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string]string{
+		"truncated":    `{"format":"tanoq-cache/v1","key":"` + key + `","pa`,
+		"not-json":     "garbage\n",
+		"wrong-format": `{"format":"tanoq-cache/v999","key":"` + key + `","payload":{"v":1}}`,
+		"wrong-key":    `{"format":"tanoq-cache/v1","key":"` + KeyOf([]byte("other")) + `","payload":{"v":1}}`,
+		"empty":        "",
+	} {
+		if err := os.WriteFile(s.path(key), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("%s entry served as a hit", name)
+		}
+	}
+	if _, ok := s.Get("zz"); ok {
+		t.Error("malformed key served as a hit")
+	}
+	if err := s.Put(key, json.RawMessage(`not json`)); err == nil {
+		t.Error("Put accepted an invalid-JSON payload")
+	}
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := KeyOf([]byte{byte(i)}) // all goroutines contend on the same 20 keys
+				if err := s.Put(key, json.RawMessage(`{"i":`+string(rune('0'+i%10))+`}`)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(key); !ok {
+					t.Errorf("goroutine %d: miss after put", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 20 {
+		t.Fatalf("Len() = %d, want 20", got)
+	}
+}
+
+func TestJournalRecordsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := KeyOf([]byte("a")), KeyOf([]byte("b"))
+	if j.Done(k1) || j.Len() != 0 {
+		t.Fatal("fresh journal is not empty")
+	}
+	if err := j.Record(k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(k1); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !j.Done(k1) || j.Done(k2) || j.Len() != 1 {
+		t.Fatalf("journal state wrong after one record: len=%d", j.Len())
+	}
+	if err := j.Record("short"); err == nil {
+		t.Error("Record accepted an invalid key")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Done(k1) || j2.Len() != 1 {
+		t.Fatal("recorded key lost across reopen")
+	}
+	if err := j2.Record(k2); err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Done(k2) || j2.Len() != 2 {
+		t.Fatal("second record not visible")
+	}
+}
+
+// TestJournalIgnoresTornLine pins crash tolerance: a torn (partial)
+// final line is skipped on read instead of poisoning the done-set.
+func TestJournalIgnoresTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	k := KeyOf([]byte("whole"))
+	if err := os.WriteFile(path, []byte(k+"\nabc123"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if !j.Done(k) {
+		t.Error("whole line not read")
+	}
+	if j.Len() != 1 {
+		t.Errorf("torn line counted: len=%d", j.Len())
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if err := j.Record(KeyOf([]byte{byte(i)})); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 16 {
+		t.Fatalf("Len() = %d, want 16", j.Len())
+	}
+}

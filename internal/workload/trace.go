@@ -23,6 +23,7 @@ import (
 //	version 2 only (fault section):
 //	  uvarint retry_timeout max_retries watchdog_cycles window_count
 //	  window*: uvarint kind port node from until
+//	  uvarint len(engine) <engine bytes>
 //	uvarint record_count
 //	record*: uvarint cycle_delta flow src dst flits
 //
@@ -34,11 +35,12 @@ import (
 // reproduces the recorded delivery fingerprint.
 //
 // Version 2 adds the cell's fault configuration (scheduled fault windows,
-// retry timeout and bound, watchdog arming), so a trace captured from a
-// faulted cell — including the repro trace a watchdog dump carries —
-// replays with the same faults striking at the same cycles. Encode emits
-// version 1 bytes whenever the fault section would be empty, so
-// fault-free traces stay byte-identical to the original format.
+// retry timeout and bound, watchdog arming) plus the engine version stamp
+// of the recording binary, so a trace captured from a faulted cell —
+// including the repro trace a watchdog dump carries — replays with the
+// same faults striking at the same cycles and names the engine that made
+// it. Encode emits version 1 bytes whenever the fault section would be
+// empty, so fault-free traces stay byte-identical to the original format.
 
 const (
 	traceMagic     = "TQTR"
@@ -75,6 +77,11 @@ type TraceHeader struct {
 	RetryTimeout   sim.Cycle
 	MaxRetries     int
 	WatchdogCycles sim.Cycle
+	// Engine is the version stamp of the engine that recorded the trace
+	// (network.EngineVersion at record time). It rides in the version-2
+	// section only: a fault-free header encodes as version 1 and drops
+	// the stamp, keeping the original format byte-identical.
+	Engine string
 }
 
 // faulted reports whether the header carries any fault-section state and
@@ -121,6 +128,7 @@ func (t *Trace) Encode() []byte {
 			out = binary.AppendUvarint(out, uint64(w.From))
 			out = binary.AppendUvarint(out, uint64(w.Until))
 		}
+		out = appendString(out, t.Header.Engine)
 	}
 	out = binary.AppendUvarint(out, uint64(len(t.Records)))
 	prev := sim.Cycle(0)
@@ -218,6 +226,7 @@ func DecodeTrace(blob []byte) (*Trace, error) {
 			}
 			t.Header.Faults = append(t.Header.Faults, w)
 		}
+		t.Header.Engine = r.str("engine")
 	}
 	count := r.uvarint("record count")
 	if r.err != nil {
