@@ -49,24 +49,36 @@ audit:
 
 # sweep-smoke exercises the declarative scenario path end to end: the
 # quick Figure 4 grid from a JSON file, the permutation-pattern grid from
-# a TOML file, the closed-loop client sweep, a trace-replay sweep of the
-# committed example capture, the aggressor/victim DoS sweep (victim
-# slowdown column), and a fault-injection degradation sweep (CI's sweep
-# step).
+# a TOML file (an include over the shared base), the closed-loop client
+# sweep, a trace-replay sweep of the committed example capture, the
+# aggressor/victim DoS sweep (victim slowdown column), and a
+# fault-injection degradation sweep (CI's sweep step). The layered block
+# then gates the resolver itself: -explain provenance against a committed
+# golden, a profiled run against its hand-flattened equivalent
+# (byte-identical CSV), and cache transparency (the profiled run against
+# the warm cache the flat run filled must execute zero cells).
 sweep-smoke:
-	go run ./cmd/noctool -quick sweep examples/sweep/fig4-quick.json
+	go run ./cmd/noctool sweep -quick examples/sweep/fig4-quick.json
 	go run ./cmd/noctool sweep examples/sweep/patterns.toml
 	go run ./cmd/noctool sweep examples/sweep/closed-loop.toml
 	go run ./cmd/noctool sweep examples/sweep/replay.toml
 	go run ./cmd/noctool sweep examples/sweep/aggressor-victim.toml
 	go run ./cmd/noctool degrade examples/sweep/degrade.toml
+	go run ./cmd/noctool sweep -explain examples/sweep/layered.toml#quick > /tmp/tanoq-layered.explain
+	diff examples/sweep/layered-quick.explain /tmp/tanoq-layered.explain
+	rm -rf /tmp/tanoq-layered-cache
+	go run ./cmd/noctool sweep -csv -cache -cache-dir /tmp/tanoq-layered-cache examples/sweep/layered-flat.toml > /tmp/tanoq-layered-flat.csv
+	go run ./cmd/noctool sweep -csv -cache -cache-dir /tmp/tanoq-layered-cache examples/sweep/layered.toml#quick > /tmp/tanoq-layered-prof.csv 2> /tmp/tanoq-layered-prof.err
+	diff /tmp/tanoq-layered-flat.csv /tmp/tanoq-layered-prof.csv
+	grep 'executed 0' /tmp/tanoq-layered-prof.err
+	@echo "sweep-smoke: profile matched its hand-flattened file byte-identically; warm cache executed zero cells"
 
 # trace-smoke proves the record→replay exactness contract end to end:
 # capture a short open-loop run's injection stream, replay the trace in
 # the recorded cell, and diff the two delivery fingerprints (any byte of
 # drift fails the diff).
 trace-smoke:
-	go run ./cmd/noctool -out /tmp/tanoq-trace-smoke.trace trace record examples/sweep/trace-smoke.toml | tee /tmp/tanoq-trace-rec.txt
+	go run ./cmd/noctool trace -out /tmp/tanoq-trace-smoke.trace record examples/sweep/trace-smoke.toml | tee /tmp/tanoq-trace-rec.txt
 	go run ./cmd/noctool trace replay /tmp/tanoq-trace-smoke.trace | tee /tmp/tanoq-trace-rep.txt
 	@grep '^fingerprint: ' /tmp/tanoq-trace-rec.txt > /tmp/tanoq-trace-rec.fp
 	@grep '^fingerprint: ' /tmp/tanoq-trace-rep.txt > /tmp/tanoq-trace-rep.fp
@@ -84,13 +96,13 @@ trace-smoke:
 resume-smoke:
 	rm -rf /tmp/tanoq-resume-cache
 	go build -ldflags "$(LDFLAGS)" -o /tmp/tanoq-resume-noctool ./cmd/noctool
-	/tmp/tanoq-resume-noctool -csv sweep examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-ref.csv
-	( /tmp/tanoq-resume-noctool -parallel 1 -csv -cache -cache-dir /tmp/tanoq-resume-cache sweep examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-int.csv 2> /tmp/tanoq-resume-int.err & \
+	/tmp/tanoq-resume-noctool sweep -csv examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-ref.csv
+	( /tmp/tanoq-resume-noctool sweep -parallel 1 -csv -cache -cache-dir /tmp/tanoq-resume-cache examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-int.csv 2> /tmp/tanoq-resume-int.err & \
 	  pid=$$!; sleep 2; kill -INT $$pid 2>/dev/null; wait $$pid ) || true
 	@echo "resume-smoke: interrupted run said:"; tail -n 2 /tmp/tanoq-resume-int.err
-	/tmp/tanoq-resume-noctool -csv -resume -cache-dir /tmp/tanoq-resume-cache sweep examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-res.csv 2> /tmp/tanoq-resume-res.err
+	/tmp/tanoq-resume-noctool sweep -csv -resume -cache-dir /tmp/tanoq-resume-cache examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-res.csv 2> /tmp/tanoq-resume-res.err
 	diff /tmp/tanoq-resume-ref.csv /tmp/tanoq-resume-res.csv
-	/tmp/tanoq-resume-noctool -csv -resume -cache-dir /tmp/tanoq-resume-cache -cache-verify 2 sweep examples/sweep/resume-smoke.toml > /dev/null 2> /tmp/tanoq-resume-full.err
+	/tmp/tanoq-resume-noctool sweep -csv -resume -cache-dir /tmp/tanoq-resume-cache -cache-verify 2 examples/sweep/resume-smoke.toml > /dev/null 2> /tmp/tanoq-resume-full.err
 	grep 'executed 0' /tmp/tanoq-resume-full.err
 	@echo "resume-smoke: interrupted sweep resumed bit-identically; warm cache executed zero cells"
 

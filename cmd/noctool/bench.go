@@ -102,6 +102,32 @@ type benchOpts struct {
 	memProfile string
 }
 
+// benchMain parses the bench subcommand's flags and runs the benchmarks.
+func benchMain(args []string) error {
+	fs := newFlagSet("bench", "noctool bench [flags]",
+		`Measure engine benchmarks and write a machine-readable BENCH_<date>.json
+report. -baseline compares the per-topology engine step cost against a
+committed report, failing the run past -maxregress; this is CI's perf gate.`)
+	sim := addSimFlags(fs)
+	out := fs.String("out", "", "output path for the benchmark JSON (default BENCH_<date>.json)")
+	note := fs.String("note", "", "free-form annotation stored in the JSON")
+	baseline := fs.String("baseline", "", "BENCH_*.json baseline to compare engine ns/cycle against")
+	maxRegress := fs.Float64("maxregress", 0.25, "tolerated fractional ns/cycle regression vs -baseline")
+	engineOnly := fs.Bool("engine-only", false, "measure only the per-topology engine step cost")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("bench takes no arguments, got %q", fs.Args())
+	}
+	return runBench(sim.params(explicitFlags(fs)), benchOpts{
+		outPath: *out, note: *note,
+		baseline: *baseline, maxRegress: *maxRegress, engineOnly: *engineOnly,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+	})
+}
+
 // runBench measures and writes the report. Wall-clock samples are
 // best-of-three to shave scheduler noise; simulation results themselves
 // are deterministic so repetition only stabilizes timing.

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tanoq/internal/experiments"
+	"tanoq/internal/scenario"
+)
+
+// newFlagSet builds one subcommand's flag set with its own usage text:
+// synopsis is the one-line invocation form, body the subcommand's help
+// paragraphs (printed above the flag defaults).
+func newFlagSet(name, synopsis, body string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: %s\n", synopsis)
+		if body != "" {
+			fmt.Fprintln(fs.Output(), body)
+		}
+		fmt.Fprintln(fs.Output(), "flags:")
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+// simFlags are the simulation knobs shared by every cell-running
+// subcommand (sweep, degrade, trace, bench, and the experiment drivers):
+// the RNG seed, the warmup/measure schedule, worker fan-out, idle
+// skipping and the quick scale.
+type simFlags struct {
+	seed     uint64
+	warmup   int
+	measure  int
+	parallel int
+	skip     bool
+	quick    bool
+}
+
+// addSimFlags registers the shared simulation flags on a subcommand's
+// flag set.
+func addSimFlags(fs *flag.FlagSet) *simFlags {
+	s := &simFlags{}
+	fs.Uint64Var(&s.seed, "seed", 42, "RNG seed")
+	fs.IntVar(&s.warmup, "warmup", 20_000, "warmup cycles before measurement")
+	fs.IntVar(&s.measure, "measure", 100_000, "measurement window in cycles")
+	fs.IntVar(&s.parallel, "parallel", 0, "simulation workers (0 = one per CPU, 1 = sequential; results identical)")
+	fs.BoolVar(&s.skip, "skip", true, "fast-forward over idle cycle windows (results identical either way)")
+	fs.BoolVar(&s.quick, "quick", false, "scale runs down for a fast smoke pass")
+	return s
+}
+
+// explicitFlags reports which flags the user actually passed (by name);
+// parse the set first.
+func explicitFlags(fs *flag.FlagSet) map[string]bool {
+	m := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { m[f.Name] = true })
+	return m
+}
+
+// params assembles experiment parameters from the shared flags, with
+// -quick's scale below any explicitly-set schedule flag.
+func (s *simFlags) params(explicit map[string]bool) experiments.Params {
+	p := experiments.Params{Seed: s.seed, Warmup: s.warmup, Measure: s.measure}
+	if s.quick {
+		p = experiments.QuickParams()
+		p.Seed = s.seed
+		if explicit["warmup"] {
+			p.Warmup = s.warmup
+		}
+		if explicit["measure"] {
+			p.Measure = s.measure
+		}
+	}
+	p.Workers = s.parallel
+	p.DisableIdleSkip = !s.skip
+	return p
+}
+
+// multiFlag collects a repeatable string flag (-set key=value).
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ", ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// layerOpts names the CLI-side layers of the scenario resolver pipeline,
+// shared by sweep, degrade and trace record. Precedence, lowest first:
+// include chain < file < profile < TANOQ_SET_* env < -quick <
+// explicit -seed/-warmup/-measure < -set.
+type layerOpts struct {
+	sim      *simFlags
+	explicit map[string]bool
+	params   experiments.Params
+	profile  string
+	set      []string
+}
+
+// loadLayered resolves a scenario argument ("file", "file#profile", or a
+// built-in name) through the layered resolver. Built-ins predate the raw
+// key-value tree, so only the dedicated schedule flags apply to them;
+// profiles and -set need a file. The Resolution is nil for built-ins.
+func loadLayered(arg string, lo layerOpts) (*scenario.Scenario, *scenario.Resolution, error) {
+	path, prof := scenario.SplitProfile(arg)
+	if lo.profile != "" {
+		prof = lo.profile
+	}
+	if !fileScenario(path) {
+		if prof != "" || len(lo.set) > 0 {
+			return nil, nil, fmt.Errorf("scenario %q is a built-in: -profile and -set need a scenario file", path)
+		}
+		sc, err := scenario.Load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if lo.sim.quick {
+			q := experiments.QuickParams()
+			sc.Warmup, sc.Measure = q.Warmup, q.Measure
+		}
+		if lo.explicit["seed"] {
+			sc.Seeds = []uint64{lo.params.Seed}
+		}
+		if lo.explicit["warmup"] {
+			sc.Warmup = lo.params.Warmup
+		}
+		if lo.explicit["measure"] {
+			sc.Measure = lo.params.Measure
+		}
+		if err := sc.Validate(); err != nil {
+			return nil, nil, err
+		}
+		return sc, nil, nil
+	}
+	layers := []scenario.Layer{scenario.FileLayer(path)}
+	if prof != "" {
+		layers = append(layers, scenario.ProfileLayer(prof))
+	}
+	layers = append(layers, scenario.EnvLayer(os.Environ()))
+	if lo.sim.quick {
+		q := experiments.QuickParams()
+		layers = append(layers, scenario.OverrideLayer("-quick",
+			fmt.Sprintf("warmup=%d", q.Warmup), fmt.Sprintf("measure=%d", q.Measure)))
+	}
+	if lo.explicit["seed"] {
+		layers = append(layers, scenario.OverrideLayer("-seed", fmt.Sprintf("seed=%d", lo.params.Seed)))
+	}
+	if lo.explicit["warmup"] {
+		layers = append(layers, scenario.OverrideLayer("-warmup", fmt.Sprintf("warmup=%d", lo.params.Warmup)))
+	}
+	if lo.explicit["measure"] {
+		layers = append(layers, scenario.OverrideLayer("-measure", fmt.Sprintf("measure=%d", lo.params.Measure)))
+	}
+	if len(lo.set) > 0 {
+		layers = append(layers, scenario.SetLayer(lo.set...))
+	}
+	return scenario.Resolve(layers...)
+}
+
+// fileScenario reports whether a scenario argument names a file (exists,
+// or looks like a path) rather than a built-in scenario.
+func fileScenario(p string) bool {
+	if _, err := os.Stat(p); err == nil {
+		return true
+	}
+	return strings.ContainsAny(p, "/\\.")
+}

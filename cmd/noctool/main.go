@@ -4,9 +4,52 @@
 //
 // Usage:
 //
+//	noctool <subcommand> [flags] [args]
 //	noctool [flags] <experiment>...
 //
-// Experiments:
+// Subcommands (each has its own flag set; run `noctool <cmd> -h`):
+//
+//	sweep <scenario>[#profile]
+//	            expand and run a declarative scenario file (.json/.toml,
+//	            see internal/scenario) or built-in scenario name. Files
+//	            resolve through the layered pipeline — defaults < include
+//	            chain < file < -profile (or a #profile suffix) <
+//	            TANOQ_SET_* environment < -quick/-seed/-warmup/-measure <
+//	            -set key=value — and -explain prints the resolved keys
+//	            with per-key provenance instead of running. With -cache
+//	            (or cache = true in the scenario's [run] table) the sweep
+//	            runs durably: cell results are memoized in a
+//	            content-addressed store under -cache-dir, completed cells
+//	            are journaled as they finish, SIGINT/SIGTERM drains
+//	            in-flight cells and checkpoints before exiting, and
+//	            -resume serves the finished rows from the cache and runs
+//	            only what is missing — bit-identical to an uninterrupted
+//	            run. -cache-verify N re-executes N cached hits and fails
+//	            on any divergence.
+//
+//	degrade <scenario>[#profile]
+//	            degradation sweep of a scenario with a [faults] table: run
+//	            the faulted grid and a fault-free baseline, and report per
+//	            point the delivered fraction, retry/drop counts, victim
+//	            slowdown and mean/p99 latency inflation per QoS mode
+//	            (-out writes the CSV rows)
+//
+//	trace record <scenario>[#profile]   capture a single-cell scenario's
+//	            injection stream into a binary trace (-out names the
+//	            file) and print its delivery fingerprint
+//	trace replay <file>       replay a recorded trace as a first-class
+//	            workload in the recorded cell; an open-loop recording
+//	            reproduces its fingerprint exactly
+//	trace info <file>         print a trace's header and record stats
+//
+//	bench       machine-readable engine benchmarks -> BENCH_<date>.json;
+//	            -baseline/-maxregress gate on ns/cycle regressions
+//
+//	version     print the engine version stamp (set at build time via
+//	            -ldflags; "dev" otherwise) that is embedded in cache
+//	            keys, BENCH_*.json and v2 trace headers
+//
+// Experiments (no subcommand; shared simulation flags apply):
 //
 //	fig3     router area overhead per topology
 //	fig4a    latency vs injection rate, uniform random
@@ -21,212 +64,94 @@
 //	ablate      PVC design-parameter sweeps (beyond the paper)
 //	closed      closed-loop hotspot clients: per-client completed-request
 //	            dispersion and round-trip latency per topology x QoS mode
-//	            (the workload class where QoS moves end-to-end throughput)
-//	bench       machine-readable engine benchmarks -> BENCH_<date>.json
-//	all         the paper's artifacts (fig3..motivation) in paper order;
-//	            ablate, closed, bench and sweep run separately
-//
-//	sweep <scenario>
-//	            expand and run a declarative scenario file (.json/.toml,
-//	            see internal/scenario) or built-in scenario name; the
-//	            explicitly-set -seed/-warmup/-measure flags override the
-//	            file's values, and -out writes machine-readable JSON.
-//	            With -cache (or a [run] table with cache = true) the
-//	            sweep runs durably: each cell's result is memoized in a
-//	            content-addressed store under -cache-dir, completed cells
-//	            are journaled as they finish, SIGINT/SIGTERM drains
-//	            in-flight cells and checkpoints before exiting, and
-//	            -resume serves the finished rows from the cache and runs
-//	            only what is missing — bit-identical to an uninterrupted
-//	            run. -cache-verify N re-executes N cached hits and fails
-//	            on any divergence.
-//
-//	version     print the engine version stamp (set at build time via
-//	            -ldflags; "dev" otherwise) that is embedded in cache
-//	            keys, BENCH_*.json and v2 trace headers
-//
-//	degrade <scenario>
-//	            degradation sweep of a scenario with a [faults] table: run
-//	            the faulted grid and a fault-free baseline, and report per
-//	            point the delivered fraction, retry/drop counts, victim
-//	            slowdown and mean/p99 latency inflation per QoS mode
-//	            (-out writes the CSV rows)
-//
-//	trace record <scenario>   capture a single-cell scenario's injection
-//	            stream into a binary trace (-out names the file) and
-//	            print its delivery fingerprint
-//	trace replay <file>       replay a recorded trace as a first-class
-//	            workload in the recorded cell; an open-loop recording
-//	            reproduces its fingerprint exactly
-//	trace info <file>         print a trace's header and record stats
-//
-// Flags:
-//
-//	-seed      RNG seed (default 42)
-//	-warmup    warmup cycles before measurement (default 20000)
-//	-measure   measurement window in cycles (default 100000)
-//	-parallel  worker goroutines for independent simulation cells
-//	           (default 0 = one per CPU; 1 = sequential; results are
-//	           bit-identical for every value)
-//	-skip      fast-forward the engine clock over provably idle cycle
-//	           windows (default true; results are bit-identical either
-//	           way — disable only to benchmark the tick-driven engine)
-//	-quick     scale runs down ~6x for a fast smoke pass
-//	-csv       emit CSV rows instead of formatted tables
-//	-out       output path for bench's/sweep's JSON
-//	-note      free-form annotation stored in bench's JSON
-//	-baseline  bench only: committed BENCH_*.json to compare engine
-//	           ns/cycle against, failing the run on regression
-//	-maxregress  bench only: tolerated fractional ns/cycle regression
-//	           against -baseline (default 0.25)
-//	-engine-only  bench only: measure just the per-topology engine step
-//	           cost (the section -baseline compares), skipping the
-//	           wall-clock grids
-//	-cpuprofile  bench only: write a runtime/pprof CPU profile of the
-//	           benchmark run to the given file
-//	-memprofile  bench only: write a heap profile at the end of the run
-//	           to the given file
-//	-cache     sweep only: memoize cell results in the content-addressed
-//	           store and serve hits without simulating
-//	-cache-dir sweep only: result store directory (default .tanoq-cache)
-//	-resume    sweep only: resume an interrupted sweep from the cache
-//	           (implies -cache)
-//	-cache-verify  sweep only: re-execute up to N cached hits and fail
-//	           the run if any recomputed row diverges from its cache
-//	-deadline  sweep only: wall-clock budget per simulation cell (0 =
-//	           none); a cell that exceeds it is aborted and retried
-//	-retries   sweep only: extra attempts per failed cell (default 1;
-//	           0 disables retries)
-//	-backoff   sweep only: base delay before retrying a failed cell,
-//	           doubling per attempt
+//	all         the paper's artifacts (fig3..motivation) in paper order
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"tanoq/internal/experiments"
 	"tanoq/internal/network"
-	"tanoq/internal/store"
 	"tanoq/internal/topology"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 42, "RNG seed")
-	warmup := flag.Int("warmup", 20_000, "warmup cycles before measurement")
-	measure := flag.Int("measure", 100_000, "measurement window in cycles")
-	parallel := flag.Int("parallel", 0, "simulation workers (0 = one per CPU, 1 = sequential; results identical)")
-	skip := flag.Bool("skip", true, "fast-forward over idle cycle windows (results identical either way)")
-	quick := flag.Bool("quick", false, "scale runs down for a fast smoke pass")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	out := flag.String("out", "", "output path for bench's/sweep's JSON")
-	note := flag.String("note", "", "free-form annotation stored in bench's JSON")
-	baseline := flag.String("baseline", "", "bench: BENCH_*.json baseline to compare engine ns/cycle against")
-	maxRegress := flag.Float64("maxregress", 0.25, "bench: tolerated fractional ns/cycle regression vs -baseline")
-	engineOnly := flag.Bool("engine-only", false, "bench: measure only the per-topology engine step cost")
-	cpuProfile := flag.String("cpuprofile", "", "bench: write a CPU profile of the benchmark run to this file")
-	memProfile := flag.String("memprofile", "", "bench: write a heap profile at the end of the run to this file")
-	cache := flag.Bool("cache", false, "sweep: memoize cell results in the content-addressed store")
-	cacheDir := flag.String("cache-dir", store.DefaultDir, "sweep: result store directory")
-	resume := flag.Bool("resume", false, "sweep: resume an interrupted sweep from the cache (implies -cache)")
-	cacheVerify := flag.Int("cache-verify", 0, "sweep: re-execute up to N cached hits and fail on divergence")
-	deadline := flag.Duration("deadline", 0, "sweep: wall-clock budget per cell (0 = none)")
-	retries := flag.Int("retries", 1, "sweep: extra attempts per failed cell (0 disables retries)")
-	backoff := flag.Duration("backoff", 0, "sweep: base retry delay, doubling per attempt")
-	flag.Usage = usage
-	flag.Parse()
-
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-
-	p := experiments.Params{Seed: *seed, Warmup: *warmup, Measure: *measure}
-	if *quick {
-		p = experiments.QuickParams()
-		p.Seed = *seed
-		// An explicitly-set schedule flag beats -quick's defaults, so
-		// `-quick -warmup 500` means quick scale with a 500-cycle warmup.
-		if explicit["warmup"] {
-			p.Warmup = *warmup
-		}
-		if explicit["measure"] {
-			p.Measure = *measure
-		}
-	}
-	p.Workers = *parallel
-	p.DisableIdleSkip = !*skip
-
-	args := flag.Args()
+	args := os.Args[1:]
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	for i := 0; i < len(args); i++ {
-		var err error
-		switch arg := strings.ToLower(args[i]); arg {
-		case "bench":
-			err = runBench(p, benchOpts{
-				outPath: *out, note: *note,
-				baseline: *baseline, maxRegress: *maxRegress, engineOnly: *engineOnly,
-				cpuProfile: *cpuProfile, memProfile: *memProfile,
-			})
-		case "sweep":
-			if i+1 >= len(args) {
-				err = fmt.Errorf("sweep needs a scenario file or built-in name")
-			} else {
-				i++
-				err = runSweep(args[i], sweepOpts{
-					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
-					cache: *cache, cacheDir: *cacheDir, resume: *resume, verify: *cacheVerify,
-					deadline: *deadline, retries: *retries, backoff: *backoff,
-				})
-			}
-		case "degrade":
-			if i+1 >= len(args) {
-				err = fmt.Errorf("degrade needs a scenario file with a [faults] table")
-			} else {
-				i++
-				err = runDegrade(args[i], sweepOpts{
-					params: p, explicit: explicit, quick: *quick, csv: *csv, outPath: *out,
-				})
-			}
-		case "version":
-			fmt.Printf("tanoq engine %s\n", network.EngineVersion())
-		case "trace":
-			if i+2 >= len(args) {
-				err = fmt.Errorf("trace needs a verb and a target: trace record <scenario> | trace replay <file> | trace info <file>")
-			} else {
-				verb, target := args[i+1], args[i+2]
-				i += 2
-				err = runTrace(verb, target, traceOpts{
-					params: p, explicit: explicit, quick: *quick, outPath: *out,
-				})
-			}
-		default:
-			err = run(arg, p, *quick, *csv)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "noctool: %v\n", err)
-			os.Exit(1)
-		}
+	var err error
+	switch strings.ToLower(args[0]) {
+	case "sweep":
+		err = sweepMain(args[1:])
+	case "degrade":
+		err = degradeMain(args[1:])
+	case "trace":
+		err = traceMain(args[1:])
+	case "bench":
+		err = benchMain(args[1:])
+	case "version":
+		fmt.Printf("tanoq engine %s\n", network.EngineVersion())
+	case "help", "-h", "--help":
+		usage()
+	default:
+		// Anything else is the experiment driver, which keeps the original
+		// flags-first syntax (`noctool -quick all`).
+		err = experimentsMain(args)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "noctool: %v\n", err)
+		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: noctool [flags] <experiment>... | sweep <scenario> | degrade <scenario> | trace record|replay|info <target> | version
+	fmt.Fprint(os.Stderr, `usage: noctool <subcommand> [flags] [args]
+       noctool [flags] <experiment>...
 
-experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate closed bench all
-sweep runs a declarative scenario file (.json/.toml) or built-in scenario;
-  -cache/-resume make it durable (content-addressed result store, checkpoint
-  on SIGINT/SIGTERM, bit-identical resume), -deadline/-retries/-backoff bound
-  wedged cells, -cache-verify audits cached rows against re-execution
-degrade runs a faulted scenario against its fault-free baseline (delivered fraction, victim slowdown, p99 inflation)
-trace records a single-cell scenario's injection stream / replays a trace / prints its stats
-version prints the engine version stamp embedded in cache keys and reports
-flags:
+subcommands (run noctool <cmd> -h for that command's flags):
+  sweep <scenario>[#profile]    expand and run a scenario file or built-in;
+                                layered resolution (includes, profiles,
+                                TANOQ_SET_* env, -set), -explain provenance,
+                                durable -cache/-resume execution
+  degrade <scenario>[#profile]  faulted scenario vs fault-free baseline
+  trace record|replay|info      capture / replay / inspect injection traces
+  bench                         engine benchmarks -> BENCH_<date>.json
+  version                       engine version stamp
+
+experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation
+             ablate closed all
 `)
-	flag.PrintDefaults()
+}
+
+// experimentsMain runs the paper's experiment drivers, preserving the
+// original `noctool [flags] <experiment>...` syntax.
+func experimentsMain(args []string) error {
+	fs := newFlagSet("noctool", "noctool [flags] <experiment>...",
+		"experiments: fig3 fig4a fig4b preempt table2 fig5 fig6 fig7 chip motivation ablate closed all")
+	sim := addSimFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	fs.Parse(args)
+	names := fs.Args()
+	if len(names) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	p := sim.params(explicitFlags(fs))
+	for _, name := range names {
+		name = strings.ToLower(name)
+		switch name {
+		case "sweep", "degrade", "trace", "bench", "version":
+			return fmt.Errorf("subcommand flags now follow the subcommand: noctool %s [flags] ...", name)
+		}
+		if err := run(name, p, sim.quick, *csv); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(name string, p experiments.Params, quick, csv bool) error {

@@ -10,27 +10,21 @@ import (
 	"syscall"
 	"time"
 
-	"tanoq/internal/experiments"
 	"tanoq/internal/scenario"
 	"tanoq/internal/store"
 )
 
 // sweepOpts carries the CLI state the sweep subcommand layers over a
-// scenario file: runtime knobs (workers, idle skip, output format) plus
-// the subset of flags the user set explicitly, which override the file's
-// values — the same precedence order as a layered config system (file
-// below flags).
+// scenario file: the resolver layers (profile, env, schedule flags,
+// -set), output format, and the durable-execution knobs. The durable
+// knobs (cache and per-cell deadline/retry budget) never change results,
+// only whether and how cells execute, so they stay out of cache keys.
 type sweepOpts struct {
-	params experiments.Params
-	// explicit marks flags the user passed on the command line (by flag
-	// name); only those override the scenario file.
-	explicit map[string]bool
-	quick    bool
-	csv      bool
-	outPath  string
-	// Durable-execution knobs: the result cache and the per-cell
-	// deadline/retry budget. These never change results, only whether and
-	// how cells execute, so they stay out of cache keys.
+	layers  layerOpts
+	csv     bool
+	outPath string
+	explain bool
+
 	cache    bool
 	cacheDir string
 	resume   bool
@@ -40,35 +34,76 @@ type sweepOpts struct {
 	backoff  time.Duration
 }
 
-// loadScenario loads a scenario file or built-in name and applies the
-// CLI layer (quick scale, explicitly-set seed/warmup/measure flags).
-func loadScenario(pathOrName string, o sweepOpts) (*scenario.Scenario, error) {
-	sc, err := scenario.Load(pathOrName)
-	if err != nil {
-		return nil, err
+// sweepMain parses the sweep subcommand's flags and runs the sweep.
+func sweepMain(args []string) error {
+	fs := newFlagSet("sweep", "noctool sweep [flags] <scenario>[#profile]",
+		`Expand and run a declarative scenario file (.json/.toml) or built-in
+scenario name. Files resolve through the layered pipeline — defaults <
+include chain < file < profile < TANOQ_SET_* env < schedule flags <
+-set — and -explain prints every resolved key with its provenance.`)
+	sim := addSimFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	out := fs.String("out", "", "output path for the sweep's JSON report")
+	profile := fs.String("profile", "", "named [profiles.<name>] patch to apply (overrides a #profile suffix)")
+	var set multiFlag
+	fs.Var(&set, "set", "top-layer override `key=value` (dotted paths; repeatable)")
+	explain := fs.Bool("explain", false, "print the resolved scenario with per-key provenance instead of running")
+	cache := fs.Bool("cache", false, "memoize cell results in the content-addressed store")
+	cacheDir := fs.String("cache-dir", store.DefaultDir, "result store directory")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep from the cache (implies -cache)")
+	cacheVerify := fs.Int("cache-verify", 0, "re-execute up to N cached hits and fail on divergence")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget per cell (0 = none)")
+	retries := fs.Int("retries", 1, "extra attempts per failed cell (0 disables retries)")
+	backoff := fs.Duration("backoff", 0, "base retry delay, doubling per attempt")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("sweep needs exactly one scenario file or built-in name")
 	}
-	if o.quick {
-		q := experiments.QuickParams()
-		sc.Warmup, sc.Measure = q.Warmup, q.Measure
-	}
-	if o.explicit["seed"] {
-		sc.Seeds = []uint64{o.params.Seed}
-	}
-	if o.explicit["warmup"] {
-		sc.Warmup = o.params.Warmup
-	}
-	if o.explicit["measure"] {
-		sc.Measure = o.params.Measure
-	}
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	return sc, nil
+	explicit := explicitFlags(fs)
+	return runSweep(fs.Arg(0), sweepOpts{
+		layers: layerOpts{
+			sim: sim, explicit: explicit, params: sim.params(explicit),
+			profile: *profile, set: set,
+		},
+		csv: *csv, outPath: *out, explain: *explain,
+		cache: *cache, cacheDir: *cacheDir, resume: *resume, verify: *cacheVerify,
+		deadline: *deadline, retries: *retries, backoff: *backoff,
+	})
 }
 
-// runSweep loads a scenario file (or built-in scenario name), applies the
-// CLI layer, expands the sweep grid, runs it through the durable runner
-// and emits a table or CSV to stdout (plus JSON to -out when given).
+// degradeMain parses the degrade subcommand's flags and runs the
+// degradation sweep.
+func degradeMain(args []string) error {
+	fs := newFlagSet("degrade", "noctool degrade [flags] <scenario>[#profile]",
+		`Run a scenario with a [faults] table against its fault-free baseline
+and report per point the delivered fraction, retry/drop counts, victim
+slowdown and latency inflation per QoS mode. Scenario files resolve
+through the same layered pipeline as sweep.`)
+	sim := addSimFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of tables")
+	out := fs.String("out", "", "output path for the degradation CSV")
+	profile := fs.String("profile", "", "named [profiles.<name>] patch to apply (overrides a #profile suffix)")
+	var set multiFlag
+	fs.Var(&set, "set", "top-layer override `key=value` (dotted paths; repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("degrade needs exactly one scenario file with a [faults] table")
+	}
+	explicit := explicitFlags(fs)
+	return runDegrade(fs.Arg(0), sweepOpts{
+		layers: layerOpts{
+			sim: sim, explicit: explicit, params: sim.params(explicit),
+			profile: *profile, set: set,
+		},
+		csv: *csv, outPath: *out,
+	})
+}
+
+// runSweep resolves a scenario through the layer pipeline, expands the
+// sweep grid, runs it through the durable runner and emits a table or
+// CSV to stdout (plus JSON to -out when given).
 //
 // Every sweep goes through Grid.RunDurable: without -cache it behaves
 // exactly like the plain grid runner (plus the deadline/retry knobs and
@@ -77,9 +112,16 @@ func loadScenario(pathOrName string, o sweepOpts) (*scenario.Scenario, error) {
 // content-addressed store as they land, and -resume serves them back
 // without simulating.
 func runSweep(pathOrName string, o sweepOpts) error {
-	sc, err := loadScenario(pathOrName, o)
+	sc, res, err := loadLayered(pathOrName, o.layers)
 	if err != nil {
 		return err
+	}
+	if o.explain {
+		if res == nil {
+			return fmt.Errorf("scenario %q is a built-in: -explain needs a scenario file (built-ins have no layers)", pathOrName)
+		}
+		fmt.Print(res.Explain())
+		return nil
 	}
 	grid, err := sc.Grid()
 	if err != nil {
@@ -92,24 +134,24 @@ func runSweep(pathOrName string, o sweepOpts) error {
 	// as a negative budget; 0 there means "use the default single retry".
 	opts := scenario.DurableOpts{
 		RunOpts: scenario.RunOpts{
-			Workers:         o.params.Workers,
-			DisableIdleSkip: o.params.DisableIdleSkip,
+			Workers:         o.layers.params.Workers,
+			DisableIdleSkip: o.layers.params.DisableIdleSkip,
 		},
 		Deadline:     sc.Deadline,
 		Retries:      sc.Retries,
 		Backoff:      sc.Backoff,
 		VerifySample: o.verify,
 	}
-	if o.explicit["deadline"] {
+	if o.layers.explicit["deadline"] {
 		opts.Deadline = o.deadline
 	}
-	if o.explicit["retries"] {
+	if o.layers.explicit["retries"] {
 		opts.Retries = o.retries
 		if o.retries == 0 {
 			opts.Retries = -1
 		}
 	}
-	if o.explicit["backoff"] {
+	if o.layers.explicit["backoff"] {
 		opts.Backoff = o.backoff
 	}
 
@@ -200,13 +242,13 @@ func runSweep(pathOrName string, o sweepOpts) error {
 // delivered fraction, victim slowdown and latency inflation per QoS mode
 // (-out writes the CSV rows).
 func runDegrade(pathOrName string, o sweepOpts) error {
-	sc, err := loadScenario(pathOrName, o)
+	sc, _, err := loadLayered(pathOrName, o.layers)
 	if err != nil {
 		return err
 	}
 	rows, err := scenario.Degrade(sc, scenario.RunOpts{
-		Workers:         o.params.Workers,
-		DisableIdleSkip: o.params.DisableIdleSkip,
+		Workers:         o.layers.params.Workers,
+		DisableIdleSkip: o.layers.params.DisableIdleSkip,
 	})
 	if err != nil {
 		return err

@@ -6,20 +6,44 @@ import (
 	"path/filepath"
 	"strings"
 
-	"tanoq/internal/experiments"
 	"tanoq/internal/network"
 	"tanoq/internal/noc"
-	"tanoq/internal/scenario"
 	"tanoq/internal/workload"
 )
 
-// traceOpts carries the CLI state of the trace subcommands, layered over
-// scenario files exactly like the sweep subcommand's.
+// traceOpts carries the CLI state of the trace subcommands: the same
+// resolver layers as sweep (record resolves scenario files through the
+// layered pipeline) plus the output path.
 type traceOpts struct {
-	params   experiments.Params
-	explicit map[string]bool
-	quick    bool
-	outPath  string
+	layers  layerOpts
+	outPath string
+}
+
+// traceMain parses the trace subcommand's flags and dispatches its verb.
+func traceMain(args []string) error {
+	fs := newFlagSet("trace", "noctool trace [flags] record <scenario>[#profile] | replay <file> | info <file>",
+		`record captures a single-cell scenario's injection stream into a binary
+trace and prints its delivery fingerprint (scenario files resolve through
+the same layered pipeline as sweep); replay re-runs a recorded trace in
+the recorded cell; info prints a trace's header and record stats.`)
+	sim := addSimFlags(fs)
+	out := fs.String("out", "", "output path for the recorded trace")
+	profile := fs.String("profile", "", "record: named [profiles.<name>] patch to apply (overrides a #profile suffix)")
+	var set multiFlag
+	fs.Var(&set, "set", "record: top-layer override `key=value` (dotted paths; repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("trace needs a verb and a target: trace record <scenario> | trace replay <file> | trace info <file>")
+	}
+	explicit := explicitFlags(fs)
+	return runTrace(fs.Arg(0), fs.Arg(1), traceOpts{
+		layers: layerOpts{
+			sim: sim, explicit: explicit, params: sim.params(explicit),
+			profile: *profile, set: set,
+		},
+		outPath: *out,
+	})
 }
 
 // runTrace dispatches `noctool trace record|replay|info <target>`.
@@ -42,24 +66,8 @@ func runTrace(verb, target string, o traceOpts) error {
 // trace replays self-contained. The printed fingerprint is what `trace
 // replay` must reproduce (make trace-smoke diffs the two).
 func runTraceRecord(scenarioArg string, o traceOpts) error {
-	sc, err := scenario.Load(scenarioArg)
+	sc, _, err := loadLayered(scenarioArg, o.layers)
 	if err != nil {
-		return err
-	}
-	if o.quick {
-		q := experiments.QuickParams()
-		sc.Warmup, sc.Measure = q.Warmup, q.Measure
-	}
-	if o.explicit["seed"] {
-		sc.Seeds = []uint64{o.params.Seed}
-	}
-	if o.explicit["warmup"] {
-		sc.Warmup = o.params.Warmup
-	}
-	if o.explicit["measure"] {
-		sc.Measure = o.params.Measure
-	}
-	if err := sc.Validate(); err != nil {
 		return err
 	}
 	grid, err := sc.Grid()
@@ -70,7 +78,7 @@ func runTraceRecord(scenarioArg string, o traceOpts) error {
 		return fmt.Errorf("trace record needs a single-cell scenario, got %d cells — narrow the axes (one pattern/topology/qos/seed/rate)", grid.Size())
 	}
 	cell := grid.Cell(0)
-	cell.Config.DisableIdleSkip = o.params.DisableIdleSkip
+	cell.Config.DisableIdleSkip = o.layers.params.DisableIdleSkip
 	n, err := network.New(cell.Config)
 	if err != nil {
 		return err
@@ -134,7 +142,7 @@ func runTraceReplay(path string, o traceOpts) error {
 	if err != nil {
 		return err
 	}
-	cfg.DisableIdleSkip = o.params.DisableIdleSkip
+	cfg.DisableIdleSkip = o.layers.params.DisableIdleSkip
 	n, err := network.New(cfg)
 	if err != nil {
 		return err

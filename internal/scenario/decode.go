@@ -8,16 +8,26 @@ import (
 // decoder pulls typed fields out of the map[string]any both file formats
 // decode into, recording the first error instead of forcing a check at
 // every call site. Sweep-axis accessors accept a scalar or a list under
-// either the singular or plural key.
+// either the singular or plural key. When a Resolution is attached,
+// failures become ParseErrors located at the offending key's source
+// (layer + file:line); prefix is the decoder's dotted path from the
+// scenario root ("" at the top level, "workload", "flows[2]", ...).
 type decoder struct {
-	raw map[string]any
-	err error
+	raw    map[string]any
+	err    error
+	res    *Resolution
+	prefix string
 }
 
-func (d *decoder) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf(format, args...)
+func (d *decoder) failKey(key, format string, args ...any) {
+	if d.err != nil {
+		return
 	}
+	cause := fmt.Errorf(format, args...)
+	if d.prefix != "" {
+		cause = fmt.Errorf("%s: %w", d.prefix, cause)
+	}
+	d.err = locate(d.res, joinPath(d.prefix, key), cause)
 }
 
 // pick returns the value under whichever of the two keys is present
@@ -31,7 +41,7 @@ func (d *decoder) pick(keyA, keyB string) (any, string, bool) {
 	}
 	switch {
 	case oka && okb:
-		d.fail("set either %q or %q, not both", keyA, keyB)
+		d.failKey(keyA, "set either %q or %q, not both", keyA, keyB)
 		return nil, "", false
 	case oka:
 		return va, keyA, true
@@ -48,7 +58,7 @@ func (d *decoder) str(key, def string) string {
 	}
 	s, ok := v.(string)
 	if !ok {
-		d.fail("%s must be a string, got %T", key, v)
+		d.failKey(key, "%s must be a string, got %T", key, v)
 		return def
 	}
 	return s
@@ -61,7 +71,7 @@ func (d *decoder) float(key string, def float64) float64 {
 	}
 	f, ok := v.(float64)
 	if !ok {
-		d.fail("%s must be a number, got %T", key, v)
+		d.failKey(key, "%s must be a number, got %T", key, v)
 		return def
 	}
 	return f
@@ -74,7 +84,7 @@ func (d *decoder) int(key string, def int) int {
 	}
 	f, ok := v.(float64)
 	if !ok || f != math.Trunc(f) {
-		d.fail("%s must be an integer, got %v", key, v)
+		d.failKey(key, "%s must be an integer, got %v", key, v)
 		return def
 	}
 	return int(f)
@@ -87,7 +97,7 @@ func (d *decoder) boolean(key string, def bool) bool {
 	}
 	b, ok := v.(bool)
 	if !ok {
-		d.fail("%s must be a boolean, got %T", key, v)
+		d.failKey(key, "%s must be a boolean, got %T", key, v)
 		return def
 	}
 	return b
@@ -110,7 +120,7 @@ func (d *decoder) strList(keyA, keyB string) []string {
 	for _, el := range asList(v) {
 		s, ok := el.(string)
 		if !ok {
-			d.fail("%s must hold strings, got %T", key, el)
+			d.failKey(key, "%s must hold strings, got %T", key, el)
 			return nil
 		}
 		out = append(out, s)
@@ -127,7 +137,7 @@ func (d *decoder) floatList(keyA, keyB string) []float64 {
 	for _, el := range asList(v) {
 		f, ok := el.(float64)
 		if !ok {
-			d.fail("%s must hold numbers, got %T", key, el)
+			d.failKey(key, "%s must hold numbers, got %T", key, el)
 			return nil
 		}
 		out = append(out, f)
@@ -144,7 +154,7 @@ func (d *decoder) intList(keyA, keyB string) []int64 {
 	for _, el := range asList(v) {
 		f, ok := el.(float64)
 		if !ok || f != math.Trunc(f) {
-			d.fail("%s must hold integers, got %v", key, el)
+			d.failKey(key, "%s must hold integers, got %v", key, el)
 			return nil
 		}
 		out = append(out, int64(f))
@@ -161,7 +171,7 @@ func (d *decoder) allowOnly(keys ...string) {
 	}
 	for k := range d.raw {
 		if !allowed[k] {
-			d.fail("unknown key %q", k)
+			d.failKey(k, "%w %q", ErrUnknownKey, k)
 			return
 		}
 	}

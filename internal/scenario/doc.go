@@ -1,5 +1,5 @@
-// Package scenario is the declarative workload layer: it parses JSON or
-// TOML scenario files into validated, defaulted sweep grids over the
+// Package scenario is the declarative workload layer: it resolves JSON
+// or TOML scenario files into validated, defaulted sweep grids over the
 // simulator's full configuration space — synthetic traffic pattern,
 // topology, QoS mode, injection rate, seed — and runs them through the
 // parallel experiment runner. What previously required a hand-written Go
@@ -8,6 +8,42 @@
 // built-in scenarios (Builtin) and pinned bit-identical to the original
 // drivers by tests.
 //
+// # Layered resolution
+//
+// A scenario is not one flat file but the merge of an ordered layer
+// stack, resolved by Resolve(...Layer). Precedence, lowest first:
+//
+//	defaults < include chain < file < profile < env < CLI overrides
+//
+// FileLayer loads a file and recursively loads its `include` list first
+// (paths resolve against the including file's directory; cycles are
+// detected and rejected with ErrIncludeCycle). ProfileLayer applies one
+// named [profiles.<name>] patch — a table that may override any subset
+// of scenario keys; profiles defined in included files are inherited and
+// may be extended by the includer. EnvLayer applies TANOQ_SET_*
+// variables (TANOQ_SET_WORKLOAD__MODE=closed sets workload.mode), and
+// SetLayer/OverrideLayer apply `key=value` expressions on behalf of CLI
+// flags (noctool's repeatable -set, and -quick/-seed/-warmup/-measure).
+//
+// Merging is deep for tables (maps merge key by key) and replacing for
+// scalars and lists. The singular/plural axis spellings are aliases
+// across layers: a later layer setting either spelling retires the
+// other, so a profile's `rate = 0.05` overrides a base file's
+// `rates = [...]` instead of colliding with it — while a single source
+// setting both spellings is still rejected. Every resolved key carries
+// an Origin (layer + file:line); Resolution.Explain renders the whole
+// resolved scenario with per-key provenance (noctool sweep -explain),
+// and Resolution.Origin answers for one key. Unknown keys are rejected
+// at every layer, and every load/decode error is a *ParseError carrying
+// the offending file, line, key and layer (errors.Is/As compatible, with
+// ErrUnknownKey/ErrUnknownProfile/ErrIncludeCycle sentinels).
+//
+// Load (path or built-in name) and Parse (in-memory blob) remain as
+// single-layer facades over Resolve. Cache keys (Grid.Keys) are computed
+// over the resolved canonical scenario, so two routes to the same
+// resolved grid — a profile selection or a hand-flattened file — share
+// cache entries; includes and profiles are cache-transparent.
+//
 // # File format
 //
 // A scenario is one JSON object or TOML document. Every list-valued
@@ -15,6 +51,9 @@
 // the order pattern × topology × qos × seed × rate. Fields (singular and
 // plural spellings both accepted on the axes):
 //
+//	include           list of parent scenario files merged below this one
+//	                  (file-backed scenarios only; paths are relative to
+//	                  the including file)
 //	name              label for output rows (default: file base name)
 //	pattern(s)        uniform | tornado | transpose | bit-complement |
 //	                  bit-reversal | shuffle | hotspot   (default uniform)
@@ -110,10 +149,13 @@
 // deterministic, a resumed sweep's table is byte-identical to an
 // uninterrupted one and a fully cached sweep executes zero simulations.
 //
-// Unknown keys are rejected, so typos fail loudly instead of silently
-// dropping an axis. See examples/sweep/ for runnable files and
-// cmd/noctool's sweep subcommand for the CLI entry point, which layers
-// explicitly-set -seed/-warmup/-measure flags over the file's values.
+// [profiles.<name>] tables hold named patches over any subset of the
+// keys above (including nested tables like [profiles.durable.run]);
+// nothing applies until a profile is selected — `noctool sweep
+// file.toml#quick` or -profile. Unknown keys are rejected at every
+// layer, so typos fail loudly instead of silently dropping an axis. See
+// examples/sweep/ for runnable files (base.toml is the shared include)
+// and cmd/noctool's sweep subcommand for the CLI entry point.
 //
 // Every result row carries Table-2-style fairness dispersion —
 // min/max/stddev of per-flow delivered flits (open/replay cells) or

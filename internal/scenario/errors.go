@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Layer names, as carried by Origin.Layer and ParseError.Layer. The
+// resolver applies layers in exactly this precedence order (later wins):
+// defaults < include chain < file < profile < env < cli. A profile
+// origin is spelled "profile:<name>".
+const (
+	LayerDefault = "default"
+	LayerInclude = "include"
+	LayerFile    = "file"
+	LayerProfile = "profile"
+	LayerEnv     = "env"
+	LayerCLI     = "cli"
+)
+
+// Sentinel errors for the failure classes callers branch on; match them
+// with errors.Is through a ParseError.
+var (
+	// ErrUnknownKey marks a key outside the scenario schema — at the top
+	// level, inside a nested table, or inside a profile patch.
+	ErrUnknownKey = errors.New("unknown key")
+	// ErrUnknownProfile marks a profile selection ("file#name" or
+	// -profile) that no loaded file defines.
+	ErrUnknownProfile = errors.New("unknown profile")
+	// ErrIncludeCycle marks an include chain that revisits a file.
+	ErrIncludeCycle = errors.New("include cycle")
+)
+
+// ParseError is a structured scenario-loading error: what went wrong
+// (Err), where it came from (File and Line of the offending source), on
+// which key (the dotted resolved path, e.g. "workload.mode"), and at
+// which layer of the resolver pipeline. It supports errors.Is/errors.As
+// through Unwrap, so callers can match the sentinel classes above
+// without parsing messages.
+type ParseError struct {
+	// File is the source of the failing layer: a scenario file path, an
+	// environment variable name, or a CLI flag expression. Empty for
+	// in-memory parses.
+	File string
+	// Line is the 1-based source line, when the source has lines.
+	Line int
+	// Key is the dotted path of the offending key ("faults.link[1].port");
+	// empty for errors not tied to one key.
+	Key string
+	// Layer names the resolver layer the error surfaced at (the Layer*
+	// constants; profiles are "profile:<name>").
+	Layer string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	var b strings.Builder
+	switch {
+	case e.File != "" && e.Line > 0:
+		fmt.Fprintf(&b, "%s:%d: ", e.File, e.Line)
+	case e.File != "":
+		fmt.Fprintf(&b, "%s: ", e.File)
+	case e.Line > 0:
+		fmt.Fprintf(&b, "line %d: ", e.Line)
+	}
+	b.WriteString(e.Err.Error())
+	if e.Layer != "" && e.Layer != LayerFile {
+		fmt.Fprintf(&b, " [%s layer]", e.Layer)
+	}
+	return b.String()
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// locate wraps cause in a ParseError carrying the provenance of the
+// given key path, when a resolution is available to look it up.
+func locate(res *Resolution, path string, cause error) error {
+	if res == nil {
+		return cause
+	}
+	o := res.originOf(path)
+	return &ParseError{File: o.File, Line: o.Line, Layer: o.Layer, Key: path, Err: cause}
+}
+
+// perr builds a located ParseError from a format string (fromRaw's
+// non-decoder validation failures).
+func perr(res *Resolution, path, format string, args ...any) error {
+	return locate(res, path, fmt.Errorf(format, args...))
+}

@@ -51,6 +51,23 @@ func FuzzScenarioDecode(f *testing.F) {
 		"rate = 0.05\n[run]\nwall_clock = 9\n",
 		"rate = 0.05\nrun = 3\n",
 		`{"rates":[0.05],"run":{"deadline_ms":1000,"retries":1,"cache":true}}`,
+		// Layered-composition surface: include lists (rejected by the blob
+		// path — only file-backed scenarios can include), [profiles.*]
+		// patch tables in valid and malformed shapes, dotted table headers,
+		// and singular/plural alias collisions a profile would retire.
+		"include = [\"base.toml\"]\nrate = 0.05\n",
+		"include = \"base.toml\"\n",
+		"include = [3]\n",
+		"rate = 0.05\n[profiles.quick]\nwarmup = 200\nmeasure = 2000\n",
+		"rates = [0.01, 0.05]\n[profiles.one]\nrate = 0.03\n[profiles.two]\nrates = [0.09]\n",
+		"rate = 0.05\n[profiles.bad]\nbogus = 1\n",
+		"rate = 0.05\n[profiles.durable.run]\ndeadline_ms = 1000\n",
+		"rate = 0.05\nprofiles = 3\n",
+		"rate = 0.05\n[profiles]\nquick = 1\n",
+		"rate = 0.05\n[profiles.a.b.c.d]\nx = 1\n",
+		"[profiles.quick]\nwarmup = 1\n[profiles.quick]\nwarmup = 2\n",
+		`{"rates":[0.05],"profiles":{"quick":{"warmup":200}}}`,
+		`{"include":["base.toml"],"rates":[0.05]}`,
 	}
 	// Every shipped example file is a seed: the fuzzer starts from the
 	// real surface users feed the decoder.

@@ -1,10 +1,8 @@
 package scenario
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
@@ -75,8 +73,9 @@ type Scenario struct {
 	// qos × seed cells. Mutually exclusive with patterns/rates/flows and
 	// the mode axes.
 	Traces []string
-	// baseDir anchors relative trace paths (set by Load; empty for
-	// in-memory scenarios, which resolve against the process CWD).
+	// baseDir anchors relative trace paths (set by Resolve from the root
+	// file layer; empty for in-memory scenarios, which resolve against
+	// the process CWD).
 	baseDir string
 
 	// The [faults] table: hardware fault schedules and end-to-end
@@ -131,51 +130,26 @@ type FlowSpec struct {
 
 // Load reads a scenario from a .json or .toml file, or — when the
 // argument names no existing file — from the built-in scenario registry
-// (see Builtin). The result is validated and defaulted.
+// (see Builtin). The result is validated and defaulted. Load is a
+// facade over Resolve with a single file layer; callers wanting
+// includes-plus-profile-plus-override composition build the layer list
+// themselves (cmd/noctool does).
 func Load(pathOrName string) (*Scenario, error) {
-	blob, err := os.ReadFile(pathOrName)
-	if err != nil {
+	if _, err := os.Stat(pathOrName); err != nil {
 		if os.IsNotExist(err) && !strings.ContainsAny(pathOrName, "/\\.") {
 			return Builtin(pathOrName)
 		}
-		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	sc, err := Parse(blob, strings.ToLower(filepath.Ext(pathOrName)))
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", pathOrName, err)
-	}
-	if sc.Name == "" {
-		sc.Name = strings.TrimSuffix(filepath.Base(pathOrName), filepath.Ext(pathOrName))
-	}
-	sc.baseDir = filepath.Dir(pathOrName)
-	return sc, nil
+	sc, _, err := Resolve(FileLayer(pathOrName))
+	return sc, err
 }
 
 // Parse decodes scenario bytes in the given format (".json" or ".toml")
-// and validates the result.
+// and validates the result: a facade over Resolve with a single
+// in-memory blob layer (no include chain, no profile selection).
 func Parse(blob []byte, ext string) (*Scenario, error) {
-	var raw map[string]any
-	switch ext {
-	case ".json":
-		if err := json.Unmarshal(blob, &raw); err != nil {
-			return nil, err
-		}
-	case ".toml":
-		var err error
-		if raw, err = parseTOML(string(blob)); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("unsupported scenario format %q (want .json or .toml)", ext)
-	}
-	sc, err := fromRaw(raw)
-	if err != nil {
-		return nil, err
-	}
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	return sc, nil
+	sc, _, err := Resolve(BlobLayer("", blob, ext))
+	return sc, err
 }
 
 // scenarioKeys lists every accepted top-level key (singular/plural pairs
@@ -192,13 +166,13 @@ var scenarioKeys = map[string]bool{
 	"faults": true, "run": true,
 }
 
-func fromRaw(raw map[string]any) (*Scenario, error) {
+func fromRaw(raw map[string]any, res *Resolution) (*Scenario, error) {
 	for k := range raw {
 		if !scenarioKeys[k] {
-			return nil, fmt.Errorf("unknown key %q", k)
+			return nil, perr(res, k, "%w %q", ErrUnknownKey, k)
 		}
 	}
-	d := decoder{raw: raw}
+	d := decoder{raw: raw, res: res}
 	sc := &Scenario{
 		Name:            d.str("name", ""),
 		Patterns:        d.strList("pattern", "patterns"),
@@ -220,9 +194,9 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 	if b, ok := raw["burst"]; ok {
 		bm, ok := b.(map[string]any)
 		if !ok {
-			return nil, fmt.Errorf("burst must be a table/object")
+			return nil, perr(res, "burst", "burst must be a table/object")
 		}
-		bd := decoder{raw: bm}
+		bd := decoder{raw: bm, res: res, prefix: "burst"}
 		sc.Burst = traffic.Burst{MeanOn: bd.float("mean_on", 0), MeanOff: bd.float("mean_off", 0)}
 		bd.allowOnly("mean_on", "mean_off")
 		if bd.err != nil {
@@ -232,9 +206,9 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 	if wl, ok := raw["workload"]; ok {
 		wm, ok := wl.(map[string]any)
 		if !ok {
-			return nil, fmt.Errorf("workload must be a table/object")
+			return nil, perr(res, "workload", "workload must be a table/object")
 		}
-		wd := decoder{raw: wm}
+		wd := decoder{raw: wm, res: res, prefix: "workload"}
 		sc.WorkloadModes = wd.strList("mode", "modes")
 		for _, o := range wd.intList("outstanding", "") {
 			sc.Outstanding = append(sc.Outstanding, int(o))
@@ -246,26 +220,26 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 		wd.allowOnly("mode", "modes", "outstanding", "think_time", "think_times",
 			"request_flits", "reply_flits", "trace", "traces")
 		if wd.err != nil {
-			return nil, fmt.Errorf("workload: %w", wd.err)
+			return nil, wd.err
 		}
 	}
 	if rv, ok := raw["run"]; ok {
 		rm, ok := rv.(map[string]any)
 		if !ok {
-			return nil, fmt.Errorf("run must be a table/object")
+			return nil, perr(res, "run", "run must be a table/object")
 		}
-		rd := decoder{raw: rm}
+		rd := decoder{raw: rm, res: res, prefix: "run"}
 		if _, set := rm["deadline_ms"]; set {
 			ms := rd.int("deadline_ms", 0)
-			if ms <= 0 {
-				return nil, fmt.Errorf("run: deadline_ms %d must be positive (omit the key for no deadline)", ms)
+			if ms <= 0 && rd.err == nil {
+				return nil, perr(res, "run.deadline_ms", "run: deadline_ms %d must be positive (omit the key for no deadline)", ms)
 			}
 			sc.Deadline = time.Duration(ms) * time.Millisecond
 		}
 		if _, set := rm["retries"]; set {
 			r := rd.int("retries", 0)
-			if r < 0 {
-				return nil, fmt.Errorf("run: negative retries %d", r)
+			if r < 0 && rd.err == nil {
+				return nil, perr(res, "run.retries", "run: negative retries %d", r)
 			}
 			if r == 0 {
 				sc.Retries = -1 // explicit zero: no retries (0 means "default")
@@ -275,23 +249,23 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 		}
 		if _, set := rm["backoff_ms"]; set {
 			ms := rd.int("backoff_ms", 0)
-			if ms < 0 {
-				return nil, fmt.Errorf("run: negative backoff_ms %d", ms)
+			if ms < 0 && rd.err == nil {
+				return nil, perr(res, "run.backoff_ms", "run: negative backoff_ms %d", ms)
 			}
 			sc.Backoff = time.Duration(ms) * time.Millisecond
 		}
 		sc.Cache = rd.boolean("cache", false)
 		rd.allowOnly("deadline_ms", "retries", "backoff_ms", "cache")
 		if rd.err != nil {
-			return nil, fmt.Errorf("run: %w", rd.err)
+			return nil, rd.err
 		}
 	}
 	if fv, ok := raw["faults"]; ok {
 		fm, ok := fv.(map[string]any)
 		if !ok {
-			return nil, fmt.Errorf("faults must be a table/object")
+			return nil, perr(res, "faults", "faults must be a table/object")
 		}
-		fd := decoder{raw: fm}
+		fd := decoder{raw: fm, res: res, prefix: "faults"}
 		for _, t := range fd.intList("retry_timeout", "retry_timeouts") {
 			sc.RetryTimeouts = append(sc.RetryTimeouts, sim.Cycle(t))
 		}
@@ -302,39 +276,44 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 		fd.allowOnly("link", "router", "retry_timeout", "retry_timeouts",
 			"max_retries", "watchdog_cycles")
 		if fd.err != nil {
-			return nil, fmt.Errorf("faults: %w", fd.err)
+			return nil, fd.err
 		}
-		windows, err := faultWindows(fm)
+		windows, err := faultWindows(fm, res)
 		if err != nil {
 			return nil, err
 		}
 		sc.FaultWindows = windows
 	}
+	topoKey := "topology"
+	if _, ok := raw["topologies"]; ok {
+		topoKey = "topologies"
+	}
 	for _, name := range d.strList("topology", "topologies") {
 		kinds, err := topologyByName(name)
 		if err != nil {
-			return nil, err
+			return nil, locate(res, topoKey, err)
 		}
 		sc.Topologies = append(sc.Topologies, kinds...)
 	}
 	for _, name := range d.strList("qos", "") {
 		modes, err := modeByName(name)
 		if err != nil {
-			return nil, err
+			return nil, locate(res, "qos", err)
 		}
 		sc.Modes = append(sc.Modes, modes...)
 	}
 	if fl, ok := raw["flows"]; ok {
 		list, ok := fl.([]any)
 		if !ok {
-			return nil, fmt.Errorf("flows must be a list")
+			return nil, perr(res, "flows", "flows must be a list")
 		}
 		for i, el := range list {
+			epath := fmt.Sprintf("flows[%d]", i)
 			fm, ok := el.(map[string]any)
 			if !ok {
-				return nil, fmt.Errorf("flows[%d] must be a table/object", i)
+				return nil, perr(res, epath, "%s must be a table/object", epath)
 			}
-			fd := decoder{raw: fm}
+			fd := decoder{raw: fm, res: res, prefix: epath}
 			f := FlowSpec{
 				Node:     fd.int("node", 0),
 				Injector: fd.int("injector", 0),
@@ -347,7 +326,7 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 				f.Dest = int(traffic.HotspotNode)
 			case string:
 				if dv != "hotspot" {
-					return nil, fmt.Errorf("flows[%d]: dest %q (want a node index or \"hotspot\")", i, dv)
+					return nil, perr(res, epath+".dest", "%s: dest %q (want a node index or \"hotspot\")", epath, dv)
 				}
 				f.Dest = int(traffic.HotspotNode)
 			default:
@@ -355,7 +334,7 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 			}
 			fd.allowOnly("node", "injector", "rate", "dest", "stop_at", "role")
 			if fd.err != nil {
-				return nil, fmt.Errorf("flows[%d]: %w", i, fd.err)
+				return nil, fd.err
 			}
 			sc.Flows = append(sc.Flows, f)
 		}
@@ -370,7 +349,7 @@ func fromRaw(raw map[string]any) (*Scenario, error) {
 // into fault windows: link entries name a dense output-port index and
 // default to transient (permanent = true kills the port for good), router
 // entries name a node whose every output stalls for the window.
-func faultWindows(fm map[string]any) ([]noc.FaultWindow, error) {
+func faultWindows(fm map[string]any, res *Resolution) ([]noc.FaultWindow, error) {
 	var out []noc.FaultWindow
 	decode := func(key string, kind noc.FaultKind) error {
 		lv, ok := fm[key]
@@ -379,14 +358,15 @@ func faultWindows(fm map[string]any) ([]noc.FaultWindow, error) {
 		}
 		list, ok := lv.([]any)
 		if !ok {
-			return fmt.Errorf("faults.%s must be a list of tables ([[faults.%s]])", key, key)
+			return perr(res, "faults."+key, "faults.%s must be a list of tables ([[faults.%s]])", key, key)
 		}
 		for i, el := range list {
+			epath := fmt.Sprintf("faults.%s[%d]", key, i)
 			wm, ok := el.(map[string]any)
 			if !ok {
-				return fmt.Errorf("faults.%s[%d] must be a table/object", key, i)
+				return perr(res, epath, "%s must be a table/object", epath)
 			}
-			wd := decoder{raw: wm}
+			wd := decoder{raw: wm, res: res, prefix: epath}
 			w := noc.FaultWindow{
 				Kind:  kind,
 				From:  sim.Cycle(wd.int("from", 0)),
@@ -403,7 +383,7 @@ func faultWindows(fm map[string]any) ([]noc.FaultWindow, error) {
 				wd.allowOnly("port", "from", "until", "permanent")
 			}
 			if wd.err != nil {
-				return fmt.Errorf("faults.%s[%d]: %w", key, i, wd.err)
+				return wd.err
 			}
 			out = append(out, w)
 		}

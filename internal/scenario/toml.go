@@ -8,17 +8,27 @@ import (
 
 // parseTOML parses the TOML subset scenario files use into the same
 // map[string]any shape encoding/json produces, so one decoder serves both
-// formats. Supported: `key = value` pairs, `[table]` headers, `[[array]]`
-// array-of-tables headers — including one dotted level, `[[parent.child]]`,
-// which appends to a list inside the parent table — `#` comments, and
-// values that are basic strings ("..."), integers, floats, booleans, or
-// single-line arrays of those. Unsupported TOML (dotted keys in key/value
-// position, multi-line strings, dates, inline tables, deeper nesting) is
-// rejected with a line-numbered error rather than misread. Numbers decode
-// to float64, like JSON.
+// formats. Supported: `key = value` pairs, `[table]` headers — including
+// dotted paths, `[profiles.quick]` — `[[array]]` array-of-tables headers
+// with one dotted level (`[[parent.child]]` appends to a list inside the
+// parent table), `#` comments, and values that are basic strings ("..."),
+// integers, floats, booleans, or single-line arrays of those. Unsupported
+// TOML (dotted keys in key/value position, multi-line strings, dates,
+// inline tables) is rejected with a line-numbered error rather than
+// misread. Numbers decode to float64, like JSON.
 func parseTOML(src string) (map[string]any, error) {
+	m, _, err := parseTOMLLines(src)
+	return m, err
+}
+
+// parseTOMLLines is parseTOML plus a source map: for every key it sets,
+// the 1-based line of the dotted path ("faults.link[1].port"). The
+// resolver threads these lines into per-key provenance.
+func parseTOMLLines(src string) (map[string]any, map[string]int, error) {
 	root := map[string]any{}
-	cur := root
+	lines := map[string]int{}
+	defined := map[string]bool{}
+	cur, curPath := root, ""
 	for ln, raw := range strings.Split(src, "\n") {
 		line := stripComment(raw)
 		line = strings.TrimSpace(line)
@@ -29,10 +39,10 @@ func parseTOML(src string) (map[string]any, error) {
 		case strings.HasPrefix(line, "[["):
 			name, ok := strings.CutSuffix(strings.TrimPrefix(line, "[["), "]]")
 			name = strings.TrimSpace(name)
-			parent := root
+			parent, parentPath := root, ""
 			if head, rest, dotted := strings.Cut(name, "."); ok && dotted {
 				if !validKey(head) || !validKey(rest) {
-					return nil, tomlErr(ln, "malformed array-of-tables header %q (one dotted level supported)", line)
+					return nil, nil, tomlErr(ln, "malformed array-of-tables header %q (one dotted level supported)", line)
 				}
 				sub, exists := root[head]
 				if !exists {
@@ -41,53 +51,80 @@ func parseTOML(src string) (map[string]any, error) {
 				}
 				m, isTable := sub.(map[string]any)
 				if !isTable {
-					return nil, tomlErr(ln, "key %q redefined as a table by %q", head, line)
+					return nil, nil, tomlErr(ln, "key %q redefined as a table by %q", head, line)
 				}
-				parent, name = m, rest
+				parent, parentPath, name = m, head, rest
 			}
 			if !ok || !validKey(name) {
-				return nil, tomlErr(ln, "malformed array-of-tables header %q", line)
+				return nil, nil, tomlErr(ln, "malformed array-of-tables header %q", line)
 			}
 			t := map[string]any{}
 			arr, _ := parent[name].([]any)
 			if _, exists := parent[name]; exists && arr == nil {
-				return nil, tomlErr(ln, "key %q redefined as array of tables", name)
+				return nil, nil, tomlErr(ln, "key %q redefined as array of tables", name)
 			}
+			curPath = joinPath(parentPath, fmt.Sprintf("%s[%d]", name, len(arr)))
 			parent[name] = append(arr, any(t))
 			cur = t
+			lines[curPath] = ln + 1
 		case strings.HasPrefix(line, "["):
 			name, ok := strings.CutSuffix(strings.TrimPrefix(line, "["), "]")
 			name = strings.TrimSpace(name)
-			if !ok || !validKey(name) {
-				return nil, tomlErr(ln, "malformed table header %q", line)
+			if !ok || name == "" {
+				return nil, nil, tomlErr(ln, "malformed table header %q", line)
 			}
-			if _, exists := root[name]; exists {
-				return nil, tomlErr(ln, "table %q redefined", name)
+			node, path := root, ""
+			segs := strings.Split(name, ".")
+			for i, seg := range segs {
+				if !validKey(seg) {
+					return nil, nil, tomlErr(ln, "malformed table header %q", line)
+				}
+				path = joinPath(path, seg)
+				ex, exists := node[seg]
+				if !exists {
+					m := map[string]any{}
+					node[seg] = m
+					node = m
+					continue
+				}
+				m, isTable := ex.(map[string]any)
+				if !isTable {
+					return nil, nil, tomlErr(ln, "key %q redefined as a table", path)
+				}
+				if i == len(segs)-1 && defined[path] {
+					return nil, nil, tomlErr(ln, "table %q redefined", path)
+				}
+				node = m
 			}
-			t := map[string]any{}
-			root[name] = t
-			cur = t
+			defined[path] = true
+			cur, curPath = node, path
+			if lines[path] == 0 {
+				lines[path] = ln + 1
+			}
 		default:
 			key, rest, ok := strings.Cut(line, "=")
 			key = strings.TrimSpace(key)
 			if !ok || !validKey(key) {
-				return nil, tomlErr(ln, "expected `key = value`, got %q", line)
+				return nil, nil, tomlErr(ln, "expected `key = value`, got %q", line)
 			}
 			if _, exists := cur[key]; exists {
-				return nil, tomlErr(ln, "key %q redefined", key)
+				return nil, nil, tomlErr(ln, "key %q redefined", key)
 			}
 			v, err := parseTOMLValue(strings.TrimSpace(rest), ln)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			cur[key] = v
+			lines[joinPath(curPath, key)] = ln + 1
 		}
 	}
-	return root, nil
+	return root, lines, nil
 }
 
+// tomlErr is a line-numbered ParseError; the loading layer fills in the
+// file path.
 func tomlErr(line int, format string, args ...any) error {
-	return fmt.Errorf("toml line %d: %s", line+1, fmt.Sprintf(format, args...))
+	return &ParseError{Line: line + 1, Err: fmt.Errorf(format, args...)}
 }
 
 // stripComment removes a trailing # comment, respecting quoted strings.
