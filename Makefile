@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
 
-.PHONY: build test vet lint race determinism audit sweep-smoke trace-smoke fuzz-smoke resume-smoke bench bench-json
+.PHONY: build test vet lint race determinism audit sweep-smoke trace-smoke fuzz-smoke resume-smoke ensemble-smoke bench bench-json
 
 # The engine version stamp: embedded in `noctool version`, cache keys,
 # BENCH_*.json and v2 trace headers, so results name the engine that made
@@ -55,8 +55,9 @@ audit:
 # fault-injection degradation sweep (CI's sweep step). The layered block
 # then gates the resolver itself: -explain provenance against a committed
 # golden, a profiled run against its hand-flattened equivalent
-# (byte-identical CSV), and cache transparency (the profiled run against
-# the warm cache the flat run filled must execute zero cells).
+# (byte-identical CSV modulo the wall-clock columns), and cache
+# transparency (the profiled run against the warm cache the flat run
+# filled must execute zero cells).
 sweep-smoke:
 	go run ./cmd/noctool sweep -quick examples/sweep/fig4-quick.json
 	go run ./cmd/noctool sweep examples/sweep/patterns.toml
@@ -69,7 +70,9 @@ sweep-smoke:
 	rm -rf /tmp/tanoq-layered-cache
 	go run ./cmd/noctool sweep -csv -cache -cache-dir /tmp/tanoq-layered-cache examples/sweep/layered-flat.toml > /tmp/tanoq-layered-flat.csv
 	go run ./cmd/noctool sweep -csv -cache -cache-dir /tmp/tanoq-layered-cache examples/sweep/layered.toml#quick > /tmp/tanoq-layered-prof.csv 2> /tmp/tanoq-layered-prof.err
-	diff /tmp/tanoq-layered-flat.csv /tmp/tanoq-layered-prof.csv
+	cut -d, --complement -f28,29 /tmp/tanoq-layered-flat.csv > /tmp/tanoq-layered-flat.cut
+	cut -d, --complement -f28,29 /tmp/tanoq-layered-prof.csv > /tmp/tanoq-layered-prof.cut
+	diff /tmp/tanoq-layered-flat.cut /tmp/tanoq-layered-prof.cut
 	grep 'executed 0' /tmp/tanoq-layered-prof.err
 	@echo "sweep-smoke: profile matched its hand-flattened file byte-identically; warm cache executed zero cells"
 
@@ -89,7 +92,8 @@ trace-smoke:
 # uninterrupted for reference, SIGINT a cached sequential run mid-grid
 # (finished cells checkpoint to the content-addressed store as they
 # land), resume with -resume and require the resumed table to diff
-# bit-identical against the reference, then re-run fully cached with
+# bit-identical against the reference (modulo the wall-clock columns,
+# which record each run's own elapsed time), then re-run fully cached with
 # verification and grep the "executed 0" accounting line — a warm cache
 # runs zero simulations. The kill is timing-tolerant by construction:
 # wherever the signal lands, the resumed output must still match.
@@ -101,10 +105,31 @@ resume-smoke:
 	  pid=$$!; sleep 2; kill -INT $$pid 2>/dev/null; wait $$pid ) || true
 	@echo "resume-smoke: interrupted run said:"; tail -n 2 /tmp/tanoq-resume-int.err
 	/tmp/tanoq-resume-noctool sweep -csv -resume -cache-dir /tmp/tanoq-resume-cache examples/sweep/resume-smoke.toml > /tmp/tanoq-resume-res.csv 2> /tmp/tanoq-resume-res.err
-	diff /tmp/tanoq-resume-ref.csv /tmp/tanoq-resume-res.csv
+	cut -d, --complement -f28,29 /tmp/tanoq-resume-ref.csv > /tmp/tanoq-resume-ref.cut
+	cut -d, --complement -f28,29 /tmp/tanoq-resume-res.csv > /tmp/tanoq-resume-res.cut
+	diff /tmp/tanoq-resume-ref.cut /tmp/tanoq-resume-res.cut
 	/tmp/tanoq-resume-noctool sweep -csv -resume -cache-dir /tmp/tanoq-resume-cache -cache-verify 2 examples/sweep/resume-smoke.toml > /dev/null 2> /tmp/tanoq-resume-full.err
 	grep 'executed 0' /tmp/tanoq-resume-full.err
 	@echo "resume-smoke: interrupted sweep resumed bit-identically; warm cache executed zero cells"
+
+# ensemble-smoke proves seed-axis batching is purely an execution
+# strategy: the same grid swept cell by cell and with -lanes 4 must
+# produce byte-identical CSVs once the wall-clock columns (28–29, the
+# only legitimately non-deterministic ones) are cut, the grouped run
+# must report its grouping on stderr ("N groups, 4 lanes"), and the warm
+# cache the grouped run filled must serve an ungrouped -resume with zero
+# executions — grouping never touches cache keys.
+ensemble-smoke:
+	rm -rf /tmp/tanoq-ensemble-cache
+	go run ./cmd/noctool sweep -csv examples/sweep/ensemble-smoke.toml > /tmp/tanoq-ens-flat.csv
+	go run ./cmd/noctool sweep -csv -lanes 4 -cache -cache-dir /tmp/tanoq-ensemble-cache examples/sweep/ensemble-smoke.toml > /tmp/tanoq-ens-lanes.csv 2> /tmp/tanoq-ens-lanes.err
+	cut -d, --complement -f28,29 /tmp/tanoq-ens-flat.csv > /tmp/tanoq-ens-flat.cut
+	cut -d, --complement -f28,29 /tmp/tanoq-ens-lanes.csv > /tmp/tanoq-ens-lanes.cut
+	diff /tmp/tanoq-ens-flat.cut /tmp/tanoq-ens-lanes.cut
+	grep 'groups, 4 lanes' /tmp/tanoq-ens-lanes.err
+	go run ./cmd/noctool sweep -csv -resume -cache-dir /tmp/tanoq-ensemble-cache examples/sweep/ensemble-smoke.toml > /dev/null 2> /tmp/tanoq-ens-warm.err
+	grep 'executed 0' /tmp/tanoq-ens-warm.err
+	@echo "ensemble-smoke: grouped sweep matched ungrouped byte-identically; warm cache executed zero cells"
 
 # fuzz-smoke runs the scenario-decoder fuzzer for a short budget (CI's
 # fuzz step); `go test -fuzz FuzzScenarioDecode ./internal/scenario` runs

@@ -24,6 +24,7 @@ type sweepOpts struct {
 	csv     bool
 	outPath string
 	explain bool
+	lanes   int
 
 	cache    bool
 	cacheDir string
@@ -48,6 +49,7 @@ include chain < file < profile < TANOQ_SET_* env < schedule flags <
 	var set multiFlag
 	fs.Var(&set, "set", "top-layer override `key=value` (dotted paths; repeatable)")
 	explain := fs.Bool("explain", false, "print the resolved scenario with per-key provenance instead of running")
+	lanes := fs.Int("lanes", 1, "batch up to N seed-axis cells per ensemble (1 disables grouping; never changes results)")
 	cache := fs.Bool("cache", false, "memoize cell results in the content-addressed store")
 	cacheDir := fs.String("cache-dir", store.DefaultDir, "result store directory")
 	resume := fs.Bool("resume", false, "resume an interrupted sweep from the cache (implies -cache)")
@@ -66,7 +68,7 @@ include chain < file < profile < TANOQ_SET_* env < schedule flags <
 			sim: sim, explicit: explicit, params: sim.params(explicit),
 			profile: *profile, set: set,
 		},
-		csv: *csv, outPath: *out, explain: *explain,
+		csv: *csv, outPath: *out, explain: *explain, lanes: *lanes,
 		cache: *cache, cacheDir: *cacheDir, resume: *resume, verify: *cacheVerify,
 		deadline: *deadline, retries: *retries, backoff: *backoff,
 	})
@@ -136,6 +138,7 @@ func runSweep(pathOrName string, o sweepOpts) error {
 		RunOpts: scenario.RunOpts{
 			Workers:         o.layers.params.Workers,
 			DisableIdleSkip: o.layers.params.DisableIdleSkip,
+			EnsembleLanes:   o.lanes,
 		},
 		Deadline:     sc.Deadline,
 		Retries:      sc.Retries,
@@ -215,6 +218,9 @@ func runSweep(pathOrName string, o sweepOpts) error {
 			}
 			fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", o.outPath)
 		}
+	}
+	if rep.Lanes > 1 {
+		fmt.Fprintf(os.Stderr, "sweep: ensemble: %d groups, %d lanes\n", rep.Groups, rep.Lanes)
 	}
 	if opts.Store != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %d cells: %d cached, executed %d, skipped %d (cache %s)\n",

@@ -26,10 +26,21 @@ type outPort struct {
 	// VCs routed through this port, plus offered source packets.
 	waiters []pktH
 	rr      qos.RoundRobin
-	// inActive marks membership in the network's active-ports list (ports
-	// holding candidates), which Step arbitrates instead of scanning
-	// every port.
-	inActive bool
+	// Inversion-preempt scan memo. While a transfer occupies the port,
+	// tryInversionPreempt would otherwise rescan the same waiters every
+	// cycle — but its verdict depends only on the waiter set (membership,
+	// and every per-packet field read by the scan, all frozen while a
+	// packet stays registered), this port's cached flow priorities
+	// (changed only by grant here, which edits the waiter set, or by a
+	// frame flush) and the frame counter. waitEpoch counts waiter-set
+	// edits; a completed no-victim scan records (epoch, frame) and the
+	// scan is skipped until either moves. A scan that preempts records a
+	// stale epoch (the victim's unregister bumps it), so the next cycle
+	// rescans — preserving the one-victim-per-cycle cadence exactly.
+	waitEpoch uint32
+	scanEpoch uint32
+	scanFrame int32
+	scanValid bool
 }
 
 // bid is one arbitration candidate with its dynamic priority and
@@ -44,11 +55,11 @@ type bid struct {
 }
 
 // register adds a packet to a port's candidate list, activating the port
-// if this is its first candidate. The active-ports list is kept sorted by
-// port ID so that per-cycle arbitration visits ports in the same canonical
-// order as the historical all-ports scan, independent of activation
-// history — which is also what makes idle skipping mechanical (stale list
-// entries can never reorder arbitration).
+// if this is its first candidate. Active ports live in a bitmap over port
+// IDs, so per-cycle arbitration (which fires set bits in ascending order)
+// visits ports in the same canonical order as the historical all-ports
+// scan, independent of activation history — which is also what makes idle
+// skipping mechanical (stale bits can never reorder arbitration).
 func (n *Network) register(p *outPort, h pktH) {
 	w := &n.arena[h]
 	if w.curBuf == noBuf {
@@ -57,6 +68,7 @@ func (n *Network) register(p *outPort, h pktH) {
 		w.state = stWaiting
 	}
 	p.waiters = append(p.waiters, h)
+	p.waitEpoch++
 	n.waiterCount++
 	if n.waiterCount == 1 {
 		// The watchdog's progress clock restarts when the network goes
@@ -64,22 +76,24 @@ func (n *Network) register(p *outPort, h pktH) {
 		// against the first packet to arrive after it.
 		n.lastProgress = n.clock.Now()
 	}
-	if !p.inActive {
-		p.inActive = true
-		n.activePorts = append(n.activePorts, int32(p.id))
-		for i := len(n.activePorts) - 1; i > 0 && n.activePorts[i-1] > int32(p.id); i-- {
-			n.activePorts[i], n.activePorts[i-1] = n.activePorts[i-1], n.activePorts[i]
-		}
-	}
+	n.activeW[int(p.id)>>6] |= 1 << (uint(p.id) & 63)
 }
 
-// unregister removes a packet from a port's candidate list. The port stays
-// on the active list until the next arbitration pass drops it (lazy
+// unregister removes a packet from a port's candidate list. The port's
+// active bit stays set until the next arbitration pass clears it (lazy
 // deactivation keeps removal O(1) here).
 func (n *Network) unregister(p *outPort, h pktH) {
+	if len(p.waiters) == 1 && p.waiters[0] == h {
+		// Sole candidate (the low-load common case): no splice scan.
+		p.waiters = p.waiters[:0]
+		p.waitEpoch++
+		n.waiterCount--
+		return
+	}
 	for i, c := range p.waiters {
 		if c == h {
 			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			p.waitEpoch++
 			n.waiterCount--
 			return
 		}
@@ -128,6 +142,34 @@ func (n *Network) arbitrate(port *outPort, now sim.Cycle) {
 	// cycle on the engine's single thread, so the buffer is reused
 	// across every allocation round instead of reallocated.
 	prios := port.table.Priorities()
+	if len(port.waiters) == 1 {
+		// Sole candidate: the bid build and best-of scan are pure
+		// overhead — serve it directly through the same alloc/preempt/
+		// grant sequence the general loop would run.
+		h := port.waiters[0]
+		w := &n.arena[h]
+		leg := &w.legs[w.Hop()]
+		prio := w.Priority
+		if !leg.Intermediate {
+			prio = prios[w.Flow]
+		} else if w.frameStamp != n.frameCount {
+			prio = 0
+		}
+		buf := &n.bufs[leg.In]
+		vcIdx := buf.allocVC(h, w.Reserved)
+		if vcIdx < 0 && n.mode == qos.PVC && !leg.Intermediate {
+			threshold := prio + n.margin*port.table.PriorityStep(w.Flow)
+			if victim := n.findVictim(buf, threshold, prios); victim >= 0 {
+				n.preempt(buf, victim, now)
+				vcIdx = buf.allocVC(h, w.Reserved)
+			}
+		}
+		if vcIdx < 0 {
+			return
+		}
+		n.grant(port, h, leg, buf, vcIdx, prio, now)
+		return
+	}
 	bids := n.bidScratch[:0]
 	for _, h := range port.waiters {
 		w := &n.arena[h]
@@ -228,6 +270,12 @@ func (n *Network) tryInversionPreempt(port *outPort, now sim.Cycle) {
 	if port.table == nil || len(port.waiters) < 2 {
 		return
 	}
+	if port.scanValid && port.scanEpoch == port.waitEpoch && port.scanFrame == n.frameCount {
+		// Nothing the scan reads has changed since it last found no
+		// victim — rescanning would reproduce the same verdict.
+		return
+	}
+	port.scanValid, port.scanEpoch, port.scanFrame = true, port.waitEpoch, n.frameCount
 	prios := port.table.Priorities()
 	bestPrio := noc.WorstPriority
 	worstPrio := noc.Priority(0)
@@ -324,23 +372,23 @@ func (n *Network) grant(port *outPort, h pktH, leg *topology.Leg, buf *inBuf, vc
 		// crosses back to its allocator.
 		rel := tailDep + sim.Cycle(w.creditDelay)
 		cb := &n.bufs[w.curBuf]
-		n.schedule(&event{kind: evRelease, buf: w.curBuf, vc: int16(w.curVC), gen: cb.gen(w.curVC)}, rel, now)
+		n.scheduleRelease(w.curBuf, int16(w.curVC), cb.gen(w.curVC), rel, now)
 		w.curBuf, w.curVC = noBuf, -1
 	}
 	w.state = stMoving
 
 	if leg.Final {
-		n.schedule(&event{kind: evDeliver, p: h, pgen: w.gen, attempt: int32(w.Retransmits)}, tailArr, now)
+		n.scheduleDeliver(h, w.gen, int32(w.Retransmits), tailArr, now)
 		// The terminal consumes the ejection buffer at link rate, so
 		// its credit loop is local to the destination router: the VC
 		// recycles one cycle behind the port cadence, letting the two
 		// ejection VCs sustain a full flit per cycle even for streams
 		// of single-flit packets (the paper's saturated hotspot runs
 		// the terminal port at ~100%).
-		n.schedule(&event{kind: evRelease, buf: int32(buf.id), vc: int16(vcIdx), gen: buf.gen(vcIdx)},
+		n.scheduleRelease(int32(buf.id), int16(vcIdx), buf.gen(vcIdx),
 			now+sim.Cycle(w.Size)+1, now)
 	} else {
-		n.schedule(&event{kind: evHead, p: h, pgen: w.gen, attempt: int32(w.Retransmits)}, headArr, now)
+		n.scheduleHead(h, w.gen, int32(w.Retransmits), headArr, now)
 	}
 }
 

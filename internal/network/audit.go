@@ -107,6 +107,23 @@ func (n *Network) AuditInvariants() error {
 			}
 		}
 	})
+	// Near-future releases ride the dedicated release wheel rather than
+	// the event ring; they justify draining VCs all the same.
+	for bi := range n.relw.buckets {
+		for _, rec := range n.relw.buckets[bi] {
+			pendingRel[relKey{rec.buf, rec.vc, rec.gen}] = true
+		}
+	}
+	// Likewise heads, delivers and ACKs on their wheels anchor live slots.
+	for _, w := range []*pktWheel{&n.headw, &n.delivw, &n.ackw} {
+		for bi := range w.buckets {
+			for _, rec := range w.buckets[bi] {
+				if rec.p != noPkt && int(rec.p) < len(n.arena) && n.arena[rec.p].gen == rec.pgen {
+					pktEvents[rec.p] = true
+				}
+			}
+		}
+	}
 	if sys != n.sysEvents {
 		return fmt.Errorf("sysEvents says %d bookkeeping events pending, ring holds %d", n.sysEvents, sys)
 	}
@@ -185,8 +202,8 @@ func (n *Network) AuditInvariants() error {
 	for pi := range n.ports {
 		port := &n.ports[pi]
 		waiters += len(port.waiters)
-		if len(port.waiters) > 0 && !port.inActive {
-			return fmt.Errorf("port %d (%s) holds %d waiters but is not on the active list", pi, port.spec.Name, len(port.waiters))
+		if len(port.waiters) > 0 && n.activeW[pi>>6]&(1<<(uint(pi)&63)) == 0 {
+			return fmt.Errorf("port %d (%s) holds %d waiters but its active bit is clear", pi, port.spec.Name, len(port.waiters))
 		}
 		for _, h := range port.waiters {
 			if int(h) >= len(n.arena) || isFree[h] {

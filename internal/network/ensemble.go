@@ -1,0 +1,158 @@
+package network
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ensemble batches the seed axis of a sweep: K lanes of engine state —
+// one full Network per lane, identical configurations except for the
+// seed — advanced together through bounded-horizon rounds. Sweep grids
+// are dominated by cells that differ only in Config.Seed, and running
+// them as lanes of one ensemble amortizes everything the seed cannot
+// touch: the lanes share one immutable topology graph (routing tables,
+// port specs, channel geometry), and the round-robin keeps the engine's
+// code and the shared read-only tables hot in cache across lanes instead
+// of faulting them back in once per cell.
+//
+// Bit-identity is the contract that makes batching safe to apply
+// anywhere: each lane is a complete, private Network whose only link to
+// its siblings is the shared immutable graph, so lane i's simulation is
+// exactly the standalone simulation of its configuration — same
+// fingerprint, cycle for cycle, for every K and every round length
+// (TestEnsembleMatchesStandalone pins the matrix). Run advances each
+// lane through its own engine loop, quantum by quantum, so per-lane
+// idle-skip fast-forwarding applies inside every round exactly as it
+// would standalone: a lane whose next wake lies beyond the round
+// boundary crosses the whole round in one clock advance.
+//
+// An Ensemble is not safe for concurrent use; sweep workers own one
+// ensemble per slot, the same discipline as their per-slot Network.
+type Ensemble struct {
+	lanes []*Network
+}
+
+// ensembleQuantum is the round length in cycles: how far each lane runs
+// before the round-robin moves on. Long enough that per-lane loop
+// overhead vanishes and idle-skip has room to leap, short enough that
+// the lanes' working sets revisit the shared tables while they are
+// still cached.
+const ensembleQuantum = 4096
+
+// NewEnsemble builds one lane per configuration. All configurations
+// must describe the same simulation except for Seed (same topology,
+// QoS, workload and schedule); the seed axis is the one thing a lane
+// owns alone.
+func NewEnsemble(cfgs []Config) (*Ensemble, error) {
+	e := &Ensemble{}
+	if err := e.Reset(cfgs); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset re-targets the ensemble to a new batch of configurations,
+// reusing every lane's backing allocations exactly as Network.Reset
+// does — a sweep slot runs its whole sequence of ensemble cells on K
+// lane allocations. Lane count may change between Resets; a shrinking
+// batch trims the live lane set (surplus lane allocations stay in the
+// slice's backing array for the next wider batch, but are never driven
+// again — their collectors now belong to harvested results). Like
+// Network.Reset, a reset lane is bit-identical to a freshly built one.
+func (e *Ensemble) Reset(cfgs []Config) error {
+	if len(cfgs) == 0 {
+		return fmt.Errorf("network: ensemble needs at least one configuration")
+	}
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].Kind != cfgs[0].Kind || cfgs[i].Nodes != cfgs[0].Nodes {
+			return fmt.Errorf("network: ensemble lane %d is a %v/%d-node cell, lane 0 is %v/%d: lanes may differ only by seed",
+				i, cfgs[i].Kind, cfgs[i].Nodes, cfgs[0].Kind, cfgs[0].Nodes)
+		}
+	}
+	if len(cfgs) <= cap(e.lanes) {
+		e.lanes = e.lanes[:len(cfgs)]
+	} else {
+		e.lanes = append(e.lanes[:cap(e.lanes)], make([]*Network, len(cfgs)-cap(e.lanes))...)
+	}
+	for i := range e.lanes {
+		if e.lanes[i] == nil {
+			e.lanes[i] = &Network{}
+		}
+	}
+	for i, cfg := range cfgs {
+		if i > 0 {
+			// Share lane 0's immutable graph: Reset keeps a graph whose
+			// kind and node count already match, so pre-seeding the field
+			// makes every lane route off one table set. Lane 0 resets
+			// first, so its graph is current for this batch.
+			e.lanes[i].graph = e.lanes[0].graph
+		}
+		if err := e.lanes[i].Reset(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lanes returns the number of lanes of the current batch.
+func (e *Ensemble) Lanes() int { return len(e.lanes) }
+
+// Lane returns lane i's network — for per-lane Setup attachments, stats
+// harvesting and abort wiring. The returned network belongs to the
+// ensemble; drive the simulation through Run, not Network.Run, or the
+// lanes' clocks fall out of lockstep.
+func (e *Ensemble) Lane(i int) *Network { return e.lanes[i] }
+
+// SetAbort arms every lane with the same cooperative abort flag: one
+// deadline covers the batch, and the first lane to reach a cycle
+// boundary after the flag trips panics with AbortError exactly like a
+// standalone abort (the runner falls back to standalone execution, so
+// per-cell deadline semantics are preserved — see runner.RunCellsCtx).
+func (e *Ensemble) SetAbort(flag *atomic.Bool) {
+	for _, n := range e.lanes {
+		n.SetAbort(flag)
+	}
+}
+
+// Run advances every lane by the given number of cycles, in rounds of
+// at most ensembleQuantum cycles per lane. Within a round each lane
+// runs its own engine loop with its own idle-skip horizon; a chunked
+// Network.Run is state-identical to an unchunked one (fast-forwards
+// clamp to the chunk boundary and skipped cycles execute nothing), so
+// every lane finishes bit-identical to a standalone Run(cycles).
+func (e *Ensemble) Run(cycles int) {
+	for cycles > 0 {
+		q := ensembleQuantum
+		if q > cycles {
+			q = cycles
+		}
+		for _, n := range e.lanes {
+			n.Run(q)
+		}
+		cycles -= q
+	}
+}
+
+// StepAll advances every lane by exactly one cycle — the lockstep pass
+// the allocation and equivalence tests pin (a warm ensemble's combined
+// pass allocates nothing).
+func (e *Ensemble) StepAll() {
+	for _, n := range e.lanes {
+		n.Step()
+	}
+}
+
+// WarmupAndMeasure mirrors Network.WarmupAndMeasure across the batch:
+// warmup with every lane's measurement paused, collector resets at the
+// warmup boundary (every lane's clock lands on exactly the same cycle),
+// then the measurement window.
+func (e *Ensemble) WarmupAndMeasure(warmup, measure int) {
+	for _, n := range e.lanes {
+		n.coll.Pause()
+	}
+	e.Run(warmup)
+	for _, n := range e.lanes {
+		n.coll.Reset(n.clock.Now())
+	}
+	e.Run(measure)
+}

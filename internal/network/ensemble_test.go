@@ -1,0 +1,218 @@
+package network
+
+import (
+	"testing"
+
+	"tanoq/internal/qos"
+	"tanoq/internal/sim"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// ensembleCfg builds one lane configuration of the equivalence matrix.
+func ensembleCfg(kind topology.Kind, mode qos.Mode, seed uint64, disableSkip bool) Config {
+	w := traffic.UniformRandom(topology.ColumnNodes, 0.02).WithStop(9_000)
+	qc := qos.DefaultConfig(w.TotalFlows())
+	qc.Mode = mode
+	return Config{Kind: kind, QoS: qc, Workload: w, Seed: seed, DisableIdleSkip: disableSkip}
+}
+
+// TestEnsembleMatchesStandalone is the batching contract's equivalence
+// matrix: across every topology, every QoS mode, idle skipping on and
+// off, and lane counts 1, 2, 4 and 8, every lane of an ensemble must
+// finish with exactly its standalone engine's fingerprint. The
+// standalone references are computed once per (topology, mode, skip)
+// point and shared across the K axis, so a divergence pins both the
+// lane and the batch shape that produced it.
+func TestEnsembleMatchesStandalone(t *testing.T) {
+	const maxLanes = 8
+	seeds := make([]uint64, maxLanes)
+	for i := range seeds {
+		seeds[i] = 100 + uint64(i)
+	}
+	for _, kind := range topology.Kinds() {
+		for _, mode := range []qos.Mode{qos.PVC, qos.PerFlowQueue, qos.NoQoS} {
+			for _, disableSkip := range []bool{false, true} {
+				name := kind.String() + "/" + mode.String() + "/skip"
+				if disableSkip {
+					name = kind.String() + "/" + mode.String() + "/ticked"
+				}
+				t.Run(name, func(t *testing.T) {
+					want := make([]skipFingerprint, maxLanes)
+					for i, seed := range seeds {
+						n := MustNew(ensembleCfg(kind, mode, seed, disableSkip))
+						n.WarmupAndMeasure(2_000, 4_000)
+						want[i] = fingerprint(n)
+						want[i].flitsByFlow = n.Stats().FlitsByFlow()
+					}
+					for _, k := range []int{1, 2, 4, 8} {
+						cfgs := make([]Config, k)
+						for i := range cfgs {
+							cfgs[i] = ensembleCfg(kind, mode, seeds[i], disableSkip)
+						}
+						e, err := NewEnsemble(cfgs)
+						if err != nil {
+							t.Fatal(err)
+						}
+						e.WarmupAndMeasure(2_000, 4_000)
+						for i := 0; i < k; i++ {
+							got := fingerprint(e.Lane(i))
+							got.flitsByFlow = e.Lane(i).Stats().FlitsByFlow()
+							if !equalFingerprints(got, want[i]) {
+								t.Errorf("K=%d lane %d diverged from standalone:\nlane:       %+v\nstandalone: %+v", k, i, got, want[i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEnsembleMixedLaneDrain pins lane isolation under maximally uneven
+// load: one lane saturated the whole run, one lane that stops injecting
+// early and spends most of the run idle. The idle lane's skip horizon
+// must leap its own dead cycles (quantum by quantum) without being
+// dragged forward or held back by its busy sibling — both lanes finish
+// bit-identical to standalone runs of the same cells.
+func TestEnsembleMixedLaneDrain(t *testing.T) {
+	mkCfg := func(rate float64, stop sim.Cycle) Config {
+		w := traffic.UniformRandom(topology.ColumnNodes, rate)
+		if stop > 0 {
+			w = w.WithStop(stop)
+		}
+		return Config{Kind: topology.MeshX2, QoS: qos.DefaultConfig(w.TotalFlows()), Workload: w, Seed: 9}
+	}
+	cfgs := []Config{
+		mkCfg(0.30, 0),     // saturated: arbitration pressure every cycle
+		mkCfg(0.01, 3_000), // drains early, then idles for ~90% of the run
+	}
+	want := make([]skipFingerprint, len(cfgs))
+	for i, cfg := range cfgs {
+		n := MustNew(cfg)
+		n.WarmupAndMeasure(5_000, 25_000)
+		want[i] = fingerprint(n)
+		want[i].flitsByFlow = n.Stats().FlitsByFlow()
+	}
+	e, err := NewEnsemble(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.WarmupAndMeasure(5_000, 25_000)
+	for i := range cfgs {
+		got := fingerprint(e.Lane(i))
+		got.flitsByFlow = e.Lane(i).Stats().FlitsByFlow()
+		if !equalFingerprints(got, want[i]) {
+			t.Errorf("lane %d diverged from standalone:\nlane:       %+v\nstandalone: %+v", i, got, want[i])
+		}
+	}
+	if e.Lane(1).InFlight() != 0 {
+		t.Errorf("idle lane still holds %d packets in flight", e.Lane(1).InFlight())
+	}
+}
+
+// TestEnsembleResetReuse pins the sweep slot's reuse contract: an
+// ensemble reset to a new batch — different topology, different lane
+// count — produces lanes bit-identical to a freshly built ensemble,
+// exactly as Network.Reset does for a single cell.
+func TestEnsembleResetReuse(t *testing.T) {
+	first := []Config{
+		ensembleCfg(topology.MECS, qos.PVC, 1, false),
+		ensembleCfg(topology.MECS, qos.PVC, 2, false),
+		ensembleCfg(topology.MECS, qos.PVC, 3, false),
+	}
+	second := []Config{
+		ensembleCfg(topology.MeshX4, qos.NoQoS, 11, false),
+		ensembleCfg(topology.MeshX4, qos.NoQoS, 12, false),
+	}
+	dirty, err := NewEnsemble(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty.WarmupAndMeasure(2_000, 4_000)
+	if err := dirty.Reset(second); err != nil {
+		t.Fatal(err)
+	}
+	dirty.WarmupAndMeasure(2_000, 4_000)
+
+	fresh, err := NewEnsemble(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.WarmupAndMeasure(2_000, 4_000)
+	for i := range second {
+		got := fingerprint(dirty.Lane(i))
+		got.flitsByFlow = dirty.Lane(i).Stats().FlitsByFlow()
+		want := fingerprint(fresh.Lane(i))
+		want.flitsByFlow = fresh.Lane(i).Stats().FlitsByFlow()
+		if !equalFingerprints(got, want) {
+			t.Errorf("reused lane %d diverged from fresh build:\nreused: %+v\nfresh:  %+v", i, got, want)
+		}
+	}
+}
+
+// TestEnsembleRejectsMixedTopology pins the batching precondition: lanes
+// may differ only by seed, so a batch mixing topologies is refused.
+func TestEnsembleRejectsMixedTopology(t *testing.T) {
+	_, err := NewEnsemble([]Config{
+		ensembleCfg(topology.MECS, qos.PVC, 1, false),
+		ensembleCfg(topology.MeshX1, qos.PVC, 2, false),
+	})
+	if err == nil {
+		t.Fatal("mixed-topology ensemble was accepted")
+	}
+	if _, err := NewEnsemble(nil); err == nil {
+		t.Fatal("empty ensemble was accepted")
+	}
+}
+
+// TestEnsembleLanesShareGraph pins what makes batching cheap: every lane
+// routes off lane 0's topology graph (one immutable table set per
+// batch), across builds and Resets alike.
+func TestEnsembleLanesShareGraph(t *testing.T) {
+	cfgs := []Config{
+		ensembleCfg(topology.DPS, qos.PVC, 1, false),
+		ensembleCfg(topology.DPS, qos.PVC, 2, false),
+		ensembleCfg(topology.DPS, qos.PVC, 3, false),
+	}
+	e, err := NewEnsemble(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < e.Lanes(); i++ {
+		if e.Lane(i).Graph() != e.Lane(0).Graph() {
+			t.Fatalf("lane %d built its own graph", i)
+		}
+	}
+	if err := e.Reset(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < e.Lanes(); i++ {
+		if e.Lane(i).Graph() != e.Lane(0).Graph() {
+			t.Fatalf("lane %d re-built its own graph after Reset", i)
+		}
+	}
+}
+
+// TestEnsembleStepAllocationFree extends the engine's exact-zero
+// allocation contract to batched execution: at steady state a warm
+// K-lane ensemble's combined lockstep pass allocates nothing, for K > 1.
+func TestEnsembleStepAllocationFree(t *testing.T) {
+	const k = 4
+	cfgs := make([]Config, k)
+	for i := range cfgs {
+		w := traffic.UniformRandom(topology.ColumnNodes, 0.04)
+		cfgs[i] = Config{
+			Kind: topology.MECS, QoS: qos.DefaultConfig(w.TotalFlows()),
+			Workload: w, Seed: 3 + uint64(i),
+		}
+	}
+	e, err := NewEnsemble(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(30_000)
+	if avg := testing.AllocsPerRun(5_000, e.StepAll); avg != 0 {
+		t.Errorf("%v allocs per combined %d-lane step at steady state, want exactly 0", avg, k)
+	}
+}

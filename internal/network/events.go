@@ -189,22 +189,7 @@ func (r *eventRing) nextAt(now sim.Cycle) (sim.Cycle, bool) {
 // ringNext scans the occupancy bitmap for the first non-empty bucket at or
 // after now, wrapping once around the ring.
 func (r *eventRing) ringNext(now sim.Cycle) (sim.Cycle, bool) {
-	start := int(uint64(now) & ringMask)
-	// The partial word holding start covers deltas up to its top bit.
-	if w := r.words[start>>6] >> uint(start&63); w != 0 {
-		return now + sim.Cycle(bits.TrailingZeros64(w)), true
-	}
-	// Whole words after it, wrapping. On the full revolution back to the
-	// start word, any set bit must lie below start (the bits at or above
-	// it were just checked), i.e. at deltas approaching ringSize.
-	for k := 1; k <= ringWords; k++ {
-		wi := (start>>6 + k) & (ringWords - 1)
-		if w := r.words[wi]; w != 0 {
-			idx := wi<<6 + bits.TrailingZeros64(w)
-			return now + sim.Cycle((idx-start)&ringMask), true
-		}
-	}
-	return 0, false
+	return wheelNext(&r.words, now)
 }
 
 // drainFar moves far-future events whose cycle has come within the ring
@@ -318,6 +303,296 @@ func (n *Network) dispatch(ev event, now sim.Cycle) {
 	}
 }
 
+// relRec is one pending virtual-channel release in the release wheel:
+// the (buffer, VC, generation) triple an evRelease would carry, without
+// the 40-byte event envelope. Releases need no sequence stamp because
+// they commute — see relWheel.
+type relRec struct {
+	buf int32
+	gen uint32
+	vc  int16
+}
+
+// relWheel is a dedicated calendar wheel for VC releases, the most
+// frequent event class of the engine (one per hop per packet for the
+// upstream credit loop, plus one per delivery for the ejection VC's
+// drain). Releases are special among events: firing one touches only its
+// own VC's state (owner, free bit, occupancy, generation), which no event
+// handler reads — VC state is consulted only by the arbitration phase,
+// after the whole event phase of the cycle — and two live releases never
+// target the same (buffer, VC, generation). Every release therefore
+// commutes with every other same-cycle occurrence, so the wheel drops the
+// FIFO sequence stamp, the late list and the per-event dispatch switch,
+// firing its whole due bucket with three stores per record. Scheduling
+// outside the wheel's horizon (or at the current cycle, after the event
+// phase already ran) falls back to an ordinary evRelease, preserving the
+// historical semantics exactly where the wheel's assumptions end. Results
+// are bit-identical either way; only the bookkeeping is cheaper.
+type relWheel struct {
+	buckets [ringSize][]relRec
+	words   [ringWords]uint64 // bucket-occupancy bitmap
+	count   int
+}
+
+// reset clears pending releases, keeping bucket backing arrays.
+func (w *relWheel) reset() {
+	for i := range w.buckets {
+		if w.buckets[i] == nil {
+			w.buckets[i] = make([]relRec, 0, bucketCap)
+		}
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	for i := range w.words {
+		w.words[i] = 0
+	}
+	w.count = 0
+}
+
+// add files a release due at cycle at; the caller guarantees
+// 0 < at-now < ringSize.
+func (w *relWheel) add(rec relRec, at sim.Cycle) {
+	idx := int(uint64(at) & ringMask)
+	if len(w.buckets[idx]) == 0 {
+		w.words[idx>>6] |= 1 << uint(idx&63)
+	}
+	w.buckets[idx] = append(w.buckets[idx], rec)
+	w.count++
+}
+
+// dueNow reports whether a release is due at now.
+func (w *relWheel) dueNow(now sim.Cycle) bool {
+	return len(w.buckets[int(uint64(now)&ringMask)]) > 0
+}
+
+// nextAt reports the cycle of the earliest pending release (callers check
+// count first). Same bitmap scan as eventRing.ringNext.
+func (w *relWheel) nextAt(now sim.Cycle) (sim.Cycle, bool) {
+	return wheelNext(&w.words, now)
+}
+
+// wheelNext scans a wheel-occupancy bitmap for the first non-empty bucket
+// at or after now, wrapping once around the ring (the shared core of every
+// calendar wheel's nextAt).
+func wheelNext(words *[ringWords]uint64, now sim.Cycle) (sim.Cycle, bool) {
+	start := int(uint64(now) & ringMask)
+	if v := words[start>>6] >> uint(start&63); v != 0 {
+		return now + sim.Cycle(bits.TrailingZeros64(v)), true
+	}
+	for k := 1; k <= ringWords; k++ {
+		wi := (start>>6 + k) & (ringWords - 1)
+		if v := words[wi]; v != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(v)
+			return now + sim.Cycle((idx-start)&ringMask), true
+		}
+	}
+	return 0, false
+}
+
+// pktRec is one pending packet-timed occurrence — a head arrival, a
+// delivery or an ACK — stripped to the fields its handler needs: the arena
+// handle, the slot generation it was scheduled against (a recycle turns
+// the record into a no-op, exactly like the ring's pgen guard) and the
+// retransmission attempt.
+type pktRec struct {
+	p       pktH
+	pgen    uint32
+	attempt int32
+}
+
+// pktWheel is a calendar wheel for one dense packet-event kind. The engine
+// schedules almost everything a small bounded distance ahead, so the three
+// per-packet event kinds that dominate the ring's traffic — evHead (one
+// per hop), evDeliver and evAck (one each per packet) — get wheels of
+// 12-byte records instead of 40-byte ring events.
+//
+// Ordering is preserved where it is observable:
+//
+//   - Records of the SAME kind fire in schedule order: buckets keep append
+//     order, and every record in a bucket was appended in schedule (seq)
+//     order. Delivery fingerprints — a hash over deliveries in firing
+//     order — are therefore untouched.
+//   - Between a wheel record and a ring event due the same cycle, the ring
+//     fires first (Step runs processEvents before the wheel phases). Ring
+//     residents are either system events scheduled long ago (fault edges,
+//     watchdog checks, retry timers — whose sequence stamps are older than
+//     any wheel-horizon record's, so "ring first" reproduces the dominant
+//     historical order) or far-horizon spills of these same kinds, drained
+//     into the ring before their cycle comes (scheduled earlier than any
+//     same-cycle wheel record by at least the horizon, hence also first in
+//     the historical order).
+//   - Between wheel kinds due the same cycle the engine fixes the phase
+//     order delivers -> ACKs -> heads. The handlers touch disjoint state
+//     (a deliver writes its own packet, statistics and the source window
+//     path; an ACK frees a window slot and recycles an arena slot; a head
+//     appends its own packet to an output port's candidate list), so the
+//     phase order is unobservable except through the arena free-list
+//     order, which it fixes deterministically.
+type pktWheel struct {
+	buckets [ringSize][]pktRec
+	words   [ringWords]uint64 // bucket-occupancy bitmap
+	count   int
+}
+
+// reset clears pending records, keeping bucket backing arrays.
+func (w *pktWheel) reset() {
+	for i := range w.buckets {
+		if w.buckets[i] == nil {
+			w.buckets[i] = make([]pktRec, 0, bucketCap)
+		}
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	for i := range w.words {
+		w.words[i] = 0
+	}
+	w.count = 0
+}
+
+// add files a record due at cycle at; the caller guarantees
+// 0 < at-now < ringSize.
+func (w *pktWheel) add(rec pktRec, at sim.Cycle) {
+	idx := int(uint64(at) & ringMask)
+	if len(w.buckets[idx]) == 0 {
+		w.words[idx>>6] |= 1 << uint(idx&63)
+	}
+	w.buckets[idx] = append(w.buckets[idx], rec)
+	w.count++
+}
+
+// nextAt reports the cycle of the earliest pending record (callers check
+// count first).
+func (w *pktWheel) nextAt(now sim.Cycle) (sim.Cycle, bool) {
+	return wheelNext(&w.words, now)
+}
+
+// scheduleHead enqueues a head-arrival occurrence: the wheel in the common
+// case, an ordinary ring event at the current cycle or past the horizon.
+func (n *Network) scheduleHead(h pktH, pgen uint32, attempt int32, at, now sim.Cycle) {
+	if d := at - now; d > 0 && d < ringSize {
+		n.headw.add(pktRec{p: h, pgen: pgen, attempt: attempt}, at)
+		return
+	}
+	n.schedule(&event{kind: evHead, p: h, pgen: pgen, attempt: attempt}, at, now)
+}
+
+// scheduleDeliver enqueues a delivery occurrence; fallback as scheduleHead.
+func (n *Network) scheduleDeliver(h pktH, pgen uint32, attempt int32, at, now sim.Cycle) {
+	if d := at - now; d > 0 && d < ringSize {
+		n.delivw.add(pktRec{p: h, pgen: pgen, attempt: attempt}, at)
+		return
+	}
+	n.schedule(&event{kind: evDeliver, p: h, pgen: pgen, attempt: attempt}, at, now)
+}
+
+// scheduleAck enqueues an ACK-network arrival. A zero-distance,
+// zero-AckDelay ACK (delta 0) fires inline — it is due this very cycle,
+// and the deliver phase it is scheduled from precedes the ACK phase.
+func (n *Network) scheduleAck(h pktH, pgen uint32, at, now sim.Cycle) {
+	d := at - now
+	if d > 0 && d < ringSize {
+		n.ackw.add(pktRec{p: h, pgen: pgen}, at)
+		return
+	}
+	if d <= 0 {
+		n.onAck(&n.srcs[n.arena[h].srcIdx])
+		n.recycle(h)
+		return
+	}
+	n.schedule(&event{kind: evAck, p: h, pgen: pgen}, at, now)
+}
+
+// fireDelivers completes every delivery due this cycle. A deliver handler
+// schedules only future ACKs (or fires a degenerate zero-delay ACK
+// inline), never another deliver, so the bucket cannot grow while firing.
+func (n *Network) fireDelivers(now sim.Cycle) {
+	w := &n.delivw
+	idx := int(uint64(now) & ringMask)
+	b := w.buckets[idx]
+	if len(b) == 0 {
+		return
+	}
+	for i := 0; i < len(b); i++ {
+		p := &n.arena[b[i].p]
+		if p.gen == b[i].pgen {
+			n.onDeliver(b[i].p, p, int(b[i].attempt), now)
+		}
+	}
+	w.count -= len(b)
+	w.buckets[idx] = b[:0]
+	w.words[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// fireAcks frees the window slot and arena slot of every ACK due this
+// cycle. ACK handlers schedule nothing, so the bucket cannot grow.
+func (n *Network) fireAcks(now sim.Cycle) {
+	w := &n.ackw
+	idx := int(uint64(now) & ringMask)
+	b := w.buckets[idx]
+	if len(b) == 0 {
+		return
+	}
+	for i := 0; i < len(b); i++ {
+		p := &n.arena[b[i].p]
+		if p.gen == b[i].pgen {
+			n.onAck(&n.srcs[p.srcIdx])
+			n.recycle(b[i].p)
+		}
+	}
+	w.count -= len(b)
+	w.buckets[idx] = b[:0]
+	w.words[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// fireHeads registers every head arrival due this cycle. Head handlers
+// schedule nothing (the packet becomes an arbitration candidate; its next
+// occurrence is scheduled at grant), so the bucket cannot grow.
+func (n *Network) fireHeads(now sim.Cycle) {
+	w := &n.headw
+	idx := int(uint64(now) & ringMask)
+	b := w.buckets[idx]
+	if len(b) == 0 {
+		return
+	}
+	for i := 0; i < len(b); i++ {
+		p := &n.arena[b[i].p]
+		if p.gen == b[i].pgen {
+			n.onHeadArrival(b[i].p, p, int(b[i].attempt), now)
+		}
+	}
+	w.count -= len(b)
+	w.buckets[idx] = b[:0]
+	w.words[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// scheduleRelease enqueues a VC release. The near-future common case rides
+// the release wheel; anything at the current cycle or beyond the wheel's
+// horizon falls back to an ordinary evRelease event.
+func (n *Network) scheduleRelease(buf int32, vc int16, gen uint32, at, now sim.Cycle) {
+	if d := at - now; d > 0 && d < ringSize {
+		n.relw.add(relRec{buf: buf, gen: gen, vc: vc}, at)
+		return
+	}
+	n.schedule(&event{kind: evRelease, buf: buf, vc: vc, gen: gen}, at, now)
+}
+
+// fireReleases frees every VC whose release is due this cycle. Called by
+// Step ahead of processEvents; position within the event phase is
+// immaterial because releases commute (see relWheel). A release can never
+// schedule further work, so the bucket cannot grow while firing.
+func (n *Network) fireReleases(now sim.Cycle) {
+	w := &n.relw
+	idx := int(uint64(now) & ringMask)
+	b := w.buckets[idx]
+	if len(b) == 0 {
+		return
+	}
+	for i := range b {
+		n.bufs[b[i].buf].release(int32(b[i].vc), b[i].gen)
+	}
+	w.count -= len(b)
+	w.buckets[idx] = b[:0]
+	w.words[idx>>6] &^= 1 << uint(idx&63)
+}
+
 // eventHeap orders the calendar ring's far-future spillway on
 // (cycle, seq).
 type eventHeap = minHeap[event]
@@ -336,7 +611,7 @@ func (n *Network) onHeadArrival(h pktH, p *pkt, attempt int, now sim.Cycle) {
 	if p.Retransmits != attempt || p.state != stMoving {
 		return // preempted while in flight
 	}
-	leg := p.legs[p.Hop()]
+	leg := &p.legs[p.Hop()]
 	p.curBuf, p.curVC = p.nxtBuf, p.nxtVC
 	p.nxtBuf, p.nxtVC = noBuf, -1
 	p.creditDelay = int32(leg.WireDelay)
@@ -374,10 +649,11 @@ func (n *Network) onDeliver(h pktH, p *pkt, attempt int, now sim.Cycle) {
 	// The ejection VC's release was scheduled at grant time (the
 	// terminal's credit loop runs ahead of the tail's arrival), at
 	// grant+Size+1 — and with every ejection RouterDelay >= 2, this
-	// deliver fires no earlier than that, with the release next in
-	// same-cycle seq order when they coincide. So the VC's ownership is
-	// always cleared before the earliest possible recycle of this
-	// slot (the ACK, scheduled just below with a later seq), and the
+	// deliver fires no earlier than that; when they coincide the
+	// release still wins, because Step runs the release phase before
+	// the deliver phase. So the VC's ownership is always cleared
+	// before the earliest possible recycle of this slot (the ACK,
+	// scheduled just below, fires in a phase after delivers), and the
 	// preemption logic can never price a drained slot off a reused
 	// slot. Do NOT clear the ownership here instead: on MECS the
 	// release fires a cycle before this deliver and the VC may already
@@ -385,7 +661,7 @@ func (n *Network) onDeliver(h pktH, p *pkt, attempt int, now sim.Cycle) {
 	p.nxtBuf, p.nxtVC = noBuf, -1
 	if n.mode == qos.PVC {
 		dist := sim.Cycle(topology.Distance(p.Dst, p.Src))
-		n.schedule(&event{kind: evAck, p: h, pgen: p.gen}, now+dist+n.cfg.QoS.AckDelay, now)
+		n.scheduleAck(h, p.gen, now+dist+n.cfg.QoS.AckDelay, now)
 	} else {
 		n.onAck(&n.srcs[p.srcIdx])
 		n.recycle(h)

@@ -65,6 +65,30 @@
 // Low-load cells of the paper's latency-load sweeps thus cost O(packets),
 // not O(cycles).
 //
+// # Ensemble lockstep execution
+//
+// Sweep grids are dominated by their seed axis: cells identical except
+// for Config.Seed. An Ensemble runs K such cells as lanes of one batch,
+// seed-major — each lane is a complete private Network (its own arena,
+// sources, clock, collector), and the only state lanes share is the
+// immutable topology graph (routing tables, port specs, channel
+// geometry), which the seed cannot touch. The lanes advance in rounds
+// of at most ensembleQuantum cycles, so the engine's code and the
+// shared read-only tables stay hot across lanes instead of faulting
+// back in once per cell.
+//
+// Each lane runs its own engine loop inside every round, which is what
+// preserves the idle-skip semantics per lane: a lane whose next wake
+// lies beyond the round boundary crosses the whole round in one clock
+// advance, exactly as it would standalone, while a busy sibling ticks
+// through the same round cycle by cycle. A chunked Run is
+// state-identical to an unchunked one (fast-forwards clamp to the
+// chunk boundary; skipped cycles execute nothing), so lane i's
+// simulation is bit-for-bit the standalone simulation of its
+// configuration — same fingerprint for every K and every round length
+// (TestEnsembleMatchesStandalone pins the matrix, and the combined
+// lockstep pass stays allocation-free like Step itself).
+//
 // # Workload attachment
 //
 // External workload drivers (internal/workload) attach through three
@@ -82,6 +106,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"tanoq/internal/noc"
@@ -165,12 +190,21 @@ type Network struct {
 	arena []pkt
 	free  []pktH
 
-	// arrivals schedules packet generation: a min-heap of (cycle, source
-	// index) pairs. Step pops only the sources whose arrival cycle has
-	// come, so generation costs O(packets), not O(sources x cycles). A
-	// source leaves the heap for good once its next arrival would land
-	// at or past its StopAt deadline (see scheduleArrival).
-	arrivals arrHeap
+	// arrivals schedules packet generation: a calendar wheel of (cycle,
+	// source index) pairs with a far-future heap spillway (see arrWheel).
+	// Step fires only the sources whose arrival cycle has come, so
+	// generation costs O(packets), not O(sources x cycles). A source
+	// leaves the schedule for good once its next arrival would land at or
+	// past its StopAt deadline (see scheduleArrival).
+	arrivals arrWheel
+	// relw is the dedicated calendar wheel for near-future VC releases
+	// (see relWheel); out-of-horizon releases still ride the event ring.
+	relw relWheel
+	// headw, delivw and ackw carry the three dense per-packet event kinds
+	// (see pktWheel); the ring keeps system events and far-horizon spills.
+	headw  pktWheel
+	delivw pktWheel
+	ackw   pktWheel
 	// offerSrcs is the subset of sources holding an injectable packet
 	// (queued or awaiting retransmission) but not yet offering one, kept
 	// sorted by source index. Membership is exact: markOfferable admits
@@ -178,12 +212,14 @@ type Network struct {
 	// source the moment its packet is offered. Step's offer scan and the
 	// drain test touch only this list.
 	offerSrcs []int32
-	// activePorts is the subset of ports holding arbitration candidates,
-	// kept sorted by port ID (see register); Step arbitrates it instead
-	// of scanning every port. waiterCount is the total candidate
-	// population across all ports — zero means no arbitration work can
-	// happen this cycle, the precondition for idle fast-forwarding.
-	activePorts []int32
+	// activeW is a bitmap over port IDs marking the ports holding
+	// arbitration candidates; Step arbitrates its set bits (ascending,
+	// which is exactly the ID-sorted order of the historical all-ports
+	// scan) instead of scanning every port. waiterCount is the total
+	// candidate population across all ports — zero means no arbitration
+	// work can happen this cycle, the precondition for idle
+	// fast-forwarding.
+	activeW     []uint64
 	waiterCount int
 	// bidScratch and failedScratch are reusable arbitration buffers
 	// (see arbitrate); valid only within one arbitrate call.
@@ -325,7 +361,10 @@ func (n *Network) Reset(cfg Config) error {
 		}
 		p.waiters = p.waiters[:0]
 		p.rr = qos.RoundRobin{}
-		p.inActive = false
+		p.waitEpoch = 0
+		p.scanEpoch = 0
+		p.scanFrame = 0
+		p.scanValid = false
 		if n.mode != qos.NoQoS {
 			if p.table == nil {
 				if k := len(n.parkedTables); k > 0 {
@@ -401,18 +440,23 @@ func (n *Network) Reset(cfg Config) error {
 	n.injPool = n.injPool[:0]
 	n.injFree = n.injFree[:0]
 	n.events.reset()
-	if n.arrivals.items == nil {
-		n.arrivals.items = make([]arrival, 0, len(cfg.Workload.Specs))
-	}
-	n.arrivals.items = n.arrivals.items[:0]
+	n.relw.reset()
+	n.headw.reset()
+	n.delivw.reset()
+	n.ackw.reset()
+	n.arrivals.reset(len(cfg.Workload.Specs))
 	if n.offerSrcs == nil {
 		n.offerSrcs = make([]int32, 0, len(cfg.Workload.Specs))
 	}
 	n.offerSrcs = n.offerSrcs[:0]
-	if n.activePorts == nil {
-		n.activePorts = make([]int32, 0, len(n.ports))
+	if nw := (len(n.ports) + 63) / 64; cap(n.activeW) < nw {
+		n.activeW = make([]uint64, nw)
+	} else {
+		n.activeW = n.activeW[:nw]
+		for i := range n.activeW {
+			n.activeW[i] = 0
+		}
 	}
-	n.activePorts = n.activePorts[:0]
 	n.waiterCount = 0
 
 	if cap(n.srcs) < len(cfg.Workload.Specs) {
@@ -453,7 +497,7 @@ func (n *Network) scheduleArrival(s *source) {
 	if !n.arrivalEligible(s) {
 		return
 	}
-	n.arrivals.push(arrival{at: s.nextArrival, idx: s.idx})
+	n.arrivals.add(s.nextArrival, s.idx, n.clock.Now())
 }
 
 // markOfferable puts a source on the offerable list if it actually has an
@@ -511,7 +555,11 @@ func (n *Network) Frames() int { return int(n.frameCount) }
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
 	now := n.clock.Now()
+	n.fireReleases(now)
 	n.processEvents(now)
+	n.fireDelivers(now)
+	n.fireAcks(now)
+	n.fireHeads(now)
 	if n.frame != nil && n.frame.Expired(now) {
 		for i := range n.ports {
 			n.ports[i].table.Flush()
@@ -521,20 +569,29 @@ func (n *Network) Step() {
 		}
 		n.frameCount++
 	}
-	// Pop exactly the sources whose arrival cycle has come (ties in
+	// Fire exactly the sources whose arrival cycle has come (ties in
 	// source-index order, like the historical all-sources scan) and
-	// reschedule each for its next draw. The common case — the source
-	// stays live — replaces the heap top in place (one sift instead of
-	// a pop+push pair).
-	for n.arrivals.Len() > 0 && n.arrivals.items[0].at <= now {
-		idx := n.arrivals.items[0].idx
-		s := &n.srcs[idx]
-		n.generate(s, now)
-		if n.arrivalEligible(s) {
-			n.arrivals.replaceTop(arrival{at: s.nextArrival, idx: idx})
-		} else {
-			n.arrivals.pop()
+	// reschedule each for its next draw. The bucket is re-read every
+	// iteration: a replay source can re-file itself for this same cycle
+	// mid-loop (index-ordered after the entry being fired), and the
+	// insert may grow the bucket's backing array.
+	if len(n.arrivals.far.items) > 0 {
+		n.arrivals.drainFar(now)
+	}
+	abi := int(uint64(now) & ringMask)
+	if len(n.arrivals.buckets[abi]) > 0 {
+		for k := 0; k < len(n.arrivals.buckets[abi]); k++ {
+			idx := n.arrivals.buckets[abi][k]
+			s := &n.srcs[idx]
+			n.generate(s, now)
+			if n.arrivalEligible(s) {
+				n.arrivals.add(s.nextArrival, idx, now)
+			}
 		}
+		b := n.arrivals.buckets[abi]
+		n.arrivals.near -= len(b)
+		n.arrivals.buckets[abi] = b[:0]
+		n.arrivals.words[abi>>6] &^= 1 << uint(abi&63)
 	}
 	// Offer pass over the sources actually holding injectable packets, in
 	// source-index order. A source whose packet just went on offer (or
@@ -552,25 +609,29 @@ func (n *Network) Step() {
 		}
 	}
 	n.offerSrcs = liveSrcs
-	// Arbitrate only the ports holding candidates, dropping the ones that
-	// have gone empty as they are reached. Ports emptied behind the scan
-	// (an inversion preemption at a later port can withdraw a waiter from
-	// an earlier, already-visited one) linger until the next pass, which
-	// is harmless: the list is ID-sorted, so stale entries cost one length
-	// check and can never perturb arbitration order.
-	live := n.activePorts[:0]
-	for _, pi := range n.activePorts {
-		p := &n.ports[pi]
-		if len(p.waiters) > 0 {
-			n.arbitrate(p, now)
-		}
-		if len(p.waiters) > 0 {
-			live = append(live, pi)
-		} else {
-			p.inActive = false
+	// Arbitrate only the ports holding candidates, clearing the bits of
+	// the ones that have gone empty as they are reached. Ports emptied
+	// behind the scan (an inversion preemption at a later port can
+	// withdraw a waiter from an earlier, already-visited one) keep their
+	// bit until the next pass, which is harmless: set bits fire in
+	// ascending port-ID order, so a stale bit costs one length check and
+	// can never perturb arbitration order. No bit is ever set mid-scan —
+	// register runs only from the offer pass and head arrivals, both
+	// earlier in the cycle — so iterating a per-word snapshot is exact.
+	for wi := range n.activeW {
+		for w := n.activeW[wi]; w != 0; {
+			b := w & -w
+			w &^= b
+			pi := wi<<6 + bits.TrailingZeros64(b)
+			p := &n.ports[pi]
+			if len(p.waiters) > 0 {
+				n.arbitrate(p, now)
+			}
+			if len(p.waiters) == 0 {
+				n.activeW[wi] &^= b
+			}
 		}
 	}
-	n.activePorts = live
 	if n.auditEvery > 0 && now >= n.auditAt {
 		n.auditAt = now + n.auditEvery
 		n.mustAudit(now)
@@ -629,7 +690,29 @@ func (n *Network) nextWake(now sim.Cycle) (wake sim.Cycle, ok bool) {
 		}
 	}
 	if n.arrivals.Len() > 0 {
-		if a := n.arrivals.items[0].at; a < wake {
+		if a, aOk := n.arrivals.nextAt(now); aOk && a < wake {
+			wake = a
+		}
+	}
+	if n.relw.count > 0 {
+		// A pending wheel occurrence must fire on its exact cycle (the
+		// wheels have no late list), so the fast-forward never jumps one.
+		if a, rOk := n.relw.nextAt(now); rOk && a < wake {
+			wake = a
+		}
+	}
+	if n.headw.count > 0 {
+		if a, hOk := n.headw.nextAt(now); hOk && a < wake {
+			wake = a
+		}
+	}
+	if n.delivw.count > 0 {
+		if a, dOk := n.delivw.nextAt(now); dOk && a < wake {
+			wake = a
+		}
+	}
+	if n.ackw.count > 0 {
+		if a, aOk := n.ackw.nextAt(now); aOk && a < wake {
 			wake = a
 		}
 	}
@@ -698,6 +781,7 @@ func (n *Network) RunUntilDrained(maxCycles int) (completion sim.Cycle, drained 
 // fault edges and the watchdog timer — act on no packet and are excluded:
 // a drained network with a fault scheduled next week is still drained.
 func (n *Network) idle() bool {
-	return n.inFlight == 0 && n.events.Len() == n.sysEvents && n.waiterCount == 0 &&
-		n.arrivals.Len() == 0 && len(n.offerSrcs) == 0
+	return n.inFlight == 0 && n.events.Len() == n.sysEvents && n.relw.count == 0 &&
+		n.headw.count == 0 && n.delivw.count == 0 && n.ackw.count == 0 &&
+		n.waiterCount == 0 && n.arrivals.Len() == 0 && len(n.offerSrcs) == 0
 }

@@ -1,6 +1,8 @@
 package network
 
 import (
+	"math/bits"
+
 	"tanoq/internal/noc"
 	"tanoq/internal/qos"
 	"tanoq/internal/sim"
@@ -418,4 +420,106 @@ func (h *arrHeap) siftDown(n int) {
 		h.items[i], h.items[child] = h.items[child], h.items[i]
 		i = child
 	}
+}
+
+// arrWheel schedules packet arrivals on a calendar wheel, replacing the
+// per-arrival heap sift with O(1) bucket filing for the common case. Each
+// bucket holds the sources due at one cycle within the wheel's horizon,
+// kept in source-index order so same-cycle generation matches the
+// historical all-sources scan (and the heap's (cycle, index) pop order)
+// exactly. Arrivals drawn past the horizon — the geometric tail, and
+// every arrival of a genuinely low-rate source — spill to the old heap
+// and drain into buckets as the clock approaches, in (cycle, index)
+// order, so the fired sequence is identical to the heap's whatever mix
+// of near and far draws a workload produces.
+type arrWheel struct {
+	buckets [ringSize][]int32
+	words   [ringWords]uint64 // bucket-occupancy bitmap
+	near    int
+	far     arrHeap
+}
+
+// reset clears the schedule, keeping backing arrays for reuse.
+func (w *arrWheel) reset(capHint int) {
+	for i := range w.buckets {
+		if w.buckets[i] == nil {
+			w.buckets[i] = make([]int32, 0, 8)
+		}
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	for i := range w.words {
+		w.words[i] = 0
+	}
+	w.near = 0
+	if w.far.items == nil {
+		w.far.items = make([]arrival, 0, capHint)
+	}
+	w.far.items = w.far.items[:0]
+}
+
+// Len returns the number of scheduled arrivals.
+func (w *arrWheel) Len() int { return w.near + len(w.far.items) }
+
+// insert files an arrival into its bucket, index-sorted.
+func (w *arrWheel) insert(at sim.Cycle, idx int32) {
+	bi := int(uint64(at) & ringMask)
+	if len(w.buckets[bi]) == 0 {
+		w.words[bi>>6] |= 1 << uint(bi&63)
+	}
+	b := append(w.buckets[bi], idx)
+	for i := len(b) - 1; i > 0 && b[i-1] > idx; i-- {
+		b[i], b[i-1] = b[i-1], b[i]
+	}
+	w.buckets[bi] = b
+	w.near++
+}
+
+// add schedules source idx's arrival at cycle at. A same-cycle arrival
+// (a replay record repeating the current cycle) lands in the current
+// bucket, index-ordered after the entry being fired — exactly where the
+// heap would pop it next.
+func (w *arrWheel) add(at sim.Cycle, idx int32, now sim.Cycle) {
+	if at-now >= ringSize {
+		w.far.push(arrival{at: at, idx: idx})
+		return
+	}
+	if at < now {
+		at = now
+	}
+	w.insert(at, idx)
+}
+
+// drainFar moves far arrivals whose cycle has come within the horizon
+// into their buckets.
+func (w *arrWheel) drainFar(now sim.Cycle) {
+	for len(w.far.items) > 0 && w.far.items[0].at-now < ringSize {
+		a := w.far.pop()
+		at := a.at
+		if at < now {
+			at = now
+		}
+		w.insert(at, a.idx)
+	}
+}
+
+// nextAt reports the earliest scheduled arrival cycle (callers check Len
+// first).
+func (w *arrWheel) nextAt(now sim.Cycle) (sim.Cycle, bool) {
+	if w.near > 0 {
+		start := int(uint64(now) & ringMask)
+		if v := w.words[start>>6] >> uint(start&63); v != 0 {
+			return now + sim.Cycle(bits.TrailingZeros64(v)), true
+		}
+		for k := 1; k <= ringWords; k++ {
+			wi := (start>>6 + k) & (ringWords - 1)
+			if v := w.words[wi]; v != 0 {
+				idx := wi<<6 + bits.TrailingZeros64(v)
+				return now + sim.Cycle((idx-start)&ringMask), true
+			}
+		}
+	}
+	if len(w.far.items) > 0 {
+		return w.far.items[0].at, true
+	}
+	return 0, false
 }

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tanoq/internal/network"
+	"tanoq/internal/noc"
+	"tanoq/internal/qos"
+	"tanoq/internal/topology"
+	"tanoq/internal/traffic"
+)
+
+// seedCells builds a seed axis: cells identical except Config.Seed, all
+// stamped with the given Group so the runner may batch them.
+func seedCells(kind topology.Kind, rate float64, group int, seeds ...uint64) []Cell {
+	out := make([]Cell, 0, len(seeds))
+	for _, s := range seeds {
+		w := traffic.UniformRandom(topology.ColumnNodes, rate)
+		out = append(out, Cell{
+			Config: network.Config{
+				Kind:     kind,
+				QoS:      qos.DefaultConfig(w.TotalFlows()),
+				Workload: w,
+				Seed:     s,
+			},
+			Warmup:  1_000,
+			Measure: 4_000,
+			Group:   group,
+		})
+	}
+	return out
+}
+
+func TestPlanUnits(t *testing.T) {
+	mk := func(groups ...int) []Cell {
+		cs := make([]Cell, len(groups))
+		for i, g := range groups {
+			cs[i].Group = g
+		}
+		return cs
+	}
+	cases := []struct {
+		name  string
+		cells []Cell
+		lanes int
+		want  [][]int
+	}{
+		{"lanes disabled", mk(1, 1, 1), 1, [][]int{{0}, {1}, {2}}},
+		{"ungrouped stay singletons", mk(0, 0, 0), 4, [][]int{{0}, {1}, {2}}},
+		{"one group one unit", mk(7, 7, 7), 4, [][]int{{0, 1, 2}}},
+		{"group chunked by lanes", mk(1, 1, 1, 1, 1), 2, [][]int{{0, 1}, {2, 3}, {4}}},
+		{"chunks land at first member", mk(0, 3, 3, 0, 3), 8, [][]int{{0}, {1, 2, 4}, {3}}},
+		{"interleaved groups", mk(1, 2, 1, 2, 0), 4, [][]int{{0, 2}, {1, 3}, {4}}},
+		{"empty", nil, 4, [][]int{}},
+	}
+	for _, c := range cases {
+		if got := PlanUnits(c.cells, c.lanes); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: PlanUnits = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRunCellsGroupedMatchesUngrouped is the grouping correctness
+// contract at the runner layer: a sweep executed through ensemble
+// batches returns rows bit-identical (modulo wall-clock) to the same
+// sweep executed cell by cell, in the same input order, for any lane
+// width and worker count.
+func TestRunCellsGroupedMatchesUngrouped(t *testing.T) {
+	grid := func() []Cell {
+		var cs []Cell
+		cs = append(cs, seedCells(topology.MeshX2, 0.03, 1, 10, 11, 12, 13, 14)...)
+		cs = append(cs, seedCells(topology.MECS, 0.06, 2, 10, 11, 12)...)
+		// A stray ungrouped cell between the seed axes.
+		stray := seedCells(topology.MeshX1, 0.04, 0, 77)
+		cs = append(cs, stray...)
+		return cs
+	}
+	base := RunCellsCtx(context.Background(), grid(), Options{Workers: 1, Retries: 1})
+	MustOK(base)
+	for _, opts := range []Options{
+		{Workers: 1, Retries: 1, Lanes: 2},
+		{Workers: 1, Retries: 1, Lanes: 4},
+		{Workers: 3, Retries: 1, Lanes: 8},
+	} {
+		got := RunCellsCtx(context.Background(), grid(), opts)
+		MustOK(got)
+		if len(got) != len(base) {
+			t.Fatalf("lanes=%d: %d rows, want %d", opts.Lanes, len(got), len(base))
+		}
+		for i := range base {
+			if got[i].End != base[i].End {
+				t.Errorf("lanes=%d cell %d: end %d != %d", opts.Lanes, i, got[i].End, base[i].End)
+			}
+			if !reflect.DeepEqual(got[i].Stats, base[i].Stats) {
+				t.Errorf("lanes=%d workers=%d cell %d: grouped collector diverges from standalone",
+					opts.Lanes, opts.Workers, i)
+			}
+		}
+	}
+}
+
+// TestRunCellsGroupedFallbackIsolation poisons one lane of a grouped
+// unit (a watchdog-caught permanent router stall). The ensemble batch
+// dies, every lane falls back to a standalone run, and the outcome must
+// be indistinguishable from never grouping: siblings keep bit-identical
+// results, only the poisoned cell reports an error.
+func TestRunCellsGroupedFallbackIsolation(t *testing.T) {
+	poisoned := func() []Cell {
+		cs := seedCells(topology.MeshX1, 0.03, 1, 20, 21, 22, 23)
+		cs[2].Config.Faults = network.FaultConfig{
+			Windows: []noc.FaultWindow{{Kind: noc.FaultRouterStall, Node: 3, From: 100}},
+		}
+		cs[2].Config.WatchdogCycles = 400
+		return cs
+	}
+	res := RunCellsCtx(context.Background(), poisoned(), Options{Workers: 1, Retries: 1, Lanes: 4})
+	if res[2].Err == nil {
+		t.Fatal("poisoned lane reported no error")
+	}
+	base := RunCellsCtx(context.Background(), poisoned(), Options{Workers: 1, Retries: 1})
+	for _, i := range []int{0, 1, 3} {
+		if res[i].Err != nil {
+			t.Fatalf("healthy lane %d failed: %v", i, res[i].Err)
+		}
+		if res[i].End != base[i].End || !reflect.DeepEqual(res[i].Stats, base[i].Stats) {
+			t.Errorf("lane %d: fallback result diverges from ungrouped run", i)
+		}
+	}
+}

@@ -306,6 +306,10 @@ type cachedRow struct {
 	MeanRecovery      float64 `json:"mean_recovery"`
 	VictimSlowdown    float64 `json:"victim_slowdown"`
 	Attempts          int     `json:"attempts"`
+	// WallNS is the wall-clock of the run that produced the row —
+	// informational provenance, never compared (cache verification
+	// excludes it; see verifyHits).
+	WallNS int64 `json:"wall_ns"`
 }
 
 // refPayload is a victim-reference cell's cache payload: the baseline
@@ -324,10 +328,15 @@ func rowToPayload(r *Result) cachedRow {
 		DeliveredFraction: r.DeliveredFraction, Retries: r.Retries,
 		Drops: r.Drops, MeanRecovery: r.MeanRecovery,
 		VictimSlowdown: r.VictimSlowdown, Attempts: r.Attempts,
+		WallNS: int64(r.Wall),
 	}
 }
 
 func payloadToRow(p Point, c *cachedRow) Result {
+	cps := 0.0
+	if c.WallNS > 0 {
+		cps = float64(c.End) / (float64(c.WallNS) / 1e9)
+	}
 	return Result{
 		Point:       p,
 		MeanLatency: c.MeanLatency, P99Latency: c.P99Latency,
@@ -338,6 +347,7 @@ func payloadToRow(p Point, c *cachedRow) Result {
 		DeliveredFraction: c.DeliveredFraction, Retries: c.Retries,
 		Drops: c.Drops, MeanRecovery: c.MeanRecovery,
 		VictimSlowdown: c.VictimSlowdown, Attempts: c.Attempts,
+		Wall: time.Duration(c.WallNS), CyclesPerSec: cps,
 	}
 }
 
@@ -377,6 +387,11 @@ type DurableReport struct {
 	Skipped  int
 	// Interrupted is set when cancellation cut the sweep short.
 	Interrupted bool
+	// Groups counts the ensemble batches the executed cells ran in
+	// (units of two or more lanes); Lanes echoes the configured cap.
+	// Both are zero when ensemble execution is disabled.
+	Groups int
+	Lanes  int
 	// Verified counts re-executed hits that matched their cached rows;
 	// VerifyBad describes the ones that did not.
 	Verified  int
@@ -443,6 +458,22 @@ func (g *Grid) RunDurable(ctx context.Context, opts DurableOpts) (*DurableReport
 	for mi, i := range missed {
 		cells[mi] = g.cells[i]
 		cells[mi].Config.DisableIdleSkip = opts.DisableIdleSkip
+	}
+	if opts.EnsembleLanes > 1 {
+		vis, _ := g.groupIDs()
+		for mi, i := range missed {
+			cells[mi].Group = vis[i]
+		}
+		// Cache hits shrink groups naturally: only the missed members of
+		// a seed group batch together. The plan is the same deterministic
+		// function the runner applies, so this accounting is exact.
+		ropts.Lanes = opts.EnsembleLanes
+		rep.Lanes = opts.EnsembleLanes
+		for _, unit := range runner.PlanUnits(cells, opts.EnsembleLanes) {
+			if len(unit) > 1 {
+				rep.Groups++
+			}
+		}
 	}
 	var (
 		ckMu          sync.Mutex
@@ -533,7 +564,13 @@ func (g *Grid) resolveRefs(ctx context.Context, opts *DurableOpts, missed []int,
 		cells[ti].Config.DisableIdleSkip = opts.DisableIdleSkip
 	}
 	ropts := runner.Options{Workers: opts.Workers, Retries: opts.Retries,
-		Backoff: opts.Backoff, Deadline: opts.Deadline}
+		Backoff: opts.Backoff, Deadline: opts.Deadline, Lanes: opts.EnsembleLanes}
+	if opts.EnsembleLanes > 1 {
+		_, refs := g.groupIDs()
+		for ti, r := range torun {
+			cells[ti].Group = refs[r]
+		}
+	}
 	if ropts.Retries == 0 {
 		ropts.Retries = 1
 	}
@@ -590,9 +627,12 @@ func (g *Grid) verifyHits(ctx context.Context, opts *DurableOpts, hitIdx []int, 
 		}
 		fresh := g.row(i, &res[si], refBase[g.meta[i].ref])
 		served := rep.Results[i]
-		// Attempts legitimately differs between the original run and the
-		// verification re-run; everything measured must match exactly.
+		// Attempts and wall-clock legitimately differ between the original
+		// run and the verification re-run; everything measured must match
+		// exactly.
 		fresh.Attempts, served.Attempts = 0, 0
+		fresh.Wall, served.Wall = 0, 0
+		fresh.CyclesPerSec, served.CyclesPerSec = 0, 0
 		if fresh != served {
 			rep.VerifyBad = append(rep.VerifyBad,
 				fmt.Sprintf("cell %d (%s/%s/%s seed %d): cached row diverges from re-execution",

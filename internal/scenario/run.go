@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"tanoq/internal/network"
 	"tanoq/internal/noc"
@@ -289,10 +291,61 @@ func (g *Grid) Size() int { return len(g.cells) }
 func (g *Grid) Cell(i int) runner.Cell { return g.cells[i] }
 
 // RunOpts carries the runtime knobs that never change results: worker
-// count (bit-identical for every value) and the idle-skip proof toggle.
+// count (bit-identical for every value), the idle-skip proof toggle, and
+// the ensemble lane count (cells differing only by seed batch into one
+// lockstep engine pass — bit-identical per lane, only faster).
 type RunOpts struct {
 	Workers         int
 	DisableIdleSkip bool
+	// EnsembleLanes is the maximum number of same-group cells batched
+	// into one network.Ensemble; 0 or 1 runs every cell standalone.
+	EnsembleLanes int
+}
+
+// groupIDs assigns a runner group ID to every visible cell and every
+// hidden victim-reference cell: cells sharing an ID describe the same
+// simulation except for Config.Seed, the precondition for running them
+// as ensemble lanes. The visible key is the cell's Point with the seed
+// zeroed plus its resolved trace path (two traces can share a display
+// label, never a path); references — identical victim workloads fanned
+// over topology × mode × seed — key on topology and mode. One counter
+// spans both, so IDs never collide across the namespaces.
+func (g *Grid) groupIDs() (vis, refs []int) {
+	type visKey struct {
+		p     Point
+		trace string
+	}
+	type refKey struct {
+		kind topology.Kind
+		mode qos.Mode
+	}
+	vis = make([]int, len(g.cells))
+	refs = make([]int, len(g.refCells))
+	next := 1
+	vids := map[visKey]int{}
+	for i := range g.cells {
+		k := visKey{p: g.Points[i], trace: g.meta[i].trace}
+		k.p.Seed = 0
+		id, ok := vids[k]
+		if !ok {
+			id = next
+			next++
+			vids[k] = id
+		}
+		vis[i] = id
+	}
+	rids := map[refKey]int{}
+	for r := range g.refCells {
+		k := refKey{kind: g.refCells[r].Config.Kind, mode: g.refCells[r].Config.QoS.Mode}
+		id, ok := rids[k]
+		if !ok {
+			id = next
+			next++
+			rids[k] = id
+		}
+		refs[r] = id
+	}
+	return vis, refs
 }
 
 // Result is the measured outcome of one grid point.
@@ -335,6 +388,14 @@ type Result struct {
 	// the hidden victim-only reference cell (0 when the scenario declares
 	// no victim roles, or when either side delivered nothing).
 	VictimSlowdown float64
+	// Wall is the wall-clock time the cell's successful run spent
+	// simulating; a cell executed as an ensemble lane reports its
+	// batch's time divided by the lane count (the amortized per-seed
+	// cost). Cache-served rows report the wall-clock of the run that
+	// produced them. CyclesPerSec is simulated cycles per wall second
+	// (End / Wall) — the throughput the wall-clock buys.
+	Wall         time.Duration
+	CyclesPerSec float64
 	// Error reports a cell that failed on every attempt (tripped
 	// watchdog, failed invariant audit, invalid configuration, missed
 	// wall-clock deadline) or was skipped by a cancelled sweep; the
@@ -359,7 +420,18 @@ func (g *Grid) Run(opts RunOpts) []Result {
 	for i := range cells {
 		cells[i].Config.DisableIdleSkip = opts.DisableIdleSkip
 	}
-	res := runner.RunCells(cells, opts.Workers)
+	if opts.EnsembleLanes > 1 {
+		vis, refs := g.groupIDs()
+		for i := range vis {
+			cells[i].Group = vis[i]
+		}
+		for r := range refs {
+			cells[len(g.cells)+r].Group = refs[r]
+		}
+	}
+	res := runner.RunCellsCtx(context.Background(), cells, runner.Options{
+		Workers: opts.Workers, Retries: 1, Lanes: opts.EnsembleLanes,
+	})
 	refRes := res[len(g.cells):]
 	out := make([]Result, len(g.cells))
 	for i := range res[:len(g.cells)] {
@@ -394,6 +466,10 @@ func (g *Grid) row(i int, r *runner.Result, base float64) Result {
 	out.Retries = st.TotalRetries
 	out.Drops = st.TotalDropped
 	out.MeanRecovery = st.MeanRecoveryLatency()
+	out.Wall = r.Elapsed
+	if r.Elapsed > 0 {
+		out.CyclesPerSec = float64(out.End) / r.Elapsed.Seconds()
+	}
 	m := g.meta[i]
 	var summary stats.Summary
 	if m.closed {
@@ -445,15 +521,16 @@ func CSV(name string, results []Result) string {
 		"mean_latency_cycles,p99_latency_cycles,accepted_flits_per_cycle,preemption_pct,delivered_packets," +
 		"tput_min_pct_of_mean,tput_max_pct_of_mean,tput_stddev_pct_of_mean," +
 		"completed_requests,mean_rtt_cycles,p99_rtt_cycles," +
-		"delivered_fraction,retries,drops,mean_recovery_cycles,victim_slowdown,attempts,error\n")
+		"delivered_fraction,retries,drops,mean_recovery_cycles,victim_slowdown,wall_ms,cycles_per_sec,attempts,error\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%.4f,%d,%.1f,%d,%d,%.3f,%.0f,%.4f,%.4f,%d,%.2f,%.2f,%.2f,%d,%.3f,%.0f,%.6f,%d,%d,%.1f,%.3f,%d,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d,%.4f,%d,%.1f,%d,%d,%.3f,%.0f,%.4f,%.4f,%d,%.2f,%.2f,%.2f,%d,%.3f,%.0f,%.6f,%d,%d,%.1f,%.3f,%.1f,%.0f,%d,%s\n",
 			csvEscape(name), csvEscape(r.Workload), csvEscape(r.Pattern), csvEscape(r.Topology.String()), csvEscape(r.Mode.String()),
 			r.Seed, r.Rate, r.Outstanding, r.Think, r.RetryTimeout, r.MaxRetries,
 			r.MeanLatency, r.P99Latency, r.Accepted, r.PreemptionPct, r.Delivered,
 			r.TputMinPct, r.TputMaxPct, r.TputStdDevPct,
 			r.Completed, r.MeanRTT, r.P99RTT,
-			r.DeliveredFraction, r.Retries, r.Drops, r.MeanRecovery, r.VictimSlowdown, r.Attempts, csvEscape(r.Error))
+			r.DeliveredFraction, r.Retries, r.Drops, r.MeanRecovery, r.VictimSlowdown,
+			float64(r.Wall)/float64(time.Millisecond), r.CyclesPerSec, r.Attempts, csvEscape(r.Error))
 	}
 	return b.String()
 }
@@ -493,6 +570,8 @@ type resultJSON struct {
 	Drops             int64   `json:"drops,omitempty"`
 	MeanRecovery      float64 `json:"mean_recovery_cycles,omitempty"`
 	VictimSlowdown    float64 `json:"victim_slowdown,omitempty"`
+	WallMS            float64 `json:"wall_ms,omitempty"`
+	CyclesPerSec      float64 `json:"cycles_per_sec,omitempty"`
 	Attempts          int     `json:"attempts"`
 	Error             string  `json:"error,omitempty"`
 }
@@ -511,7 +590,9 @@ func JSONReport(name string, results []Result) ([]byte, error) {
 			Completed: r.Completed, MeanRTT: r.MeanRTT, P99RTT: r.P99RTT,
 			DeliveredFraction: r.DeliveredFraction, Retries: r.Retries, Drops: r.Drops,
 			MeanRecovery: r.MeanRecovery, VictimSlowdown: r.VictimSlowdown,
-			Attempts: r.Attempts, Error: r.Error,
+			WallMS:       float64(r.Wall) / float64(time.Millisecond),
+			CyclesPerSec: r.CyclesPerSec,
+			Attempts:     r.Attempts, Error: r.Error,
 		}
 	}
 	blob, err := json.MarshalIndent(struct {
@@ -532,8 +613,8 @@ func Render(name string, results []Result) string {
 	var b strings.Builder
 	title := fmt.Sprintf("Sweep: %s (%d cells)", name, len(results))
 	b.WriteString(title + "\n" + strings.Repeat("-", len(title)) + "\n")
-	fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10s %11s %10s %9s %9s %9s %8s %8s %7s\n",
-		"workload", "pattern", "topology", "qos", "seed", "rate/window", "latency", "p99", "accepted", "preempt", "fair-sd", "dlv", "vslow")
+	fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10s %11s %10s %9s %9s %9s %8s %8s %7s %9s %8s\n",
+		"workload", "pattern", "topology", "qos", "seed", "rate/window", "latency", "p99", "accepted", "preempt", "fair-sd", "dlv", "vslow", "wall-ms", "Mcyc/s")
 	for _, r := range results {
 		axis := fmt.Sprintf("%6.2f%%", r.Rate*100)
 		lat, p99 := r.MeanLatency, r.P99Latency
@@ -550,10 +631,11 @@ func Render(name string, results []Result) string {
 		if r.VictimSlowdown > 0 {
 			vslow = fmt.Sprintf("%.2fx", r.VictimSlowdown)
 		}
-		fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s %10.1f %9.0f %9.3f %8.2f%% %7.2f%% %7.2f%% %7s\n",
+		fmt.Fprintf(&b, "%-16s %-14s %-9s %-14s %10d %11s %10.1f %9.0f %9.3f %8.2f%% %7.2f%% %7.2f%% %7s %9.1f %8.2f\n",
 			r.Workload, r.Pattern, r.Topology, r.Mode, r.Seed, axis,
 			lat, p99, r.Accepted, r.PreemptionPct, r.TputStdDevPct,
-			100*r.DeliveredFraction, vslow)
+			100*r.DeliveredFraction, vslow,
+			float64(r.Wall)/float64(time.Millisecond), r.CyclesPerSec/1e6)
 	}
 	return b.String()
 }

@@ -353,14 +353,26 @@ func TestSweepDeterministicAcrossWorkersAndSkip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Wall-clock is the one legitimately non-deterministic column; every
+	// measured field must be bit-identical across the matrix.
+	stripWall := func(rs []Result) {
+		for i := range rs {
+			rs[i].Wall, rs[i].CyclesPerSec = 0, 0
+		}
+	}
 	base := g.Run(RunOpts{Workers: 1})
+	stripWall(base)
 	for _, opts := range []RunOpts{
 		{Workers: 0},
 		{Workers: 3},
 		{Workers: 1, DisableIdleSkip: true},
 		{Workers: 0, DisableIdleSkip: true},
+		{Workers: 1, EnsembleLanes: 4},
+		{Workers: 3, EnsembleLanes: 2},
+		{Workers: 0, DisableIdleSkip: true, EnsembleLanes: 8},
 	} {
 		got := g.Run(opts)
+		stripWall(got)
 		if !reflect.DeepEqual(base, got) {
 			t.Errorf("results diverged for %+v", opts)
 		}

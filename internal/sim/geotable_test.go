@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeoTableMatchesFormula pins the table sampler's defining property:
+// for the same RNG stream it returns exactly what GeometricLog returns,
+// draw for draw, across rates spanning the sweep grid and beyond.
+func TestGeoTableMatchesFormula(t *testing.T) {
+	for _, p := range []float64{1e-6, 1e-4, 0.005, 0.01, 0.04, 0.0975, 0.16, 0.5, 0.9, 0.999, 1.0, 1.5} {
+		tab := NewGeoTable(p)
+		logQ := math.Log1p(-p)
+		a, b := NewRNG(12345), NewRNG(12345)
+		for i := 0; i < 200_000; i++ {
+			got, want := tab.Draw(a), b.GeometricLog(p, logQ)
+			if got != want {
+				t.Fatalf("p=%v draw %d: table %d, formula %d", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestGeoTableBoundaryExact hammers the quantile boundaries, where an
+// off-by-one-ulp table entry would first show: for every tabled k, the
+// stored bound and its float successor must classify onto opposite sides
+// of the formula.
+func TestGeoTableBoundaryExact(t *testing.T) {
+	for _, p := range []float64{0.01, 0.04, 0.16} {
+		tab := NewGeoTable(p)
+		logQ := math.Log1p(-p)
+		for k := 1; k <= geoTabMax; k++ {
+			b := tab.bound[k]
+			if b < 0 {
+				continue
+			}
+			if g := geoFormula(b, logQ); g > int64(k) {
+				t.Fatalf("p=%v bound[%d]=%v classifies as %d", p, k, b, g)
+			}
+			next := math.Float64frombits(math.Float64bits(b) + 1)
+			if next < 1 {
+				if g := geoFormula(next, logQ); g <= int64(k) {
+					t.Fatalf("p=%v bound[%d] successor %v still classifies as %d", p, k, next, g)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedGeoTableReuse pins the cache: same rate, same table.
+func TestSharedGeoTableReuse(t *testing.T) {
+	if SharedGeoTable(0.04) != SharedGeoTable(0.04) {
+		t.Fatal("SharedGeoTable rebuilt a cached rate")
+	}
+}

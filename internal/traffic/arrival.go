@@ -62,6 +62,11 @@ type ArrivalSampler struct {
 	// cost of injection sampling. The cached values are exactly what
 	// sim.RNG.Geometric would recompute, so drawn gaps are bit-identical.
 	logPkt, logOn, logOff float64
+	// pktTab is the shared inverse-CDF table for the per-packet draw —
+	// the one geometric the engine evaluates per generated packet. Its
+	// draws are bit-identical to the cached-log formula (sim.GeoTable);
+	// the rare per-window draws below stay on the formula.
+	pktTab *sim.GeoTable
 	// onLeft counts the ON cycles remaining in the current window.
 	onLeft int64
 	bursty bool
@@ -89,6 +94,7 @@ func (s Spec) NewArrivalSampler(r *sim.RNG) ArrivalSampler {
 		a.onLeft = r.GeometricLog(a.onExit, a.logOn)
 	}
 	a.logPkt = math.Log1p(-a.pktProb)
+	a.pktTab = sim.SharedGeoTable(a.pktProb)
 	return a
 }
 
@@ -114,7 +120,7 @@ const maxWalkWindows = 1 << 16
 // sources add one draw per window boundary crossed, which the window
 // means keep far below one per packet.
 func (a *ArrivalSampler) NextGap(r *sim.RNG) sim.Cycle {
-	g := r.GeometricLog(a.pktProb, a.logPkt)
+	g := a.pktTab.Draw(r)
 	if !a.bursty {
 		return sim.Cycle(g)
 	}
