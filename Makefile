@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
 
-.PHONY: build test vet lint race determinism audit sweep-smoke trace-smoke fuzz-smoke resume-smoke ensemble-smoke bench bench-json
+.PHONY: build test vet lint race determinism audit sweep-smoke trace-smoke fuzz-smoke resume-smoke ensemble-smoke metrics-smoke bench bench-json
 
 # The engine version stamp: embedded in `noctool version`, cache keys,
 # BENCH_*.json and v2 trace headers, so results name the engine that made
@@ -130,6 +130,38 @@ ensemble-smoke:
 	go run ./cmd/noctool sweep -csv -resume -cache-dir /tmp/tanoq-ensemble-cache examples/sweep/ensemble-smoke.toml > /dev/null 2> /tmp/tanoq-ens-warm.err
 	grep 'executed 0' /tmp/tanoq-ens-warm.err
 	@echo "ensemble-smoke: grouped sweep matched ungrouped byte-identically; warm cache executed zero cells"
+
+# metrics-smoke gates the observability surface end to end. First the
+# in-run half: `noctool timeline` over the committed telemetry scenario
+# must reproduce its per-interval table byte-identically (probes ride
+# the event calendar, so the series is as deterministic as the run).
+# Then the live half: a short sweep serving -http must answer /metrics
+# with exactly the committed exposition shape (families, HELP/TYPE
+# lines and label sets are static from the first scrape; the sed strips
+# sample values) and answer /debug/pprof/*, and -progress must emit its
+# accounting line. The scrape retry loop tolerates slow process start;
+# -http-linger keeps the endpoint up after the (sub-second) sweep
+# finishes so the scrape never races completion, and the kill -9 just
+# cuts the linger short.
+metrics-smoke:
+	go build -ldflags "$(LDFLAGS)" -o /tmp/tanoq-metrics-noctool ./cmd/noctool
+	/tmp/tanoq-metrics-noctool timeline examples/sweep/timeline-smoke.toml > /tmp/tanoq-timeline.out
+	diff examples/sweep/timeline-smoke.golden /tmp/tanoq-timeline.out
+	rm -rf /tmp/tanoq-metrics-cache
+	/tmp/tanoq-metrics-noctool sweep -parallel 1 -progress -cache -cache-dir /tmp/tanoq-metrics-cache \
+	  -http 127.0.0.1:29471 -http-linger 60s examples/sweep/timeline-smoke.toml > /dev/null 2> /tmp/tanoq-metrics.err & \
+	pid=$$!; \
+	ok=; for i in $$(seq 1 150); do \
+	  if grep -q 'progress:' /tmp/tanoq-metrics.err 2>/dev/null; then ok=1; break; fi; \
+	  sleep 0.2; done; \
+	test -n "$$ok" || { echo "metrics-smoke: sweep never reported progress" >&2; kill -9 $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://127.0.0.1:29471/metrics > /tmp/tanoq-metrics.raw || { echo "metrics-smoke: /metrics not served" >&2; kill -9 $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://127.0.0.1:29471/debug/pprof/cmdline > /dev/null || { echo "metrics-smoke: pprof not served" >&2; kill -9 $$pid 2>/dev/null; exit 1; }; \
+	kill -9 $$pid 2>/dev/null; true
+	sed -E 's/ [0-9][0-9.eE+-]*$$/ V/' /tmp/tanoq-metrics.raw > /tmp/tanoq-metrics.norm
+	diff examples/sweep/metrics-smoke.golden /tmp/tanoq-metrics.norm
+	grep 'progress:' /tmp/tanoq-metrics.err
+	@echo "metrics-smoke: timeline golden matched; /metrics exposition matched modulo values; pprof answered"
 
 # fuzz-smoke runs the scenario-decoder fuzzer for a short budget (CI's
 # fuzz step); `go test -fuzz FuzzScenarioDecode ./internal/scenario` runs

@@ -25,7 +25,12 @@
 //	            -resume serves the finished rows from the cache and runs
 //	            only what is missing — bit-identical to an uninterrupted
 //	            run. -cache-verify N re-executes N cached hits and fails
-//	            on any divergence.
+//	            on any divergence. -progress prints throttled ETA lines,
+//	            -http ADDR serves live Prometheus /metrics and
+//	            /debug/pprof/* while the sweep runs (-http-linger keeps
+//	            the endpoint up afterwards), and -timeline PATH writes
+//	            per-cell telemetry series when the scenario has a
+//	            [telemetry] table.
 //
 //	degrade <scenario>[#profile]
 //	            degradation sweep of a scenario with a [faults] table: run
@@ -34,6 +39,14 @@
 //	            slowdown and mean/p99 latency inflation per QoS mode
 //	            (-out writes the CSV rows)
 //
+//	timeline <scenario>[#profile]
+//	            run a scenario with in-run telemetry probes ([telemetry]
+//	            table or -interval) and print each cell's per-interval
+//	            time series as a compact table, the per-router VC
+//	            occupancy heatmap (-heatmap), or JSON/CSV (-json, -out);
+//	            probes ride the event calendar, so results stay
+//	            bit-identical to an unprobed run
+//
 //	trace record <scenario>[#profile]   capture a single-cell scenario's
 //	            injection stream into a binary trace (-out names the
 //	            file) and print its delivery fingerprint
@@ -41,6 +54,7 @@
 //	            workload in the recorded cell; an open-loop recording
 //	            reproduces its fingerprint exactly
 //	trace info <file>         print a trace's header and record stats
+//	            (-stats adds per-flow record counts and cycle spans)
 //
 //	bench       machine-readable engine benchmarks -> BENCH_<date>.json;
 //	            -baseline/-maxregress gate on ns/cycle regressions
@@ -89,6 +103,8 @@ func main() {
 		err = sweepMain(args[1:])
 	case "degrade":
 		err = degradeMain(args[1:])
+	case "timeline":
+		err = timelineMain(args[1:])
 	case "trace":
 		err = traceMain(args[1:])
 	case "bench":
@@ -118,6 +134,8 @@ subcommands (run noctool <cmd> -h for that command's flags):
                                 TANOQ_SET_* env, -set), -explain provenance,
                                 durable -cache/-resume execution
   degrade <scenario>[#profile]  faulted scenario vs fault-free baseline
+  timeline <scenario>[#profile] run with telemetry probes; per-interval
+                                time-series table, heatmap, JSON/CSV
   trace record|replay|info      capture / replay / inspect injection traces
   bench                         engine benchmarks -> BENCH_<date>.json
   version                       engine version stamp
@@ -144,7 +162,7 @@ func experimentsMain(args []string) error {
 	for _, name := range names {
 		name = strings.ToLower(name)
 		switch name {
-		case "sweep", "degrade", "trace", "bench", "version":
+		case "sweep", "degrade", "timeline", "trace", "bench", "version":
 			return fmt.Errorf("subcommand flags now follow the subcommand: noctool %s [flags] ...", name)
 		}
 		if err := run(name, p, sim.quick, *csv); err != nil {

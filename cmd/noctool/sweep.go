@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"tanoq/internal/runner"
 	"tanoq/internal/scenario"
 	"tanoq/internal/store"
 )
@@ -33,6 +34,11 @@ type sweepOpts struct {
 	deadline time.Duration
 	retries  int
 	backoff  time.Duration
+
+	httpAddr     string
+	httpLinger   time.Duration
+	progress     bool
+	timelinePath string
 }
 
 // sweepMain parses the sweep subcommand's flags and runs the sweep.
@@ -57,6 +63,10 @@ include chain < file < profile < TANOQ_SET_* env < schedule flags <
 	deadline := fs.Duration("deadline", 0, "wall-clock budget per cell (0 = none)")
 	retries := fs.Int("retries", 1, "extra attempts per failed cell (0 disables retries)")
 	backoff := fs.Duration("backoff", 0, "base retry delay, doubling per attempt")
+	httpAddr := fs.String("http", "", "serve live Prometheus /metrics and /debug/pprof on `addr` while the sweep runs")
+	httpLinger := fs.Duration("http-linger", 0, "keep the -http endpoint up this long after the sweep finishes")
+	progress := fs.Bool("progress", false, "print throttled progress lines with an ETA to stderr")
+	timeline := fs.String("timeline", "", "write per-cell telemetry timelines to `path` (.json or .csv; needs a [telemetry] table)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -71,6 +81,8 @@ include chain < file < profile < TANOQ_SET_* env < schedule flags <
 		csv: *csv, outPath: *out, explain: *explain, lanes: *lanes,
 		cache: *cache, cacheDir: *cacheDir, resume: *resume, verify: *cacheVerify,
 		deadline: *deadline, retries: *retries, backoff: *backoff,
+		httpAddr: *httpAddr, httpLinger: *httpLinger, progress: *progress,
+		timelinePath: *timeline,
 	})
 }
 
@@ -158,6 +170,32 @@ func runSweep(pathOrName string, o sweepOpts) error {
 		opts.Backoff = o.backoff
 	}
 
+	// Live accounting: the /metrics endpoint and the -progress printer
+	// share one sweepMetrics instance fed from the per-cell completion
+	// callback. Observability never changes what executes — OnCell only
+	// observes results as they land.
+	var metrics *sweepMetrics
+	var prog *progressPrinter
+	if o.httpAddr != "" || o.progress {
+		metrics = newSweepMetrics(len(grid.Points), runner.Workers(opts.Workers), o.lanes)
+		opts.OnCell = metrics.onCell
+		if o.progress {
+			prog = &progressPrinter{m: metrics}
+			inner := opts.OnCell
+			opts.OnCell = func(ev scenario.CellEvent) {
+				inner(ev)
+				prog.onCell(ev)
+			}
+		}
+		if o.httpAddr != "" {
+			stop, err := serveMetrics(metrics, o.httpAddr, o.httpLinger)
+			if err != nil {
+				return err
+			}
+			defer stop()
+		}
+	}
+
 	if o.cache || o.resume || sc.Cache {
 		st, err := store.Open(o.cacheDir)
 		if err != nil {
@@ -193,6 +231,19 @@ func runSweep(pathOrName string, o sweepOpts) error {
 		return err
 	}
 	results := rep.Results
+	if metrics != nil {
+		metrics.setGroups(rep.Groups)
+	}
+	if prog != nil {
+		prog.Close()
+	}
+
+	if o.timelinePath != "" {
+		if err := writeTimelines(o.timelinePath, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", o.timelinePath)
+	}
 
 	if o.csv {
 		fmt.Print(scenario.CSV(sc.Name, results))
@@ -223,8 +274,10 @@ func runSweep(pathOrName string, o sweepOpts) error {
 		fmt.Fprintf(os.Stderr, "sweep: ensemble: %d groups, %d lanes\n", rep.Groups, rep.Lanes)
 	}
 	if opts.Store != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %d cells: %d cached, executed %d, skipped %d (cache %s)\n",
-			len(results), rep.Hits, rep.Executed, rep.Skipped, o.cacheDir)
+		// FAILED rows used to be invisible here until the table printed;
+		// the %d failed field folds them into the one-line accounting.
+		fmt.Fprintf(os.Stderr, "sweep: %d cells: %d cached, executed %d, %d failed, skipped %d (cache %s)\n",
+			len(results), rep.Hits, rep.Executed, rep.Failed, rep.Skipped, o.cacheDir)
 		if o.verify > 0 {
 			fmt.Fprintf(os.Stderr, "sweep: cache-verify: %d verified, %d diverged\n",
 				rep.Verified, len(rep.VerifyBad))

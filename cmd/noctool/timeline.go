@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tanoq/internal/scenario"
+	"tanoq/internal/sim"
+	"tanoq/internal/telemetry"
+)
+
+// timelineOpts carries the timeline subcommand's CLI state.
+type timelineOpts struct {
+	layers   layerOpts
+	interval int
+	top      int
+	series   string
+	heatmap  bool
+	asJSON   bool
+	outPath  string
+}
+
+// timelineMain parses the timeline subcommand's flags and runs it.
+func timelineMain(args []string) error {
+	fs := newFlagSet("timeline", "noctool timeline [flags] <scenario>[#profile]",
+		`Run a scenario with in-run telemetry probes and print each cell's
+per-interval time series as a compact table (or the per-router VC
+occupancy heatmap with -heatmap). The scenario's [telemetry] table
+selects interval and series; -interval adds probes to a scenario
+without one. Probes ride the event calendar, so the simulation
+results are bit-identical to an unprobed run.`)
+	sim := addSimFlags(fs)
+	profile := fs.String("profile", "", "named [profiles.<name>] patch to apply (overrides a #profile suffix)")
+	var set multiFlag
+	fs.Var(&set, "set", "top-layer override `key=value` (dotted paths; repeatable)")
+	interval := fs.Int("interval", 0, "probe interval in cycles (overrides the [telemetry] table)")
+	top := fs.Int("top", 0, "per-flow series for the top K flows (overrides the [telemetry] table)")
+	series := fs.String("series", "", "comma-separated series selection (empty = scenario's, or all)")
+	heatmap := fs.Bool("heatmap", false, "emit the per-router occupancy heatmap matrix (CSV) instead of the table")
+	asJSON := fs.Bool("json", false, "emit timelines as JSON instead of the table")
+	out := fs.String("out", "", "write to `path` instead of stdout (.json and .csv pick the format)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("timeline needs exactly one scenario file or built-in name")
+	}
+	explicit := explicitFlags(fs)
+	return runTimeline(fs.Arg(0), timelineOpts{
+		layers: layerOpts{
+			sim: sim, explicit: explicit, params: sim.params(explicit),
+			profile: *profile, set: set,
+		},
+		interval: *interval, top: *top, series: *series,
+		heatmap: *heatmap, asJSON: *asJSON, outPath: *out,
+	})
+}
+
+// runTimeline resolves the scenario, arms (or overrides) its telemetry
+// table, runs the grid and renders each cell's timeline.
+func runTimeline(pathOrName string, o timelineOpts) error {
+	sc, _, err := loadLayered(pathOrName, o.layers)
+	if err != nil {
+		return err
+	}
+	if sc.Telemetry == nil {
+		if o.interval <= 0 {
+			return fmt.Errorf("scenario %q has no [telemetry] table: add one or pass -interval N", pathOrName)
+		}
+		sc.Telemetry = &scenario.Telemetry{}
+	}
+	if o.interval > 0 {
+		sc.Telemetry.Interval = sim.Cycle(o.interval)
+	}
+	if o.top > 0 {
+		sc.Telemetry.TopFlows = o.top
+	}
+	if o.series != "" {
+		sc.Telemetry.Series = splitSeries(o.series)
+	}
+	if o.heatmap && len(sc.Telemetry.Series) > 0 && !hasSeries(sc.Telemetry.Series, telemetry.SeriesHeatmap) {
+		sc.Telemetry.Series = append(sc.Telemetry.Series, telemetry.SeriesHeatmap)
+	}
+	// The flag overrides bypass the decoder, so re-validate the mutated
+	// scenario before spending cycles on it.
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	grid, err := sc.Grid()
+	if err != nil {
+		return err
+	}
+	results := grid.Run(scenario.RunOpts{
+		Workers:         o.layers.params.Workers,
+		DisableIdleSkip: o.layers.params.DisableIdleSkip,
+	})
+
+	if o.outPath != "" {
+		if err := writeTimelines(o.outPath, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "timeline: wrote %s\n", o.outPath)
+		return nil
+	}
+	if o.asJSON {
+		blob, err := timelineJSON(results)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(blob)
+		return nil
+	}
+	for _, r := range results {
+		if r.Error != "" {
+			fmt.Printf("# %s: FAILED: %s\n", pointLabel(r), r.Error)
+			continue
+		}
+		if r.Timeline == nil {
+			continue
+		}
+		fmt.Printf("# %s\n", pointLabel(r))
+		var err error
+		if o.heatmap {
+			err = r.Timeline.WriteHeatmap(os.Stdout)
+		} else {
+			err = r.Timeline.WriteTable(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// pointLabel names one grid cell for timeline output.
+func pointLabel(r scenario.Result) string {
+	return fmt.Sprintf("%s/%s/%s/%s/seed%d/rate%g",
+		r.Workload, r.Pattern, r.Topology, r.Mode, r.Seed, r.Rate)
+}
+
+func splitSeries(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func hasSeries(series []string, name string) bool {
+	for _, s := range series {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// timelineJSON marshals every probed cell as {label, timeline}.
+func timelineJSON(results []scenario.Result) ([]byte, error) {
+	type row struct {
+		Label    string              `json:"label"`
+		Timeline *telemetry.Timeline `json:"timeline"`
+	}
+	rows := make([]row, 0, len(results))
+	for _, r := range results {
+		if r.Timeline == nil {
+			continue
+		}
+		rows = append(rows, row{Label: pointLabel(r), Timeline: r.Timeline})
+	}
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// writeTimelines emits the probed cells' timelines to path: .json for
+// the JSON array, .csv for the long-format per-interval rows (shared by
+// `noctool timeline -out` and `noctool sweep -timeline`).
+func writeTimelines(path string, results []scenario.Result) error {
+	switch ext := filepath.Ext(path); ext {
+	case ".json":
+		blob, err := timelineJSON(results)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, blob, 0o644)
+	case ".csv":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := writeTimelineCSV(f, results); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	default:
+		return fmt.Errorf("timeline output %q: want a .json or .csv extension", path)
+	}
+}
+
+func writeTimelineCSV(w io.Writer, results []scenario.Result) error {
+	if _, err := io.WriteString(w, telemetry.CSVHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Timeline == nil {
+			continue
+		}
+		if err := r.Timeline.WriteCSV(w, pointLabel(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

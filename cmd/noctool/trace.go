@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"tanoq/internal/network"
 	"tanoq/internal/noc"
+	"tanoq/internal/sim"
 	"tanoq/internal/workload"
 )
 
@@ -17,6 +19,7 @@ import (
 type traceOpts struct {
 	layers  layerOpts
 	outPath string
+	stats   bool
 }
 
 // traceMain parses the trace subcommand's flags and dispatches its verb.
@@ -25,12 +28,14 @@ func traceMain(args []string) error {
 		`record captures a single-cell scenario's injection stream into a binary
 trace and prints its delivery fingerprint (scenario files resolve through
 the same layered pipeline as sweep); replay re-runs a recorded trace in
-the recorded cell; info prints a trace's header and record stats.`)
+the recorded cell; info prints a trace's header and record stats
+(-stats adds a per-flow breakdown of record counts and cycle spans).`)
 	sim := addSimFlags(fs)
 	out := fs.String("out", "", "output path for the recorded trace")
 	profile := fs.String("profile", "", "record: named [profiles.<name>] patch to apply (overrides a #profile suffix)")
 	var set multiFlag
 	fs.Var(&set, "set", "record: top-layer override `key=value` (dotted paths; repeatable)")
+	stats := fs.Bool("stats", false, "info: print per-flow record counts and cycle spans")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		fs.Usage()
@@ -43,6 +48,7 @@ the recorded cell; info prints a trace's header and record stats.`)
 			profile: *profile, set: set,
 		},
 		outPath: *out,
+		stats:   *stats,
 	})
 }
 
@@ -54,7 +60,7 @@ func runTrace(verb, target string, o traceOpts) error {
 	case "replay":
 		return runTraceReplay(target, o)
 	case "info":
-		return runTraceInfo(target)
+		return runTraceInfo(target, o.stats)
 	default:
 		return fmt.Errorf("trace: unknown verb %q (want record, replay or info)", verb)
 	}
@@ -158,8 +164,9 @@ func runTraceReplay(path string, o traceOpts) error {
 }
 
 // runTraceInfo prints a trace's header and record statistics without
-// running anything.
-func runTraceInfo(path string) error {
+// running anything; -stats adds a per-flow breakdown (record count,
+// flits, cycle span) sorted by flow id.
+func runTraceInfo(path string, stats bool) error {
 	tr, err := workload.ReadTraceFile(path)
 	if err != nil {
 		return err
@@ -195,5 +202,43 @@ func runTraceInfo(path string) error {
 	fmt.Printf("cycles %d..%d, %d active flows, %d requests / %d replies, %d flits (%.4f flits/cycle)\n",
 		first, last, len(flows), classes[noc.ClassRequest], classes[noc.ClassReply],
 		flits, float64(flits)/float64(span))
+	if stats {
+		printFlowStats(tr)
+	}
 	return nil
+}
+
+// printFlowStats renders the -stats per-flow table: records are grouped
+// by flow and the injection stream is scanned once per table to keep
+// the records slice streaming-friendly.
+func printFlowStats(tr *workload.Trace) {
+	type flowStat struct {
+		records, flits int
+		first, last    sim.Cycle
+	}
+	stats := map[noc.FlowID]*flowStat{}
+	var ids []noc.FlowID
+	for _, r := range tr.Records {
+		s := stats[r.Flow]
+		if s == nil {
+			s = &flowStat{first: r.At, last: r.At}
+			stats[r.Flow] = s
+			ids = append(ids, r.Flow)
+		}
+		s.records++
+		s.flits += r.Class.Flits()
+		if r.At < s.first {
+			s.first = r.At
+		}
+		if r.At > s.last {
+			s.last = r.At
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Printf("%6s %9s %9s %11s %11s %10s\n", "flow", "records", "flits", "first", "last", "span")
+	for _, id := range ids {
+		s := stats[id]
+		fmt.Printf("%6d %9d %9d %11d %11d %10d\n",
+			id, s.records, s.flits, s.first, s.last, s.last-s.first+1)
+	}
 }

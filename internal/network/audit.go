@@ -98,7 +98,7 @@ func (n *Network) AuditInvariants() error {
 		switch ev.kind {
 		case evRelease:
 			pendingRel[relKey{ev.buf, ev.vc, ev.gen}] = true
-		case evFault, evWatchdog:
+		case evFault, evWatchdog, evProbe:
 			sys++
 		case evInject:
 		default:

@@ -152,7 +152,7 @@ func (e *Ensemble) WarmupAndMeasure(warmup, measure int) {
 	}
 	e.Run(warmup)
 	for _, n := range e.lanes {
-		n.coll.Reset(n.clock.Now())
+		n.measureStart()
 	}
 	e.Run(measure)
 }

@@ -45,6 +45,12 @@ const (
 	// (watchdog.go); it reschedules itself against the last progress
 	// cycle and panics with a diagnostic report when the window lapses.
 	evWatchdog
+	// evProbe: a telemetry sampling tick comes due (probe.go). The
+	// probe reschedules itself every SetProbe interval; riding the
+	// event ring keeps idle-skip horizons exact, so an instrumented
+	// run is bit-identical to an uninstrumented one with or without
+	// fast-forwarding. The handler only reads engine state.
+	evProbe
 )
 
 // event is one scheduled occurrence. Packet-borne events carry the attempt
@@ -282,6 +288,10 @@ func (n *Network) dispatch(ev event, now sim.Cycle) {
 	}
 	if ev.kind == evWatchdog {
 		n.onWatchdog(now)
+		return
+	}
+	if ev.kind == evProbe {
+		n.onProbe(now)
 		return
 	}
 	p := &n.arena[ev.p]

@@ -166,6 +166,11 @@ func (n *Network) portBlocked(port *outPort) bool {
 // and a striking link fault kills the traffic it catches.
 func (n *Network) onFaultEdge(idx int32, strike bool, now sim.Cycle) {
 	n.sysEvents--
+	if strike {
+		n.mark(MarkFaultStrike, idx, now)
+	} else {
+		n.mark(MarkFaultHeal, idx, now)
+	}
 	n.recomputeFaultState(now)
 	if !strike {
 		return

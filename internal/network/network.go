@@ -244,6 +244,13 @@ type Network struct {
 	// abort.go). Installed per cell by deadline-armed runners; Reset
 	// clears it.
 	abortFlag *atomic.Bool
+	// probeFn/probeEvery/markFn are the telemetry attachment surface
+	// (probe.go): a periodic read-only sampling tick riding the event
+	// ring and a phase-transition observer. Per-cell like the workload
+	// hooks — Reset clears all three.
+	probeFn    func(sim.Cycle)
+	probeEvery sim.Cycle
+	markFn     func(ProbeMark)
 	// injPool parks externally scheduled injections between
 	// ScheduleInjection and their evInject firing; injFree is its
 	// recycled-slot stack. Both are lazily allocated: open-loop runs
@@ -437,6 +444,9 @@ func (n *Network) Reset(cfg Config) error {
 	n.deliveryHook = nil
 	n.genHook = nil
 	n.abortFlag = nil
+	n.probeFn = nil
+	n.probeEvery = 0
+	n.markFn = nil
 	n.injPool = n.injPool[:0]
 	n.injFree = n.injFree[:0]
 	n.events.reset()
@@ -732,8 +742,19 @@ func (n *Network) nextWake(now sim.Cycle) (wake sim.Cycle, ok bool) {
 func (n *Network) WarmupAndMeasure(warmup, measure int) {
 	n.coll.Pause()
 	n.Run(warmup)
-	n.coll.Reset(n.clock.Now())
+	n.measureStart()
 	n.Run(measure)
+}
+
+// measureStart resets the collector at the warmup/measure boundary and
+// emits the phase mark — the single boundary path shared with
+// Ensemble.WarmupAndMeasure, so probed lanes and standalone runs see
+// the identical annotation (and telemetry re-baselines its deltas at
+// exactly the cycle the counters restart).
+func (n *Network) measureStart() {
+	now := n.clock.Now()
+	n.coll.Reset(now)
+	n.mark(MarkMeasureStart, -1, now)
 }
 
 // RunUntilDrained advances until every injector is exhausted and no packet

@@ -142,6 +142,7 @@ func (r *WatchdogReport) String() string {
 func (n *Network) onWatchdog(now sim.Cycle) {
 	n.sysEvents--
 	if n.waiterCount > 0 && now-n.lastProgress >= n.wdWindow {
+		n.mark(MarkWatchdogTrip, -1, now)
 		panic(&WatchdogError{Report: n.watchdogReport(now)})
 	}
 	next := n.lastProgress + n.wdWindow

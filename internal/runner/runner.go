@@ -90,6 +90,11 @@ type Result struct {
 	// count — the amortized per-seed cost, which is what a throughput
 	// column should show for lockstep execution. Zero for failed cells.
 	Elapsed time.Duration
+	// Worker is the worker-slot index that produced the result (-1 for
+	// cells skipped before any worker claimed them) — per-worker
+	// throughput attribution for live sweep metrics. Purely
+	// observational: results are bit-identical for every worker count.
+	Worker int
 }
 
 // Failed reports whether the cell produced no result.
@@ -311,7 +316,7 @@ func RunCellsCtx(ctx context.Context, cells []Cell, opts Options) []Result {
 	DoWorkerCtx(ctx, len(units), opts.Workers, func(u, slot int) {
 		unit := units[u]
 		if len(unit) > 1 {
-			if runEnsembleUnit(&slots[slot].ens, cells, unit, &opts, out) {
+			if runEnsembleUnit(&slots[slot].ens, cells, unit, &opts, slot, out) {
 				return
 			}
 			// The batch died — a lane panicked, the group deadline fired.
@@ -320,12 +325,12 @@ func RunCellsCtx(ctx context.Context, cells []Cell, opts Options) []Result {
 			// lane can never take its siblings' results down.
 		}
 		for _, i := range unit {
-			runSingle(&slots[slot].net, &cells[i], &opts, i, out)
+			runSingle(&slots[slot].net, &cells[i], &opts, i, slot, out)
 		}
 	})
 	for i := range out {
 		if out[i].Attempts == 0 {
-			out[i] = Result{Err: ErrSkipped}
+			out[i] = Result{Err: ErrSkipped, Worker: -1}
 		}
 	}
 	return out
@@ -342,13 +347,14 @@ type workerSlot struct {
 // runSingle runs one cell through its full attempt loop on the slot's
 // standalone engine, landing the result (and the OnResult checkpoint)
 // for cell index i.
-func runSingle(slotNet **network.Network, c *Cell, opts *Options, i int, out []Result) {
+func runSingle(slotNet **network.Network, c *Cell, opts *Options, i, worker int, out []Result) {
 	retries := resolve(c.Retries, opts.Retries)
 	backoff := resolve(c.Backoff, opts.Backoff)
 	deadline := resolve(c.Deadline, opts.Deadline)
 	for attempt := 1; ; attempt++ {
 		res, err := runCell(slotNet, c, deadline)
 		res.Attempts = attempt
+		res.Worker = worker
 		if err == nil {
 			out[i] = res
 			break
@@ -357,7 +363,7 @@ func runSingle(slotNet **network.Network, c *Cell, opts *Options, i int, out []R
 		// trustworthy for a Reset. Rebuild from scratch.
 		*slotNet = nil
 		if attempt > retries {
-			out[i] = Result{Err: err, Attempts: attempt}
+			out[i] = Result{Err: err, Attempts: attempt, Worker: worker}
 			break
 		}
 		if backoff > 0 {
@@ -427,7 +433,7 @@ func PlanUnits(cells []Cell, lanes int) [][]int {
 // whole batch; a batch aborted by it falls back to standalone runs where
 // each cell gets its own fresh per-attempt deadline, so a cell is never
 // failed by its siblings' wall-clock.
-func runEnsembleUnit(slotEns **network.Ensemble, cells []Cell, unit []int, opts *Options, out []Result) (ok bool) {
+func runEnsembleUnit(slotEns **network.Ensemble, cells []Cell, unit []int, opts *Options, worker int, out []Result) (ok bool) {
 	lead := &cells[unit[0]]
 	deadline := resolve(lead.Deadline, opts.Deadline)
 	res, err := runEnsembleBatch(slotEns, cells, unit, deadline)
@@ -436,6 +442,7 @@ func runEnsembleUnit(slotEns **network.Ensemble, cells []Cell, unit []int, opts 
 		return false
 	}
 	for j, i := range unit {
+		res[j].Worker = worker
 		out[i] = res[j]
 		if opts.OnResult != nil {
 			opts.OnResult(i, &out[i])

@@ -29,8 +29,11 @@ import (
 // trace's content digest), the fault schedule and recovery axes, and
 // the engine version stamp. What stays out is exactly what cannot:
 // worker count and the idle-skip toggle (results are bit-identical
-// either way — a tested engine invariant), deadlines, retry budgets and
-// the scenario's display name. Because the simulator is deterministic,
+// either way — a tested engine invariant), deadlines, retry budgets,
+// the scenario's display name, and the whole [telemetry] table (probes
+// are display-only by the same tested invariant — a probed cell's row
+// is bit-identical to an unprobed one's, so the knobs never enter
+// cellCanon and cache-served rows simply carry no timeline). Because the simulator is deterministic,
 // a cache hit is indistinguishable from a re-run; the float64 metric
 // fields round-trip JSON exactly, so a resumed sweep renders its table
 // bit-identically to an uninterrupted one.
@@ -380,10 +383,12 @@ type DurableOpts struct {
 type DurableReport struct {
 	Results []Result
 	// Hits counts rows served from the cache; Executed counts visible
-	// cells actually simulated (0 on a fully-cached re-run); Skipped
-	// counts cells abandoned by cancellation.
+	// cells actually simulated (0 on a fully-cached re-run); Failed
+	// counts executed cells whose every attempt died (their rows carry
+	// Error); Skipped counts cells abandoned by cancellation.
 	Hits     int
 	Executed int
+	Failed   int
 	Skipped  int
 	// Interrupted is set when cancellation cut the sweep short.
 	Interrupted bool
@@ -429,6 +434,10 @@ func (g *Grid) RunDurable(ctx context.Context, opts DurableOpts) (*DurableReport
 					rep.Results[i] = payloadToRow(g.Points[i], &row)
 					rep.Hits++
 					hitIdx = append(hitIdx, i)
+					if opts.OnCell != nil {
+						opts.OnCell(CellEvent{Cell: i, Cached: true, Worker: -1,
+							Attempts: row.Attempts, Wall: time.Duration(row.WallNS), Cycles: row.End})
+					}
 					continue
 				}
 			}
@@ -483,6 +492,9 @@ func (g *Grid) RunDurable(ctx context.Context, opts DurableOpts) (*DurableReport
 		i := missed[mi]
 		row := g.row(i, r, refBase[g.meta[i].ref])
 		rep.Results[i] = row
+		if opts.OnCell != nil {
+			opts.OnCell(cellEventOf(i, r))
+		}
 		if row.Error != "" || opts.Store == nil {
 			return // failures re-run next time; never cache them
 		}
@@ -504,9 +516,15 @@ func (g *Grid) RunDurable(ctx context.Context, opts DurableOpts) (*DurableReport
 		if res[mi].Err == runner.ErrSkipped {
 			rep.Results[i] = Result{Point: g.Points[i], Error: skippedError}
 			rep.Skipped++
+			if opts.OnCell != nil {
+				opts.OnCell(CellEvent{Cell: i, Skipped: true, Worker: -1})
+			}
 			continue
 		}
 		rep.Executed++
+		if rep.Results[i].Error != "" {
+			rep.Failed++
+		}
 	}
 	rep.Interrupted = rep.Skipped > 0 || ctx.Err() != nil
 	if checkpointErr != nil {

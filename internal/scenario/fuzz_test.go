@@ -68,6 +68,20 @@ func FuzzScenarioDecode(f *testing.F) {
 		"[profiles.quick]\nwarmup = 1\n[profiles.quick]\nwarmup = 2\n",
 		`{"rates":[0.05],"profiles":{"quick":{"warmup":200}}}`,
 		`{"include":["base.toml"],"rates":[0.05]}`,
+		// The [telemetry] table: probe interval, series selection and
+		// top-K — valid shapes plus malformed intervals, unknown series
+		// and non-table values the validator must reject cleanly.
+		"rate = 0.05\n[telemetry]\ninterval = 500\nseries = [\"flits\", \"heatmap\"]\ntop_flows = 4\n",
+		"rate = 0.05\n[telemetry]\ninterval = 1\n",
+		"rate = 0.05\n[telemetry]\ninterval = 0\n",
+		"rate = 0.05\n[telemetry]\ninterval = -250\n",
+		"rate = 0.05\n[telemetry]\nseries = [\"flits\"]\n",
+		"rate = 0.05\n[telemetry]\ninterval = 500\nseries = [\"latency\"]\n",
+		"rate = 0.05\n[telemetry]\ninterval = 500\nseries = 3\n",
+		"rate = 0.05\n[telemetry]\ninterval = 500\ntop_flows = -1\n",
+		"rate = 0.05\n[telemetry]\ninterval = 500\nheat = true\n",
+		"rate = 0.05\ntelemetry = 3\n",
+		`{"rates":[0.05],"telemetry":{"interval":500,"series":["events"],"top_flows":8}}`,
 	}
 	// Every shipped example file is a seed: the fuzzer starts from the
 	// real surface users feed the decoder.

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"tanoq/internal/runner"
 	"tanoq/internal/sim"
 	"tanoq/internal/stats"
+	"tanoq/internal/telemetry"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
 	"tanoq/internal/workload"
@@ -75,6 +77,41 @@ type cellMeta struct {
 	trace string
 }
 
+// cellAux bundles what a telemetry-armed cell's Setup returns: the
+// inner attachment (the closed-loop controller, or nil) plus the
+// sampler whose timeline the row derivation surfaces.
+type cellAux struct {
+	inner   any
+	sampler *telemetry.Sampler
+}
+
+// armTelemetry wraps a visible cell's Setup to attach an in-run sampler
+// when the scenario declares a [telemetry] table. Attachment happens
+// per execution on the freshly-reset engine (standalone or ensemble
+// lane), exactly like the closed-loop controller, so probed cells stay
+// bit-identical across workers, lanes and idle-skip. Hidden victim
+// reference cells are never armed — their rows are internal baselines.
+func armTelemetry(cell *runner.Cell, sc *Scenario) {
+	tcfg := sc.Telemetry
+	if tcfg == nil {
+		return
+	}
+	opts := telemetry.Options{
+		Interval: tcfg.Interval,
+		Horizon:  sim.Cycle(sc.Warmup + sc.Measure),
+		TopFlows: tcfg.TopFlows,
+		Series:   tcfg.Series,
+	}
+	inner := cell.Setup
+	cell.Setup = func(n *network.Network) any {
+		var aux any
+		if inner != nil {
+			aux = inner(n)
+		}
+		return &cellAux{inner: aux, sampler: telemetry.Attach(n, opts)}
+	}
+}
+
 // activeFlows lists the flows a workload actually injects on.
 func activeFlows(w traffic.Workload) []noc.FlowID {
 	var out []noc.FlowID
@@ -91,6 +128,7 @@ func (sc *Scenario) Grid() (*Grid, error) {
 	g := &Grid{Scenario: sc}
 	add := func(p Point, cell runner.Cell, m cellMeta) {
 		cell.Warmup, cell.Measure = sc.Warmup, sc.Measure
+		armTelemetry(&cell, sc)
 		g.Points = append(g.Points, p)
 		g.cells = append(g.cells, cell)
 		g.meta = append(g.meta, m)
@@ -300,6 +338,30 @@ type RunOpts struct {
 	// EnsembleLanes is the maximum number of same-group cells batched
 	// into one network.Ensemble; 0 or 1 runs every cell standalone.
 	EnsembleLanes int
+	// OnCell, when non-nil, observes every finished visible cell as it
+	// lands — the live accounting feed for progress lines and the sweep
+	// metrics endpoint. It fires on worker goroutines (make it
+	// concurrency-safe) and never changes results.
+	OnCell func(CellEvent)
+}
+
+// CellEvent is one live accounting record: a visible cell finished —
+// executed, served from cache, failed, or skipped by cancellation.
+type CellEvent struct {
+	// Cell indexes the grid point.
+	Cell int
+	// Exactly one of Cached/Failed/Skipped is set for non-executed
+	// outcomes; all false means the cell executed successfully.
+	Cached  bool
+	Failed  bool
+	Skipped bool
+	// Attempts/Wall/Cycles describe the run that produced the row
+	// (zero for skipped cells); Worker is the runner slot that executed
+	// it (-1 for cache hits).
+	Attempts int
+	Wall     time.Duration
+	Cycles   int64
+	Worker   int
 }
 
 // groupIDs assigns a runner group ID to every visible cell and every
@@ -405,6 +467,12 @@ type Result struct {
 	// after retries, 0 when cancellation skipped it). Cache-served rows
 	// report the attempts of the run that produced them.
 	Attempts int
+	// Timeline is the cell's in-run telemetry record — non-nil only when
+	// the scenario declares a [telemetry] table and the cell actually
+	// executed this process (cache-served rows carry none; the knobs are
+	// display-only and excluded from cache keys). It never enters the
+	// CSV/JSON row columns — the timeline emitters render it.
+	Timeline *telemetry.Timeline
 }
 
 // Run executes every cell across the parallel runner and collects the
@@ -429,9 +497,18 @@ func (g *Grid) Run(opts RunOpts) []Result {
 			cells[len(g.cells)+r].Group = refs[r]
 		}
 	}
-	res := runner.RunCellsCtx(context.Background(), cells, runner.Options{
-		Workers: opts.Workers, Retries: 1, Lanes: opts.EnsembleLanes,
-	})
+	ropts := runner.Options{Workers: opts.Workers, Retries: 1, Lanes: opts.EnsembleLanes}
+	if opts.OnCell != nil {
+		onCell := opts.OnCell
+		nvis := len(g.cells)
+		ropts.OnResult = func(i int, r *runner.Result) {
+			// Hidden victim-reference cells stay out of the accounting.
+			if i < nvis {
+				onCell(cellEventOf(i, r))
+			}
+		}
+	}
+	res := runner.RunCellsCtx(context.Background(), cells, ropts)
 	refRes := res[len(g.cells):]
 	out := make([]Result, len(g.cells))
 	for i := range res[:len(g.cells)] {
@@ -444,6 +521,20 @@ func (g *Grid) Run(opts RunOpts) []Result {
 	return out
 }
 
+// cellEventOf derives the live accounting record of one finished cell
+// from its runner result.
+func cellEventOf(i int, r *runner.Result) CellEvent {
+	ev := CellEvent{Cell: i, Attempts: r.Attempts, Wall: r.Elapsed, Cycles: int64(r.End), Worker: r.Worker}
+	if r.Err != nil {
+		if errors.Is(r.Err, runner.ErrSkipped) {
+			ev.Skipped = true
+		} else {
+			ev.Failed = true
+		}
+	}
+	return ev
+}
+
 // row computes the result row of grid point i from its runner result and
 // the victim-reference latency baseline (0 when the point has no victims
 // or the reference failed). It is the single row-derivation path shared
@@ -454,6 +545,11 @@ func (g *Grid) row(i int, r *runner.Result, base float64) Result {
 	if r.Failed() {
 		out.Error = r.Err.Error()
 		return out
+	}
+	aux := r.Aux
+	if ca, ok := aux.(*cellAux); ok {
+		out.Timeline = ca.sampler.Timeline()
+		aux = ca.inner
 	}
 	st := r.Stats
 	out.MeanLatency = st.MeanLatency()
@@ -473,7 +569,7 @@ func (g *Grid) row(i int, r *runner.Result, base float64) Result {
 	m := g.meta[i]
 	var summary stats.Summary
 	if m.closed {
-		ct := r.Aux.(*workload.Controller)
+		ct := aux.(*workload.Controller)
 		summary = stats.Summarize(ct.RT.PerClient())
 		out.Completed = ct.RT.TotalCompleted()
 		out.MeanRTT = ct.RT.MeanRTT()

@@ -9,6 +9,7 @@ import (
 	"tanoq/internal/noc"
 	"tanoq/internal/qos"
 	"tanoq/internal/sim"
+	"tanoq/internal/telemetry"
 	"tanoq/internal/topology"
 	"tanoq/internal/traffic"
 )
@@ -108,6 +109,22 @@ type Scenario struct {
 	Retries  int
 	Backoff  time.Duration
 	Cache    bool
+
+	// The [telemetry] table: deterministic in-run probes. Display-only —
+	// a probed cell's rows are bit-identical to an unprobed cell's, so
+	// like [run] the knobs stay out of cache keys (cache-served rows
+	// simply carry no timeline; see cache.go).
+	Telemetry *Telemetry
+}
+
+// Telemetry configures the in-run probe attachment of every visible
+// grid cell (internal/telemetry): a Sampler fires every Interval cycles
+// and records the selected series. TopFlows bounds how many flows the
+// JSON/table emitters print (0 = default 8); Series empty selects all.
+type Telemetry struct {
+	Interval sim.Cycle
+	Series   []string
+	TopFlows int
 }
 
 // FlowSpec is one explicitly-declared injector.
@@ -163,7 +180,7 @@ var scenarioKeys = map[string]bool{
 	"request_fraction": true, "burst": true, "hotspot_weights": true,
 	"flows": true, "frame_cycles": true, "window_packets": true,
 	"quantum_flits": true, "margin_classes": true, "workload": true,
-	"faults": true, "run": true,
+	"faults": true, "run": true, "telemetry": true,
 }
 
 func fromRaw(raw map[string]any, res *Resolution) (*Scenario, error) {
@@ -258,6 +275,22 @@ func fromRaw(raw map[string]any, res *Resolution) (*Scenario, error) {
 		rd.allowOnly("deadline_ms", "retries", "backoff_ms", "cache")
 		if rd.err != nil {
 			return nil, rd.err
+		}
+	}
+	if tv, ok := raw["telemetry"]; ok {
+		tm, ok := tv.(map[string]any)
+		if !ok {
+			return nil, perr(res, "telemetry", "telemetry must be a table/object")
+		}
+		td := decoder{raw: tm, res: res, prefix: "telemetry"}
+		sc.Telemetry = &Telemetry{
+			Interval: sim.Cycle(td.int("interval", 0)),
+			Series:   td.strList("series", ""),
+			TopFlows: td.int("top_flows", 0),
+		}
+		td.allowOnly("interval", "series", "top_flows")
+		if td.err != nil {
+			return nil, td.err
 		}
 	}
 	if fv, ok := raw["faults"]; ok {
@@ -426,6 +459,9 @@ func (sc *Scenario) Validate() error {
 		return err
 	}
 	if err := sc.validateFaults(); err != nil {
+		return err
+	}
+	if err := sc.validateTelemetry(); err != nil {
 		return err
 	}
 	if len(sc.Traces) > 0 {
@@ -611,6 +647,29 @@ func (sc *Scenario) validateWorkloadAxes() error {
 // retry_timeout 0 = recovery off; max_retries 3 when recovery is armed),
 // and exclusivity with the workload classes the fault subsystem does not
 // model (closed-loop clients, trace replay).
+// validateTelemetry checks the [telemetry] table: the interval is
+// required and positive, the series names must be known, and top_flows
+// cannot be negative. All knobs are display-only (see cache.go).
+func (sc *Scenario) validateTelemetry() error {
+	t := sc.Telemetry
+	if t == nil {
+		return nil
+	}
+	if t.Interval <= 0 {
+		return fmt.Errorf("scenario %s: telemetry interval %d must be positive", sc.Name, t.Interval)
+	}
+	if t.TopFlows < 0 {
+		return fmt.Errorf("scenario %s: negative telemetry top_flows %d", sc.Name, t.TopFlows)
+	}
+	for _, s := range t.Series {
+		if !telemetry.ValidSeries(s) {
+			return fmt.Errorf("scenario %s: unknown telemetry series %q (known: %s)",
+				sc.Name, s, strings.Join(telemetry.KnownSeries(), ", "))
+		}
+	}
+	return nil
+}
+
 func (sc *Scenario) validateFaults() error {
 	if len(sc.RetryTimeouts) == 0 {
 		sc.RetryTimeouts = []sim.Cycle{0}

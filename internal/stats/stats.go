@@ -59,6 +59,54 @@ type Collector struct {
 	Latencies Histogram
 }
 
+// Totals is a plain-value snapshot of the collector's scalar counters —
+// the slice of state a telemetry probe differences between sampling
+// ticks. Returning it by value keeps the read allocation-free, and
+// including the delivered-flit sum here (the collector tracks it only
+// per flow) saves every consumer the same reduction.
+type Totals struct {
+	InjectedFlits    int64
+	DeliveredFlits   int64
+	DeliveredPackets int64
+	Retransmits      int64
+	Retries          int64
+	Preemptions      int64
+	Dropped          int64
+	FaultDrops       int64
+}
+
+// Totals snapshots the scalar counters at this instant.
+func (c *Collector) Totals() Totals {
+	var df int64
+	for _, f := range c.DeliveredFlits {
+		df += f
+	}
+	return Totals{
+		InjectedFlits:    c.InjectedFlits,
+		DeliveredFlits:   df,
+		DeliveredPackets: c.TotalDelivered,
+		Retransmits:      c.Retransmits,
+		Retries:          c.TotalRetries,
+		Preemptions:      c.PreemptionEvents,
+		Dropped:          c.TotalDropped,
+		FaultDrops:       c.FaultDrops,
+	}
+}
+
+// Sub returns the per-interval delta t−prev, field by field.
+func (t Totals) Sub(prev Totals) Totals {
+	return Totals{
+		InjectedFlits:    t.InjectedFlits - prev.InjectedFlits,
+		DeliveredFlits:   t.DeliveredFlits - prev.DeliveredFlits,
+		DeliveredPackets: t.DeliveredPackets - prev.DeliveredPackets,
+		Retransmits:      t.Retransmits - prev.Retransmits,
+		Retries:          t.Retries - prev.Retries,
+		Preemptions:      t.Preemptions - prev.Preemptions,
+		Dropped:          t.Dropped - prev.Dropped,
+		FaultDrops:       t.FaultDrops - prev.FaultDrops,
+	}
+}
+
 // NewCollector creates a collector for the given flow population. It
 // starts measuring immediately; call Reset after warmup to discard the
 // transient.

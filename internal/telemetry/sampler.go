@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"tanoq/internal/network"
+	"tanoq/internal/sim"
+	"tanoq/internal/stats"
+)
+
+// Series selection names: which groups of columns a sampler collects.
+const (
+	// SeriesFlits: injected/delivered/retransmitted flit deltas.
+	SeriesFlits = "flits"
+	// SeriesEvents: preemption, retry, drop and fault-drop deltas.
+	SeriesEvents = "events"
+	// SeriesOccupancy: network-wide occupied-VC count at each tick.
+	SeriesOccupancy = "occupancy"
+	// SeriesFlows: the per-flow delivered-flit delta matrix.
+	SeriesFlows = "flows"
+	// SeriesHeatmap: the per-router occupied-VC matrix.
+	SeriesHeatmap = "heatmap"
+)
+
+// KnownSeries lists every valid series name, in canonical order.
+func KnownSeries() []string {
+	return []string{SeriesFlits, SeriesEvents, SeriesOccupancy, SeriesFlows, SeriesHeatmap}
+}
+
+// ValidSeries reports whether name is a known series selector.
+func ValidSeries(name string) bool {
+	for _, s := range KnownSeries() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures a sampler attachment.
+type Options struct {
+	// Interval is the sampling period in cycles (required, positive).
+	Interval sim.Cycle
+	// Horizon is the expected run length in cycles; it sizes the
+	// preallocated sample buffers (ticks past the horizon are dropped
+	// and counted). Zero defaults to 1024 intervals.
+	Horizon sim.Cycle
+	// TopFlows is how many flows the JSON/table emitters rank and
+	// print (collection is always all-flow). Zero defaults to 8.
+	TopFlows int
+	// Series selects the column groups to collect; empty selects all.
+	Series []string
+}
+
+// Sampler is one network's installed probe and the timeline it fills.
+type Sampler struct {
+	net      *network.Network
+	tl       *Timeline
+	prev     stats.Totals
+	prevFlow []int64
+	occ      []int32 // per-node scratch, zeroed each tick
+}
+
+// Attach installs a sampler on n, which must be freshly Reset (the
+// probe schedule starts at n's current cycle). All storage for the
+// declared horizon is allocated here, so the per-tick path never
+// allocates. The returned sampler's Timeline is live — read it after
+// the run.
+func Attach(n *network.Network, o Options) *Sampler {
+	if o.Interval <= 0 {
+		panic("telemetry: sampling interval must be positive")
+	}
+	if o.TopFlows <= 0 {
+		o.TopFlows = 8
+	}
+	all := len(o.Series) == 0
+	has := func(name string) bool {
+		if all {
+			return true
+		}
+		for _, s := range o.Series {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	capSamples := 1024
+	if o.Horizon > 0 {
+		capSamples = int(o.Horizon/o.Interval) + 2
+	}
+	nodes := n.Config().Nodes
+	flows := n.Stats().Flows()
+	tl := &Timeline{
+		Interval: o.Interval,
+		Nodes:    nodes,
+		Flows:    flows,
+		TopFlows: o.TopFlows,
+		hasFlits: has(SeriesFlits),
+		hasEvts:  has(SeriesEvents),
+		hasOcc:   has(SeriesOccupancy),
+		hasFlow:  has(SeriesFlows),
+		hasHeat:  has(SeriesHeatmap),
+		At:       make([]sim.Cycle, 0, capSamples),
+		Marks:    make([]Mark, 0, 2*len(n.Config().Faults.Windows)+8),
+	}
+	if tl.hasFlits {
+		tl.Injected = make([]int64, 0, capSamples)
+		tl.Delivered = make([]int64, 0, capSamples)
+		tl.Retried = make([]int64, 0, capSamples)
+	}
+	if tl.hasEvts {
+		tl.Preempted = make([]int64, 0, capSamples)
+		tl.Retries = make([]int64, 0, capSamples)
+		tl.Dropped = make([]int64, 0, capSamples)
+		tl.Faulted = make([]int64, 0, capSamples)
+	}
+	if tl.hasOcc || tl.hasHeat {
+		tl.Occupied = make([]int64, 0, capSamples)
+	}
+	if tl.hasFlow {
+		tl.Flow = make([]int64, 0, capSamples*flows)
+	}
+	if tl.hasHeat {
+		tl.Heat = make([]int32, 0, capSamples*nodes)
+		tl.Capacity = make([]int32, nodes)
+		n.FillVCCapacities(tl.Capacity)
+	}
+	s := &Sampler{net: n, tl: tl}
+	if tl.hasFlow {
+		s.prevFlow = make([]int64, flows)
+	}
+	if tl.hasHeat {
+		s.occ = make([]int32, nodes)
+	}
+	n.SetProbe(o.Interval, s.fire)
+	n.SetMarkHook(s.mark)
+	return s
+}
+
+// Timeline returns the sampler's live timeline.
+func (s *Sampler) Timeline() *Timeline { return s.tl }
+
+// fire is the probe handler: one sample, zero allocations (every append
+// lands in capacity reserved by Attach; overflow is dropped and
+// counted).
+func (s *Sampler) fire(now sim.Cycle) {
+	tl := s.tl
+	if len(tl.At) == cap(tl.At) {
+		tl.DroppedSamples++
+		return
+	}
+	st := s.net.Stats()
+	cur := st.Totals()
+	d := cur.Sub(s.prev)
+	s.prev = cur
+	tl.At = append(tl.At, now)
+	if tl.hasFlits {
+		tl.Injected = append(tl.Injected, d.InjectedFlits)
+		tl.Delivered = append(tl.Delivered, d.DeliveredFlits)
+		tl.Retried = append(tl.Retried, d.Retransmits)
+	}
+	if tl.hasEvts {
+		tl.Preempted = append(tl.Preempted, d.Preemptions)
+		tl.Retries = append(tl.Retries, d.Retries)
+		tl.Dropped = append(tl.Dropped, d.Dropped)
+		tl.Faulted = append(tl.Faulted, d.FaultDrops)
+	}
+	if tl.hasFlow {
+		flits := st.DeliveredFlits
+		for f := 0; f < tl.Flows; f++ {
+			v := flits[f]
+			tl.Flow = append(tl.Flow, v-s.prevFlow[f])
+			s.prevFlow[f] = v
+		}
+	}
+	switch {
+	case tl.hasHeat:
+		for i := range s.occ {
+			s.occ[i] = 0
+		}
+		total := s.net.FillVCOccupancy(s.occ)
+		tl.Occupied = append(tl.Occupied, total)
+		tl.Heat = append(tl.Heat, s.occ...)
+	case tl.hasOcc:
+		tl.Occupied = append(tl.Occupied, s.net.FillVCOccupancy(nil))
+	}
+}
+
+// mark is the phase-mark hook: record the annotation and, at the
+// warmup/measure boundary, re-baseline the cumulative deltas (the
+// collector was just reset to zero at exactly this cycle).
+func (s *Sampler) mark(m network.ProbeMark) {
+	if m.Kind == network.MarkMeasureStart {
+		s.prev = stats.Totals{}
+		for i := range s.prevFlow {
+			s.prevFlow[i] = 0
+		}
+	}
+	tl := s.tl
+	if len(tl.Marks) == cap(tl.Marks) {
+		tl.DroppedMarks++
+		return
+	}
+	tl.Marks = append(tl.Marks, Mark{At: m.At, Kind: m.Kind.String(), Arg: m.Arg})
+}

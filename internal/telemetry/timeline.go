@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tanoq/internal/sim"
+)
+
+// Mark is one phase annotation on a timeline: a cycle where the run
+// changed regime (measure start, a fault window edge, a watchdog trip).
+type Mark struct {
+	At   sim.Cycle `json:"at"`
+	Kind string    `json:"kind"`
+	Arg  int32     `json:"arg"`
+}
+
+// Timeline is the per-interval record of one run. The series slices are
+// parallel — index i is the interval ending at At[i] — and a deselected
+// series is nil. Flow and Heat are flat row-major matrices (sample ×
+// Flows and sample × Nodes).
+type Timeline struct {
+	Interval sim.Cycle
+	Nodes    int
+	Flows    int
+	TopFlows int
+
+	hasFlits, hasEvts, hasOcc, hasFlow, hasHeat bool
+
+	At []sim.Cycle
+	// Flit deltas per interval.
+	Injected, Delivered, Retried []int64
+	// Event deltas per interval.
+	Preempted, Retries, Dropped, Faulted []int64
+	// Occupied VCs network-wide at the tick instant.
+	Occupied []int64
+	// Flow is the delivered-flit delta matrix, sample-major.
+	Flow []int64
+	// Heat is the per-node occupied-VC matrix, sample-major; Capacity
+	// is the static per-node VC pool row that normalizes it.
+	Heat     []int32
+	Capacity []int32
+
+	Marks []Mark
+	// DroppedSamples/DroppedMarks count ticks past the preallocated
+	// horizon — recorded, never silently lost.
+	DroppedSamples int
+	DroppedMarks   int
+}
+
+// Samples returns the number of recorded intervals.
+func (tl *Timeline) Samples() int { return len(tl.At) }
+
+// TopFlowIDs ranks flows by total delivered flits over the recorded
+// samples and returns the ids of the top k (ties break toward the lower
+// id, so the ranking is deterministic). Nil when the flows series was
+// not collected.
+func (tl *Timeline) TopFlowIDs(k int) []int {
+	if tl.Flow == nil || tl.Flows == 0 {
+		return nil
+	}
+	totals := make([]int64, tl.Flows)
+	for i := 0; i < tl.Samples(); i++ {
+		row := tl.Flow[i*tl.Flows : (i+1)*tl.Flows]
+		for f, v := range row {
+			totals[f] += v
+		}
+	}
+	ids := make([]int, tl.Flows)
+	for f := range ids {
+		ids[f] = f
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return totals[ids[a]] > totals[ids[b]] })
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// marksIn returns the marks with At in (lo, hi].
+func (tl *Timeline) marksIn(lo, hi sim.Cycle) []Mark {
+	var out []Mark
+	for _, m := range tl.Marks {
+		if m.At > lo && m.At <= hi {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WriteTable renders the compact per-interval table (`noctool
+// timeline`): one row per sample with the scalar series and any marks
+// falling inside the interval.
+func (tl *Timeline) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%10s %8s %8s %8s %8s %8s %8s %8s  %s\n",
+		"cycle", "inj", "dlv", "rtx", "preempt", "retry", "fault", "vc_occ", "marks"); err != nil {
+		return err
+	}
+	get := func(s []int64, i int) int64 {
+		if s == nil {
+			return 0
+		}
+		return s[i]
+	}
+	for i := 0; i < tl.Samples(); i++ {
+		lo := tl.At[i] - tl.Interval
+		var marks []string
+		for _, m := range tl.marksIn(lo, tl.At[i]) {
+			marks = append(marks, fmt.Sprintf("%s@%d", m.Kind, m.At))
+		}
+		if _, err := fmt.Fprintf(w, "%10d %8d %8d %8d %8d %8d %8d %8d  %s\n",
+			tl.At[i], get(tl.Injected, i), get(tl.Delivered, i), get(tl.Retried, i),
+			get(tl.Preempted, i), get(tl.Retries, i), get(tl.Faulted, i),
+			get(tl.Occupied, i), strings.Join(marks, " ")); err != nil {
+			return err
+		}
+	}
+	if tl.DroppedSamples > 0 {
+		if _, err := fmt.Fprintf(w, "(+%d samples past the preallocated horizon were dropped)\n", tl.DroppedSamples); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHeatmap renders the congestion heatmap as a CSV matrix: one row
+// per node, one column per sample (occupied VCs at each tick), with a
+// trailing capacity column for normalization.
+func (tl *Timeline) WriteHeatmap(w io.Writer) error {
+	if tl.Heat == nil {
+		return fmt.Errorf("telemetry: heatmap series was not collected")
+	}
+	var b strings.Builder
+	b.WriteString("node")
+	for i := 0; i < tl.Samples(); i++ {
+		fmt.Fprintf(&b, ",t%d", tl.At[i])
+	}
+	b.WriteString(",vc_capacity\n")
+	for node := 0; node < tl.Nodes; node++ {
+		fmt.Fprintf(&b, "%d", node)
+		for i := 0; i < tl.Samples(); i++ {
+			fmt.Fprintf(&b, ",%d", tl.Heat[i*tl.Nodes+node])
+		}
+		fmt.Fprintf(&b, ",%d\n", tl.Capacity[node])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSVHeader is the long-format header WriteCSV rows follow; the label
+// column carries the caller's cell identity.
+const CSVHeader = "label,sample,cycle,injected_flits,delivered_flits,retried_flits,preemptions,retries,dropped,fault_drops,vc_occupied\n"
+
+// WriteCSV appends the timeline's samples in long format, one row per
+// interval, prefixed by label. Flow and heatmap matrices are JSON-only.
+func (tl *Timeline) WriteCSV(w io.Writer, label string) error {
+	get := func(s []int64, i int) int64 {
+		if s == nil {
+			return 0
+		}
+		return s[i]
+	}
+	var b strings.Builder
+	for i := 0; i < tl.Samples(); i++ {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			label, i, tl.At[i], get(tl.Injected, i), get(tl.Delivered, i), get(tl.Retried, i),
+			get(tl.Preempted, i), get(tl.Retries, i), get(tl.Dropped, i), get(tl.Faulted, i),
+			get(tl.Occupied, i))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonTimeline is the wire shape of a timeline: scalar series as
+// parallel arrays, the top-K flow series by delivered flits, and the
+// heatmap as per-node rows.
+type jsonTimeline struct {
+	Interval       int64       `json:"interval"`
+	Nodes          int         `json:"nodes"`
+	Flows          int         `json:"flows"`
+	At             []sim.Cycle `json:"at"`
+	Injected       []int64     `json:"injected_flits,omitempty"`
+	Delivered      []int64     `json:"delivered_flits,omitempty"`
+	Retried        []int64     `json:"retried_flits,omitempty"`
+	Preempted      []int64     `json:"preemptions,omitempty"`
+	Retries        []int64     `json:"retries,omitempty"`
+	Dropped        []int64     `json:"dropped,omitempty"`
+	Faulted        []int64     `json:"fault_drops,omitempty"`
+	Occupied       []int64     `json:"vc_occupied,omitempty"`
+	TopFlows       []jsonFlow  `json:"top_flows,omitempty"`
+	Heatmap        [][]int32   `json:"heatmap,omitempty"`
+	VCCapacity     []int32     `json:"vc_capacity,omitempty"`
+	Marks          []Mark      `json:"marks,omitempty"`
+	DroppedSamples int         `json:"dropped_samples,omitempty"`
+	DroppedMarks   int         `json:"dropped_marks,omitempty"`
+}
+
+type jsonFlow struct {
+	Flow  int     `json:"flow"`
+	Flits []int64 `json:"flits"`
+}
+
+// view assembles the wire shape (shared by MarshalJSON and the CLI
+// emitters).
+func (tl *Timeline) view() jsonTimeline {
+	v := jsonTimeline{
+		Interval: int64(tl.Interval), Nodes: tl.Nodes, Flows: tl.Flows,
+		At: tl.At, Injected: tl.Injected, Delivered: tl.Delivered, Retried: tl.Retried,
+		Preempted: tl.Preempted, Retries: tl.Retries, Dropped: tl.Dropped, Faulted: tl.Faulted,
+		Occupied: tl.Occupied, Marks: tl.Marks,
+		DroppedSamples: tl.DroppedSamples, DroppedMarks: tl.DroppedMarks,
+	}
+	for _, f := range tl.TopFlowIDs(tl.TopFlows) {
+		series := make([]int64, tl.Samples())
+		for i := range series {
+			series[i] = tl.Flow[i*tl.Flows+f]
+		}
+		v.TopFlows = append(v.TopFlows, jsonFlow{Flow: f, Flits: series})
+	}
+	if tl.Heat != nil {
+		v.Heatmap = make([][]int32, tl.Nodes)
+		for node := 0; node < tl.Nodes; node++ {
+			row := make([]int32, tl.Samples())
+			for i := range row {
+				row[i] = tl.Heat[i*tl.Nodes+node]
+			}
+			v.Heatmap[node] = row
+		}
+		v.VCCapacity = tl.Capacity
+	}
+	return v
+}
+
+// MarshalJSON renders the timeline in its wire shape.
+func (tl *Timeline) MarshalJSON() ([]byte, error) { return json.Marshal(tl.view()) }
